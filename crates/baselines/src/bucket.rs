@@ -1,0 +1,334 @@
+//! GGKS-style bucket top-k (Alabi et al.).
+//!
+//! Bucket select first finds the min/max of the input, splits that value
+//! range into equal-width buckets, histograms the candidates, keeps only the
+//! bucket that contains the k-th largest element and repeats on the narrowed
+//! value range until the bucket of interest is pinned down to a single value
+//! (or the remaining candidates can be resolved directly).
+//!
+//! Unlike radix select, the number of iterations and the rate at which the
+//! candidate set shrinks depend entirely on the *value distribution*: on the
+//! paper's customized distribution (CD) the bucket of interest keeps the
+//! majority of the candidates at every iteration, which is the instability
+//! Figure 4 demonstrates and Dr. Top-k removes.
+
+use gpu_sim::{AtomicBuffer, AtomicCounter, Device, KernelStats};
+
+use crate::radix::gather_topk;
+use crate::result::TopKResult;
+
+/// Configuration of the bucket top-k baseline.
+#[derive(Debug, Clone)]
+pub struct BucketConfig {
+    /// Number of equal-width buckets per iteration.
+    pub num_buckets: usize,
+    /// Elements assigned to each warp in scan kernels.
+    pub elems_per_warp: usize,
+    /// Safety cap on refinement iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for BucketConfig {
+    fn default() -> Self {
+        BucketConfig {
+            num_buckets: 256,
+            elems_per_warp: 8192,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// Outcome of the bucket k-selection.
+#[derive(Debug, Clone)]
+pub struct BucketSelectOutcome {
+    /// The k-th largest value.
+    pub threshold: u32,
+    /// Number of refinement iterations executed (excluding min/max).
+    pub iterations: usize,
+    /// Counters accumulated by the selection kernels.
+    pub stats: KernelStats,
+    /// Modeled selection time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Find the global min and max of `data` with one warp-reduction kernel.
+fn min_max(device: &Device, data: &[u32], elems_per_warp: usize) -> (u32, u32, KernelStats, f64) {
+    let num_warps = data.len().div_ceil(elems_per_warp).max(1);
+    let launch = device.launch("baseline_bucket_minmax", num_warps, |ctx| {
+        let chunk = ctx.chunk_of(data.len());
+        let slice = ctx.read_coalesced(&data[chunk]);
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for &x in slice {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            ctx.record_alu(2);
+        }
+        let hi = ctx.warp_reduce_max(hi);
+        let lo = ctx.warp_reduce_min_lanes(&[lo]);
+        (lo, hi)
+    });
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for (l, h) in &launch.output {
+        lo = lo.min(*l);
+        hi = hi.max(*h);
+    }
+    (lo, hi, launch.stats, launch.time_ms)
+}
+
+/// Bucket **k-selection**: find the k-th largest value of `data`
+/// (1 ≤ k ≤ |data|).
+pub fn bucket_select_kth(
+    device: &Device,
+    data: &[u32],
+    k: usize,
+    config: &BucketConfig,
+) -> BucketSelectOutcome {
+    assert!(k >= 1 && k <= data.len(), "k must be in 1..=|V|");
+    assert!(config.num_buckets >= 2, "need at least two buckets");
+
+    let (mut lo, mut hi, mut stats, mut time_ms) = min_max(device, data, config.elems_per_warp);
+    let mut k_remaining = k;
+    let mut candidates: Vec<u32> = data.to_vec();
+    let mut iterations = 0usize;
+
+    // Special case: k == 1 is answered by the min/max kernel alone, which is
+    // why the paper notes that "bucket top-k performs fairly well when k=1".
+    if k == 1 {
+        return BucketSelectOutcome {
+            threshold: hi,
+            iterations: 0,
+            stats,
+            time_ms,
+        };
+    }
+
+    let nb = config.num_buckets;
+    loop {
+        iterations += 1;
+        if lo == hi || candidates.len() <= 1 || iterations > config.max_iterations {
+            // All remaining candidates share one value (or we hit the cap).
+            break;
+        }
+        if candidates.len() == k_remaining {
+            // every remaining candidate is part of the top-k: the threshold
+            // is their minimum, found with one more reduction over them.
+            let num_warps = candidates.len().div_ceil(config.elems_per_warp).max(1);
+            let cand = &candidates;
+            let launch = device.launch("baseline_bucket_min_of_rest", num_warps, |ctx| {
+                let chunk = ctx.chunk_of(cand.len());
+                let slice = ctx.read_coalesced(&cand[chunk]);
+                let m = slice.iter().copied().min().unwrap_or(u32::MAX);
+                ctx.warp_reduce_min_lanes(&[m])
+            });
+            stats += launch.stats;
+            time_ms += launch.time_ms;
+            let threshold = launch.output.into_iter().min().unwrap_or(lo);
+            return BucketSelectOutcome {
+                threshold,
+                iterations,
+                stats,
+                time_ms,
+            };
+        }
+
+        let range = (hi - lo) as u64 + 1;
+        let width = range.div_ceil(nb as u64).max(1);
+        let bucket_of = |x: u32| -> usize { (((x - lo) as u64) / width).min(nb as u64 - 1) as usize };
+
+        // --- histogram over the current candidates ---------------------------
+        let num_warps = candidates.len().div_ceil(config.elems_per_warp).max(1);
+        let hist_buf = AtomicBuffer::zeroed(nb);
+        let cand = &candidates;
+        let launch = device.launch(
+            &format!("baseline_bucket_hist_iter{iterations}"),
+            num_warps,
+            |ctx| {
+                let chunk = ctx.chunk_of(cand.len());
+                let slice = ctx.read_coalesced(&cand[chunk]);
+                let mut local = vec![0u32; nb];
+                for &x in slice {
+                    local[bucket_of(x)] += 1;
+                    ctx.record_alu(3);
+                }
+                for (b, &c) in local.iter().enumerate() {
+                    if c > 0 {
+                        hist_buf.fetch_add(ctx, b, c);
+                    }
+                }
+            },
+        );
+        stats += launch.stats;
+        time_ms += launch.time_ms;
+        let histogram = hist_buf.to_vec();
+
+        // --- locate the bucket containing the k-th largest -------------------
+        let mut chosen = 0usize;
+        let mut above = 0usize;
+        for b in (0..nb).rev() {
+            let count = histogram[b] as usize;
+            if above + count >= k_remaining {
+                chosen = b;
+                break;
+            }
+            above += count;
+        }
+        k_remaining -= above;
+
+        let new_lo_u64 = lo as u64 + chosen as u64 * width;
+        let new_hi_u64 = (new_lo_u64 + width - 1).min(hi as u64);
+        let (new_lo, new_hi) = (new_lo_u64 as u32, new_hi_u64 as u32);
+
+        // --- compact the candidates into the chosen bucket -------------------
+        let survivors = histogram[chosen] as usize;
+        let out = AtomicBuffer::zeroed(survivors);
+        let cursor = AtomicCounter::new(0);
+        let launch = device.launch(
+            &format!("baseline_bucket_compact_iter{iterations}"),
+            num_warps,
+            |ctx| {
+                let chunk = ctx.chunk_of(cand.len());
+                let slice = ctx.read_coalesced(&cand[chunk]);
+                let mut kept: Vec<u32> = Vec::new();
+                for &x in slice {
+                    if x >= new_lo && x <= new_hi {
+                        kept.push(x);
+                    }
+                    ctx.record_alu(2);
+                }
+                if !kept.is_empty() {
+                    let base = cursor.fetch_add(ctx, kept.len() as u64) as usize;
+                    out.store_coalesced(ctx, base, &kept);
+                }
+            },
+        );
+        stats += launch.stats;
+        time_ms += launch.time_ms;
+        candidates = out.to_vec();
+        lo = new_lo;
+        hi = new_hi;
+
+        if candidates.len() == 1 {
+            return BucketSelectOutcome {
+                threshold: candidates[0],
+                iterations,
+                stats,
+                time_ms,
+            };
+        }
+    }
+
+    BucketSelectOutcome {
+        threshold: lo,
+        iterations,
+        stats,
+        time_ms,
+    }
+}
+
+/// Full bucket **top-k**: selection followed by the shared gather pass.
+pub fn bucket_topk(device: &Device, data: &[u32], k: usize, config: &BucketConfig) -> TopKResult {
+    let k = k.min(data.len());
+    if k == 0 {
+        return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
+    }
+    let select = bucket_select_kth(device, data, k, config);
+    gather_topk(
+        device,
+        data,
+        k,
+        select.threshold,
+        config.elems_per_warp,
+        select.stats,
+        select.time_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{reference_kth, reference_topk};
+    use gpu_sim::DeviceSpec;
+    use topk_datagen::Distribution;
+
+    fn device() -> Device {
+        Device::with_host_threads(DeviceSpec::v100s(), 4)
+    }
+
+    #[test]
+    fn bucket_select_matches_reference_on_all_distributions() {
+        let dev = device();
+        for dist in Distribution::SYNTHETIC {
+            let data = topk_datagen::generate(dist, 1 << 14, 5);
+            for &k in &[1usize, 2, 100, 2048] {
+                let got = bucket_select_kth(&dev, &data, k, &BucketConfig::default());
+                assert_eq!(got.threshold, reference_kth(&data, k), "{dist} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_topk_matches_reference() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 14, 8);
+        for &k in &[1usize, 17, 333, 4096] {
+            let got = bucket_topk(&dev, &data, k, &BucketConfig::default());
+            assert_eq!(got.values, reference_topk(&data, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn bucket_topk_handles_duplicates_and_tiny_inputs() {
+        let dev = device();
+        let data = vec![42u32; 500];
+        let got = bucket_topk(&dev, &data, 5, &BucketConfig::default());
+        assert_eq!(got.values, vec![42u32; 5]);
+        let two = vec![9u32, 3];
+        assert_eq!(
+            bucket_topk(&dev, &two, 2, &BucketConfig::default()).values,
+            vec![9, 3]
+        );
+        assert!(bucket_topk(&dev, &two, 0, &BucketConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn k_equal_one_needs_no_refinement() {
+        let dev = device();
+        let data = topk_datagen::normal(1 << 14, 2);
+        let got = bucket_select_kth(&dev, &data, 1, &BucketConfig::default());
+        assert_eq!(got.iterations, 0);
+        assert_eq!(got.threshold, *data.iter().max().unwrap());
+    }
+
+    #[test]
+    fn customized_distribution_forces_more_work_than_uniform() {
+        let dev = device();
+        let n = 1 << 16;
+        let k = 64;
+        let ud = topk_datagen::uniform(n, 3);
+        let cd = topk_datagen::customized(n, 3);
+        let got_ud = bucket_select_kth(&dev, &ud, k, &BucketConfig::default());
+        let got_cd = bucket_select_kth(&dev, &cd, k, &BucketConfig::default());
+        // CD keeps the majority of candidates in the bucket of interest, so
+        // it must scan strictly more data overall than UD does.
+        assert!(
+            got_cd.stats.global_loaded_bytes > got_ud.stats.global_loaded_bytes,
+            "CD loaded {} bytes, UD loaded {} bytes",
+            got_cd.stats.global_loaded_bytes,
+            got_ud.stats.global_loaded_bytes
+        );
+        assert!(got_cd.iterations >= got_ud.iterations);
+    }
+
+    #[test]
+    fn narrow_range_normal_distribution_terminates() {
+        // ND values concentrate within ~100 of 1e8: the range collapses after
+        // a couple of iterations and the loop must still terminate correctly.
+        let dev = device();
+        let data = topk_datagen::normal(1 << 14, 13);
+        let got = bucket_select_kth(&dev, &data, 77, &BucketConfig::default());
+        assert_eq!(got.threshold, reference_kth(&data, 77));
+        assert!(got.iterations <= 8);
+    }
+}

@@ -1,0 +1,157 @@
+//! Common result type and reference (ground-truth) helpers shared by every
+//! top-k algorithm in the workspace.
+
+use gpu_sim::KernelStats;
+
+/// Result of a top-k computation.
+///
+/// `values` always contains exactly `min(k, |V|)` elements, sorted in
+/// descending order. When the input contains duplicates of the k-th value,
+/// ties are resolved arbitrarily but the returned *multiset* of values is
+/// exact, so results can be compared against [`reference_topk`] directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The k largest values, descending.
+    pub values: Vec<u32>,
+    /// The k-th largest value (the selection threshold).
+    pub kth_value: u32,
+    /// Instrumentation counters accumulated by all kernels this computation
+    /// launched.
+    pub stats: KernelStats,
+    /// Modeled GPU time in milliseconds (sum over launched kernels).
+    pub time_ms: f64,
+}
+
+impl TopKResult {
+    /// Build a result from an unsorted list of selected values.
+    pub fn from_values(mut values: Vec<u32>, stats: KernelStats, time_ms: f64) -> Self {
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let kth_value = values.last().copied().unwrap_or(0);
+        TopKResult {
+            values,
+            kth_value,
+            stats,
+            time_ms,
+        }
+    }
+
+    /// Number of selected values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no values were selected (k = 0 or empty input).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// CPU reference: the `min(k, |V|)` largest values of `data`, descending.
+/// Used as ground truth by every test in the workspace.
+pub fn reference_topk(data: &[u32], k: usize) -> Vec<u32> {
+    let k = k.min(data.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut copy = data.to_vec();
+    // select_nth_unstable puts the (len-k)-th smallest in place with all
+    // larger elements to its right: O(n) instead of a full sort.
+    let split = copy.len() - k;
+    copy.select_nth_unstable(split);
+    let mut top: Vec<u32> = copy[split..].to_vec();
+    top.sort_unstable_by(|a, b| b.cmp(a));
+    top
+}
+
+/// CPU reference for the k-th largest value (k ≥ 1).
+pub fn reference_kth(data: &[u32], k: usize) -> u32 {
+    assert!(k >= 1 && k <= data.len(), "k out of range");
+    let mut copy = data.to_vec();
+    let split = copy.len() - k;
+    let (_, kth, _) = copy.select_nth_unstable(split);
+    *kth
+}
+
+/// Given a threshold (the k-th largest value), collect exactly `k` values:
+/// everything strictly greater than the threshold plus enough copies of the
+/// threshold itself to reach `k`. Panics if the threshold is not consistent
+/// with `k` (fewer than `k` elements ≥ threshold).
+pub fn collect_topk_by_threshold(data: &[u32], k: usize, threshold: u32) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::with_capacity(k);
+    let mut ties = 0usize;
+    for &v in data {
+        if v > threshold {
+            out.push(v);
+        } else if v == threshold {
+            ties += 1;
+        }
+    }
+    assert!(
+        out.len() <= k && out.len() + ties >= k,
+        "inconsistent threshold: {} above, {} ties, k={}",
+        out.len(),
+        ties,
+        k
+    );
+    let need = k - out.len();
+    out.extend(std::iter::repeat(threshold).take(need));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_topk_simple() {
+        let data = vec![5, 1, 9, 3, 9, 2];
+        assert_eq!(reference_topk(&data, 3), vec![9, 9, 5]);
+        assert_eq!(reference_topk(&data, 1), vec![9]);
+        assert_eq!(reference_topk(&data, 0), Vec::<u32>::new());
+        assert_eq!(reference_topk(&data, 100), vec![9, 9, 5, 3, 2, 1]);
+        assert_eq!(reference_topk(&[], 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn reference_kth_matches_sorted() {
+        let data = vec![10u32, 20, 30, 40, 50];
+        assert_eq!(reference_kth(&data, 1), 50);
+        assert_eq!(reference_kth(&data, 3), 30);
+        assert_eq!(reference_kth(&data, 5), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn reference_kth_rejects_zero() {
+        reference_kth(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn threshold_collection_handles_ties() {
+        let data = vec![7, 7, 7, 5, 9, 7];
+        // top-3 is {9, 7, 7}: threshold 7 with 4 ties present
+        let got = collect_topk_by_threshold(&data, 3, 7);
+        assert_eq!(got.len(), 3);
+        let mut sorted = got.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sorted, vec![9, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent threshold")]
+    fn threshold_collection_rejects_bad_threshold() {
+        collect_topk_by_threshold(&[1, 2, 3], 2, 3);
+    }
+
+    #[test]
+    fn result_from_values_sorts_and_exposes_kth() {
+        let r = TopKResult::from_values(vec![3, 9, 5], KernelStats::default(), 1.0);
+        assert_eq!(r.values, vec![9, 5, 3]);
+        assert_eq!(r.kth_value, 3);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        let empty = TopKResult::from_values(vec![], KernelStats::default(), 0.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.kth_value, 0);
+    }
+}

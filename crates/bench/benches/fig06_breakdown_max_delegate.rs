@@ -1,0 +1,14 @@
+//! Figure 6: time-consumption breakdown of Dr. Top-k (maximum delegate only,
+//! no filtering) assisting radix top-k on the UD dataset.
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn main() {
+    breakdown_sweep(
+        "fig06_breakdown_max_delegate",
+        |_k| DrTopKConfig::max_delegate_only(),
+        Distribution::Uniform,
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 7: breakdown with delegate-top-k-enabled filtering (Rule 2) added
+//! to the maximum-delegate design, UD dataset.
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn main() {
+    breakdown_sweep(
+        "fig07_breakdown_filtering",
+        |_k| DrTopKConfig::with_filtering_only(),
+        Distribution::Uniform,
+    );
+}

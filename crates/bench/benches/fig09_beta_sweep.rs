@@ -1,0 +1,62 @@
+//! Figure 9: performance vs β — (a) varying k at the default |V|,
+//! (b) varying |V| at a fixed large k. Performance is normalized to β = 1.
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn run(n: usize, k: usize, beta: usize, device: &gpu_sim::Device, data: &[u32]) -> f64 {
+    let config = DrTopKConfig {
+        beta,
+        ..DrTopKConfig::default()
+    };
+    let _ = n;
+    run_drtopk_checked(device, data, k, &config).time_ms
+}
+
+fn main() {
+    let device = device();
+    let mut rows = Vec::new();
+
+    // (a) vary k at the default |V|
+    let n = default_n();
+    let data = dataset(Distribution::Uniform, n);
+    for k in k_sweep(4) {
+        let base = run(n, k, 1, &device, &data);
+        for beta in [1usize, 2, 3, 4] {
+            let t = run(n, k, beta, &device, &data);
+            rows.push(vec![
+                "vary_k".into(),
+                n.to_string(),
+                k.to_string(),
+                beta.to_string(),
+                fmt(t),
+                fmt(base / t),
+            ]);
+        }
+    }
+
+    // (b) vary |V| at a fixed (large) k
+    let k = 1usize << kmax_exp();
+    for exp in (v_exp().saturating_sub(3))..=v_exp() {
+        let n = 1usize << exp;
+        let data = dataset(Distribution::Uniform, n);
+        let base = run(n, k.min(n / 2), 1, &device, &data);
+        for beta in [1usize, 2, 3, 4] {
+            let t = run(n, k.min(n / 2), beta, &device, &data);
+            rows.push(vec![
+                "vary_v".into(),
+                n.to_string(),
+                k.min(n / 2).to_string(),
+                beta.to_string(),
+                fmt(t),
+                fmt(base / t),
+            ]);
+        }
+    }
+    emit(
+        "fig09_beta_sweep",
+        &["sweep", "n", "k", "beta", "time_ms", "speedup_vs_beta1"],
+        &rows,
+    );
+}

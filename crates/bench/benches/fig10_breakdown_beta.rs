@@ -1,0 +1,17 @@
+//! Figure 10: breakdown with β = 2 delegates + filtering, before the
+//! delegate-vector-construction optimization (warp-shuffle construction).
+
+use drtopk_bench_harness::*;
+use drtopk_core::{ConstructionMethod, DrTopKConfig};
+use topk_datagen::Distribution;
+
+fn main() {
+    breakdown_sweep(
+        "fig10_breakdown_beta",
+        |_k| DrTopKConfig {
+            construction: ConstructionMethod::WarpShuffle,
+            ..DrTopKConfig::default()
+        },
+        Distribution::Uniform,
+    );
+}

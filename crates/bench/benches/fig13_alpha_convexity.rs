@@ -1,0 +1,47 @@
+//! Figure 13: Dr. Top-k runtime (and its per-phase breakdown) as a function
+//! of the subrange exponent α — the measured curve is convex, as the
+//! Section 5.2 model predicts.
+
+use drtopk_bench_harness::*;
+use drtopk_core::{predicted_cost, DrTopKConfig};
+use gpu_sim::DeviceSpec;
+use topk_datagen::Distribution;
+
+fn main() {
+    let n = default_n();
+    let k = 1usize << (kmax_exp() / 2).max(3); // the paper uses k = 2^13 at |V| = 2^30
+    let data = dataset(Distribution::Uniform, n);
+    let device = device();
+    let spec = DeviceSpec::v100s();
+    let mut rows = Vec::new();
+    for alpha in 2..(v_exp() - 1) {
+        let config = DrTopKConfig {
+            alpha: Some(alpha),
+            ..DrTopKConfig::default()
+        };
+        let r = run_drtopk_checked(&device, &data, k, &config);
+        let model = predicted_cost(alpha as f64, k, n, &spec);
+        rows.push(vec![
+            alpha.to_string(),
+            fmt(r.breakdown.delegate_ms),
+            fmt(r.breakdown.first_topk_ms),
+            fmt(r.breakdown.concat_ms),
+            fmt(r.breakdown.second_topk_ms),
+            fmt(r.time_ms),
+            fmt(model.total()),
+        ]);
+    }
+    emit(
+        "fig13_alpha_convexity",
+        &[
+            "alpha",
+            "delegate_ms",
+            "first_topk_ms",
+            "concat_ms",
+            "second_topk_ms",
+            "total_ms",
+            "model_total_cycles",
+        ],
+        &rows,
+    );
+}

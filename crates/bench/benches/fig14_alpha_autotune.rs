@@ -1,0 +1,58 @@
+//! Figure 14: performance of the Rule 4 auto-tuned α against the empirical
+//! oracle α (found by sweeping α and taking the fastest).
+
+use drtopk_bench_harness::*;
+use drtopk_core::{auto_alpha, DrTopKConfig, PAPER_RULE4_CONST};
+use topk_datagen::Distribution;
+
+fn main() {
+    let n = default_n();
+    let data = dataset(Distribution::Uniform, n);
+    let device = device();
+    let mut rows = Vec::new();
+    for k in k_sweep(2) {
+        let auto = auto_alpha(n, k, 2, PAPER_RULE4_CONST);
+        let auto_time = run_drtopk_checked(
+            &device,
+            &data,
+            k,
+            &DrTopKConfig {
+                alpha: Some(auto),
+                ..DrTopKConfig::default()
+            },
+        )
+        .time_ms;
+        // oracle: sweep a window of α values around the model optimum
+        let mut oracle_alpha = auto;
+        let mut oracle_time = f64::INFINITY;
+        for alpha in 2..(v_exp() - 1) {
+            let t = run_drtopk_checked(
+                &device,
+                &data,
+                k,
+                &DrTopKConfig {
+                    alpha: Some(alpha),
+                    ..DrTopKConfig::default()
+                },
+            )
+            .time_ms;
+            if t < oracle_time {
+                oracle_time = t;
+                oracle_alpha = alpha;
+            }
+        }
+        rows.push(vec![
+            k.to_string(),
+            auto.to_string(),
+            fmt(auto_time),
+            oracle_alpha.to_string(),
+            fmt(oracle_time),
+            fmt(auto_time / oracle_time),
+        ]);
+    }
+    emit(
+        "fig14_alpha_autotune",
+        &["k", "auto_alpha", "auto_ms", "oracle_alpha", "oracle_ms", "auto_over_oracle"],
+        &rows,
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 15: breakdown after the coalesced-load-to-shared / strided-compute
+//! delegate construction optimization (Section 5.3).
+
+use drtopk_bench_harness::*;
+use drtopk_core::{ConstructionMethod, DrTopKConfig};
+use topk_datagen::Distribution;
+
+fn main() {
+    breakdown_sweep(
+        "fig15_breakdown_optimized",
+        |_k| DrTopKConfig {
+            construction: ConstructionMethod::Auto,
+            ..DrTopKConfig::default()
+        },
+        Distribution::Uniform,
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 20: workload (delegate vector, concatenated vector and their sum,
+//! as fractions of |V|) vs the input size |V| at a fixed large k.
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn main() {
+    let device = device();
+    let k = 1usize << kmax_exp(); // the paper fixes k = 2^19 at |V| = 2^22..2^30
+    let mut rows = Vec::new();
+    for exp in (v_exp().saturating_sub(6))..=v_exp() {
+        let n = 1usize << exp;
+        let k = k.min(n / 4).max(1);
+        let data = dataset(Distribution::Uniform, n);
+        let r = run_drtopk_checked(&device, &data, k, &DrTopKConfig::default());
+        let w = r.workload;
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt(w.delegate_vector_len as f64 / n as f64 * 100.0),
+            fmt(w.concatenated_len as f64 / n as f64 * 100.0),
+            fmt(w.workload_fraction() * 100.0),
+        ]);
+    }
+    emit(
+        "fig20_workload_vs_v",
+        &["n", "k", "first_topk_pct", "second_topk_pct", "sum_pct"],
+        &rows,
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 21: workload (delegate vector, concatenated vector, sum, as
+//! fractions of |V|) vs k at the default |V|.
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn main() {
+    let n = default_n();
+    let data = dataset(Distribution::Uniform, n);
+    let device = device();
+    let mut rows = Vec::new();
+    for k in k_sweep(2) {
+        let r = run_drtopk_checked(&device, &data, k, &DrTopKConfig::default());
+        let w = r.workload;
+        rows.push(vec![
+            k.to_string(),
+            fmt(w.delegate_vector_len as f64 / n as f64 * 100.0),
+            fmt(w.concatenated_len as f64 / n as f64 * 100.0),
+            fmt(w.workload_fraction() * 100.0),
+        ]);
+    }
+    emit(
+        "fig21_workload_vs_k",
+        &["k", "first_topk_pct", "second_topk_pct", "sum_pct"],
+        &rows,
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 22: separate and combined effect of delegate-top-k-enabled
+//! filtering and β delegate (both with the construction optimization).
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn main() {
+    let n = default_n();
+    let data = dataset(Distribution::Uniform, n);
+    let device = device();
+    let mut rows = Vec::new();
+    for k in k_sweep(2) {
+        let filtering_only = run_drtopk_checked(&device, &data, k, &DrTopKConfig::with_filtering_only());
+        let beta_only = run_drtopk_checked(&device, &data, k, &DrTopKConfig::beta_only(2));
+        let combined = run_drtopk_checked(&device, &data, k, &DrTopKConfig::default());
+        rows.push(vec![
+            k.to_string(),
+            fmt(filtering_only.time_ms),
+            fmt(beta_only.time_ms),
+            fmt(combined.time_ms),
+        ]);
+    }
+    emit(
+        "fig22_filter_vs_beta",
+        &["k", "filtering_only_ms", "beta_delegate_ms", "combined_ms"],
+        &rows,
+    );
+}

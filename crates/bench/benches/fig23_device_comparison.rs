@@ -1,0 +1,24 @@
+//! Figure 23: Dr. Top-k (radix) on the V100S vs the Titan Xp across k.
+
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use gpu_sim::{Device, DeviceSpec};
+use topk_datagen::Distribution;
+
+fn main() {
+    let n = default_n();
+    let data = dataset(Distribution::Uniform, n);
+    let v100 = Device::new(DeviceSpec::v100s());
+    let titan = Device::new(DeviceSpec::titan_xp());
+    let mut rows = Vec::new();
+    for k in k_sweep(2) {
+        let tv = run_drtopk_checked(&v100, &data, k, &DrTopKConfig::default()).time_ms;
+        let tt = run_drtopk_checked(&titan, &data, k, &DrTopKConfig::default()).time_ms;
+        rows.push(vec![k.to_string(), fmt(tv), fmt(tt), fmt(tt / tv)]);
+    }
+    emit(
+        "fig23_device_comparison",
+        &["k", "v100s_ms", "titan_xp_ms", "titan_over_v100"],
+        &rows,
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 24: ratio of the fully-evaluated workload of BMW to the workload
+//! of Dr. Top-k (delegate vector + concatenated vector), on ND and UD.
+
+use bmw_baseline::{bmw_topk, BmwIndex};
+use drtopk_bench_harness::*;
+use drtopk_core::DrTopKConfig;
+use topk_datagen::Distribution;
+
+fn main() {
+    let n = default_n();
+    let device = device();
+    let mut rows = Vec::new();
+    for dist in [Distribution::Normal, Distribution::Uniform] {
+        let data = dataset(dist, n);
+        let index = BmwIndex::from_scores(&data, 128);
+        for k in k_sweep(2) {
+            let bmw = bmw_topk(&index, k);
+            let dr = run_drtopk_checked(&device, &data, k, &DrTopKConfig::default());
+            let dr_workload =
+                (dr.workload.delegate_vector_len + dr.workload.concatenated_len) as f64;
+            let ratio = bmw.stats.fully_evaluated as f64 / dr_workload.max(1.0);
+            rows.push(vec![
+                dist.abbrev().into(),
+                k.to_string(),
+                bmw.stats.fully_evaluated.to_string(),
+                (dr.workload.delegate_vector_len + dr.workload.concatenated_len).to_string(),
+                fmt(ratio),
+            ]);
+        }
+    }
+    emit(
+        "fig24_bmw_comparison",
+        &["dist", "k", "bmw_fully_evaluated", "drtopk_workload", "ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,167 @@
+//! Block-max posting-list index.
+//!
+//! A posting list is a docID-ordered sequence of (docID, score) pairs,
+//! partitioned into fixed-size blocks; each block stores its maximum score.
+//! For the Figure 24 comparison the "documents" are simply the positions of
+//! the Dr. Top-k input vector and the scores are its values, mirroring the
+//! paper's setting where both approaches answer the same top-k query.
+
+/// One (document id, score) posting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document identifier (monotonically increasing within a list).
+    pub doc_id: u32,
+    /// Score of the term in this document.
+    pub score: u32,
+}
+
+/// A block-max indexed posting list.
+#[derive(Debug, Clone)]
+pub struct BmwIndex {
+    postings: Vec<Posting>,
+    block_size: usize,
+    block_max: Vec<u32>,
+}
+
+impl BmwIndex {
+    /// Build an index over the scores of a value vector: document `i` gets
+    /// score `scores[i]`.
+    pub fn from_scores(scores: &[u32], block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let postings: Vec<Posting> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Posting {
+                doc_id: i as u32,
+                score: s,
+            })
+            .collect();
+        let block_max = postings
+            .chunks(block_size)
+            .map(|b| b.iter().map(|p| p.score).max().unwrap_or(0))
+            .collect();
+        BmwIndex {
+            postings,
+            block_size,
+            block_max,
+        }
+    }
+
+    /// Build an index from explicit postings (doc ids must be increasing).
+    pub fn from_postings(postings: Vec<Posting>, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(
+            postings.windows(2).all(|w| w[0].doc_id < w[1].doc_id),
+            "postings must be sorted by strictly increasing doc id"
+        );
+        let block_max = postings
+            .chunks(block_size)
+            .map(|b| b.iter().map(|p| p.score).max().unwrap_or(0))
+            .collect();
+        BmwIndex {
+            postings,
+            block_size,
+            block_max,
+        }
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Block size used by the index.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_max.len()
+    }
+
+    /// All postings, in doc-id order.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Maximum score of block `b`.
+    pub fn block_max(&self, b: usize) -> u32 {
+        self.block_max[b]
+    }
+
+    /// Block index containing posting position `pos`.
+    pub fn block_of(&self, pos: usize) -> usize {
+        pos / self.block_size
+    }
+
+    /// Position (within the postings) of the first posting of the block
+    /// *after* the one containing `pos` — i.e. where a block-level skip
+    /// lands.
+    pub fn next_block_start(&self, pos: usize) -> usize {
+        (self.block_of(pos) + 1) * self.block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_block_maxima_from_scores() {
+        let scores = vec![5, 1, 9, 3, 7, 2, 8];
+        let idx = BmwIndex::from_scores(&scores, 3);
+        assert_eq!(idx.len(), 7);
+        assert_eq!(idx.num_blocks(), 3);
+        assert_eq!(idx.block_max(0), 9);
+        assert_eq!(idx.block_max(1), 7);
+        assert_eq!(idx.block_max(2), 8);
+        assert_eq!(idx.block_of(4), 1);
+        assert_eq!(idx.next_block_start(4), 6);
+        assert_eq!(idx.block_size(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn builds_from_postings() {
+        let postings = vec![
+            Posting { doc_id: 2, score: 4 },
+            Posting { doc_id: 7, score: 6 },
+            Posting { doc_id: 9, score: 1 },
+        ];
+        let idx = BmwIndex::from_postings(postings, 2);
+        assert_eq!(idx.num_blocks(), 2);
+        assert_eq!(idx.block_max(0), 6);
+        assert_eq!(idx.block_max(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by strictly increasing doc id")]
+    fn rejects_unsorted_postings() {
+        BmwIndex::from_postings(
+            vec![
+                Posting { doc_id: 5, score: 1 },
+                Posting { doc_id: 2, score: 2 },
+            ],
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn rejects_zero_block_size() {
+        BmwIndex::from_scores(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn empty_scores() {
+        let idx = BmwIndex::from_scores(&[], 4);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_blocks(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Warp-centric concatenation with delegate-top-k-enabled filtering
+//! (Sections 4.2 and 5.1).
+//!
+//! The subranges that the first top-k fully qualified are copied into a new,
+//! much smaller *concatenated vector* on which the second top-k runs. When
+//! filtering (Rule 2) is enabled, only the elements that are at least the
+//! k-th delegate value are copied; since the number of surviving elements
+//! per subrange is unknown in advance, each warp claims output positions
+//! with an atomic counter, exactly as the paper describes.
+
+use gpu_sim::{AtomicBuffer, AtomicCounter, Device, KernelStats};
+
+/// Result of the concatenation step.
+#[derive(Debug, Clone)]
+pub struct Concatenated {
+    /// The concatenated vector: partial delegates first, then every element
+    /// gathered from the fully-taken subranges (filtered if requested).
+    pub elements: Vec<u32>,
+    /// How many of `elements` came straight from partially-taken subranges'
+    /// delegates (no subrange scan was needed for them).
+    pub partial_delegates: usize,
+    /// Counters accumulated by the concatenation kernel.
+    pub stats: KernelStats,
+    /// Modeled concatenation time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Concatenate the fully-taken subranges of `data` (ids in
+/// `fully_taken_subranges`, subrange size `subrange_size`), prepending
+/// `partial_delegate_values`, filtering by `threshold` when
+/// `filtering` is true.
+pub fn concatenate(
+    device: &Device,
+    data: &[u32],
+    subrange_size: usize,
+    fully_taken_subranges: &[u32],
+    partial_delegate_values: &[u32],
+    threshold: u32,
+    filtering: bool,
+) -> Concatenated {
+    let mut stats = KernelStats::default();
+    let mut time_ms = 0.0;
+
+    if fully_taken_subranges.is_empty() {
+        // Rule 3 special case (Figure 8b): nothing to scan at all.
+        return Concatenated {
+            elements: partial_delegate_values.to_vec(),
+            partial_delegates: partial_delegate_values.len(),
+            stats,
+            time_ms,
+        };
+    }
+
+    // Upper bound on the gathered size: every element of every fully-taken
+    // subrange survives (filtering can only shrink this).
+    let upper = fully_taken_subranges.len() * subrange_size;
+    let out = AtomicBuffer::zeroed(upper);
+    let cursor = AtomicCounter::new(0);
+
+    // One simulated warp per group of qualified subranges.
+    let num_warps = fully_taken_subranges.len().min(1 << 14).max(1);
+    let launch = device.launch("drtopk_concatenation", num_warps, |ctx| {
+        let share = ctx.chunk_of(fully_taken_subranges.len());
+        // reading the qualified subrange ids produced by the first top-k
+        let ids = ctx.read_coalesced(&fully_taken_subranges[share]);
+        for &id in ids {
+            let start = (id as usize) * subrange_size;
+            let end = (start + subrange_size).min(data.len());
+            let slice = ctx.read_coalesced(&data[start..end]);
+            let mut kept: Vec<u32> = Vec::with_capacity(slice.len());
+            for &x in slice {
+                if !filtering || x >= threshold {
+                    kept.push(x);
+                }
+                ctx.record_alu(1);
+            }
+            if !kept.is_empty() {
+                // the eligible count is unknown beforehand: claim positions
+                // with an atomic, then store (warp-aggregated)
+                let base = cursor.fetch_add(ctx, kept.len() as u64) as usize;
+                out.store_coalesced(ctx, base, &kept);
+            }
+        }
+    });
+    stats += launch.stats;
+    time_ms += launch.time_ms;
+
+    let gathered_len = cursor.load() as usize;
+    let gathered = out.to_vec();
+    let mut elements = Vec::with_capacity(partial_delegate_values.len() + gathered_len);
+    elements.extend_from_slice(partial_delegate_values);
+    elements.extend_from_slice(&gathered[..gathered_len]);
+
+    Concatenated {
+        elements,
+        partial_delegates: partial_delegate_values.len(),
+        stats,
+        time_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::with_host_threads(DeviceSpec::v100s(), 4)
+    }
+
+    #[test]
+    fn concatenates_whole_subranges_without_filtering() {
+        let dev = device();
+        let data: Vec<u32> = (0..64u32).collect();
+        let got = concatenate(&dev, &data, 16, &[1, 3], &[], 0, false);
+        let mut sorted = got.elements.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (16..32).chain(48..64).collect();
+        assert_eq!(sorted, expected);
+        assert_eq!(got.partial_delegates, 0);
+    }
+
+    #[test]
+    fn filtering_drops_small_elements() {
+        let dev = device();
+        let data: Vec<u32> = (0..64u32).collect();
+        let got = concatenate(&dev, &data, 16, &[3], &[], 60, true);
+        let mut sorted = got.elements.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![60, 61, 62, 63]);
+    }
+
+    #[test]
+    fn partial_delegates_are_prepended() {
+        let dev = device();
+        let data: Vec<u32> = (0..32u32).collect();
+        let got = concatenate(&dev, &data, 16, &[1], &[100, 101], 30, true);
+        assert_eq!(&got.elements[..2], &[100, 101]);
+        assert_eq!(got.partial_delegates, 2);
+        let mut rest = got.elements[2..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![30, 31]);
+    }
+
+    #[test]
+    fn no_fully_taken_subranges_skips_the_scan() {
+        let dev = device();
+        dev.reset_stats();
+        let data: Vec<u32> = (0..32u32).collect();
+        let got = concatenate(&dev, &data, 16, &[], &[31, 30], 30, true);
+        assert_eq!(got.elements, vec![31, 30]);
+        assert!(got.stats.is_empty());
+        assert!(dev.stats().kernels.is_empty(), "no kernel must be launched");
+    }
+
+    #[test]
+    fn tail_subrange_shorter_than_subrange_size() {
+        let dev = device();
+        let data: Vec<u32> = (0..40u32).collect(); // subrange 2 has 8 elements
+        let got = concatenate(&dev, &data, 16, &[2], &[], 0, false);
+        let mut sorted = got.elements.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (32..40).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn filtering_uses_atomics_for_positions() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 12, 7);
+        let got = concatenate(&dev, &data, 64, &[0, 5, 9, 60], &[], 1 << 30, true);
+        assert!(got.stats.atomic_operations > 0);
+        // every surviving element really is above the filter
+        assert!(got.elements.iter().all(|&x| x >= 1 << 30));
+    }
+}

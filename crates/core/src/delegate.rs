@@ -1,0 +1,359 @@
+//! Delegate vector construction (Sections 4.1, 4.3 and 5.3 of the paper).
+//!
+//! The input vector is partitioned into subranges of `2^α` elements. From
+//! each subrange the construction extracts its top `β` elements — the
+//! *delegates* — together with the subrange id, producing the delegate
+//! vector the first top-k runs on.
+//!
+//! Two construction kernels are implemented:
+//!
+//! * **warp-centric** ([`ConstructionMethod::WarpShuffle`]) — one warp scans
+//!   one subrange; each lane keeps a running maximum and the warp combines
+//!   lanes with `__shfl_sync` butterfly reductions (31 shuffles per reduction,
+//!   β reductions per subrange). This is the paper's baseline construction
+//!   and achieves near-peak bandwidth for large subranges.
+//! * **coalesced-load-to-shared + strided-compute**
+//!   ([`ConstructionMethod::CoalescedShared`]) — for small subranges
+//!   (α ≤ 5, which Rule 4 produces when k is large) a warp first stages 32
+//!   subranges in shared memory with fully coalesced loads (padded to avoid
+//!   bank conflicts) and then each *thread* extracts the delegates of one
+//!   subrange privately, eliminating the shuffle traffic entirely
+//!   (Section 5.3, Figure 15).
+
+use gpu_sim::{Device, KernelStats, WARP_SIZE};
+
+/// How the delegate vector is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstructionMethod {
+    /// One warp per subrange, shuffle-based reduction (baseline).
+    WarpShuffle,
+    /// Coalesced staging of 32 subranges into shared memory, one thread per
+    /// subrange (the Section 5.3 optimization).
+    CoalescedShared,
+    /// Pick automatically: [`CoalescedShared`](ConstructionMethod::CoalescedShared)
+    /// when the subrange is too small to keep a warp busy (α ≤ 5), otherwise
+    /// [`WarpShuffle`](ConstructionMethod::WarpShuffle).
+    Auto,
+}
+
+impl ConstructionMethod {
+    /// Resolve [`ConstructionMethod::Auto`] for a given subrange exponent.
+    pub fn resolve(self, alpha: u32) -> ConstructionMethod {
+        match self {
+            ConstructionMethod::Auto => {
+                if alpha <= 5 {
+                    ConstructionMethod::CoalescedShared
+                } else {
+                    ConstructionMethod::WarpShuffle
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// The delegate vector: `β` (value, subrange id) entries per subrange,
+/// stored as two parallel columns (structure of arrays).
+#[derive(Debug, Clone)]
+pub struct DelegateVector {
+    /// Delegate values, `β` consecutive entries per subrange, each subrange's
+    /// entries in descending order.
+    pub values: Vec<u32>,
+    /// Subrange id of each delegate entry (parallel to `values`).
+    pub subrange_ids: Vec<u32>,
+    /// Number of delegates extracted per subrange.
+    pub beta: usize,
+    /// Subrange size `2^α`.
+    pub subrange_size: usize,
+    /// Number of subranges (`⌈|V| / 2^α⌉`).
+    pub num_subranges: usize,
+    /// Which construction kernel actually ran.
+    pub method: ConstructionMethod,
+    /// Counters accumulated by the construction kernel.
+    pub stats: KernelStats,
+    /// Modeled construction time in milliseconds.
+    pub time_ms: f64,
+}
+
+impl DelegateVector {
+    /// Total number of delegate entries (`num_subranges × β`, minus the
+    /// entries that short final subranges could not fill).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the delegate vector is empty (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Extract the top `beta` values of `slice` in descending order (β is tiny —
+/// 1 to 4 — so a simple insertion pass beats sorting).
+#[inline]
+fn top_beta_of(slice: &[u32], beta: usize, out: &mut Vec<u32>) {
+    out.clear();
+    for &x in slice {
+        if out.len() < beta {
+            let pos = out.partition_point(|&y| y >= x);
+            out.insert(pos, x);
+        } else if x > *out.last().unwrap() {
+            out.pop();
+            let pos = out.partition_point(|&y| y >= x);
+            out.insert(pos, x);
+        }
+    }
+}
+
+/// Build the delegate vector of `data` for subrange size `2^alpha` and `beta`
+/// delegates per subrange.
+pub fn build_delegate_vector(
+    device: &Device,
+    data: &[u32],
+    alpha: u32,
+    beta: usize,
+    method: ConstructionMethod,
+) -> DelegateVector {
+    assert!(beta >= 1, "beta must be at least 1");
+    assert!(alpha >= 1 && alpha < 32, "alpha must be in 1..32");
+    let subrange_size = 1usize << alpha;
+    let num_subranges = data.len().div_ceil(subrange_size);
+    let method = method.resolve(alpha);
+
+    if data.is_empty() {
+        return DelegateVector {
+            values: Vec::new(),
+            subrange_ids: Vec::new(),
+            beta,
+            subrange_size,
+            num_subranges: 0,
+            method,
+            stats: KernelStats::default(),
+            time_ms: 0.0,
+        };
+    }
+
+    // Each simulated warp handles a contiguous run of subranges; cap the
+    // warp count so tiny subranges do not explode the simulation overhead.
+    let num_warps = num_subranges.min(1 << 14).max(1);
+
+    let kernel_name = match method {
+        ConstructionMethod::WarpShuffle => "drtopk_delegate_construction_warp",
+        ConstructionMethod::CoalescedShared => "drtopk_delegate_construction_coalesced",
+        ConstructionMethod::Auto => unreachable!("resolved above"),
+    };
+
+    let launch = device.launch(kernel_name, num_warps, |ctx| {
+        let subranges = ctx.chunk_of(num_subranges);
+        let mut values: Vec<u32> = Vec::with_capacity(subranges.len() * beta);
+        let mut ids: Vec<u32> = Vec::with_capacity(subranges.len() * beta);
+        let mut scratch: Vec<u32> = Vec::with_capacity(beta);
+        match method {
+            ConstructionMethod::WarpShuffle => {
+                for s in subranges {
+                    let start = s * subrange_size;
+                    let end = ((s + 1) * subrange_size).min(data.len());
+                    let slice = ctx.read_coalesced(&data[start..end]);
+                    ctx.record_alu(slice.len() as u64);
+                    top_beta_of(slice, beta, &mut scratch);
+                    // β warp reductions to agree on the top-β of the subrange
+                    for &v in &scratch {
+                        ctx.warp_reduce_max(v);
+                        values.push(v);
+                        ids.push(s as u32);
+                    }
+                    // delegate (value, id) pair written to global memory
+                    ctx.record_store_coalesced::<u32>(2 * scratch.len());
+                }
+            }
+            ConstructionMethod::CoalescedShared => {
+                // Stage WARP_SIZE subranges at a time: the warp loads them
+                // coalesced into (padded) shared memory, then each thread
+                // extracts the delegates of one subrange without any shuffle.
+                let mut iter = subranges.clone().peekable();
+                while iter.peek().is_some() {
+                    let group: Vec<usize> = iter.by_ref().take(WARP_SIZE).collect();
+                    let group_start = group[0] * subrange_size;
+                    let group_end = ((group[group.len() - 1] + 1) * subrange_size).min(data.len());
+                    let staged = ctx.read_coalesced(&data[group_start..group_end]);
+                    // shared-memory staging: one store per element (padded →
+                    // conflict free), then each thread reads its subrange
+                    // back (strided by the padded pitch → conflict free).
+                    ctx.record_shared(2 * staged.len() as u64);
+                    ctx.record_alu(staged.len() as u64);
+                    ctx.syncthreads();
+                    for &s in &group {
+                        let start = s * subrange_size;
+                        let end = ((s + 1) * subrange_size).min(data.len());
+                        top_beta_of(&data[start..end], beta, &mut scratch);
+                        for &v in &scratch {
+                            values.push(v);
+                            ids.push(s as u32);
+                        }
+                        ctx.record_store_coalesced::<u32>(2 * scratch.len());
+                    }
+                }
+            }
+            ConstructionMethod::Auto => unreachable!(),
+        }
+        (values, ids)
+    });
+
+    let mut values = Vec::with_capacity(num_subranges * beta);
+    let mut subrange_ids = Vec::with_capacity(num_subranges * beta);
+    for (v, i) in launch.output {
+        values.extend(v);
+        subrange_ids.extend(i);
+    }
+
+    DelegateVector {
+        values,
+        subrange_ids,
+        beta,
+        subrange_size,
+        num_subranges,
+        method,
+        stats: launch.stats,
+        time_ms: launch.time_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::with_host_threads(DeviceSpec::v100s(), 4)
+    }
+
+    fn reference_delegates(data: &[u32], alpha: u32, beta: usize) -> (Vec<u32>, Vec<u32>) {
+        let size = 1usize << alpha;
+        let mut values = Vec::new();
+        let mut ids = Vec::new();
+        for (s, chunk) in data.chunks(size).enumerate() {
+            let mut sorted: Vec<u32> = chunk.to_vec();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.truncate(beta);
+            for v in sorted {
+                values.push(v);
+                ids.push(s as u32);
+            }
+        }
+        (values, ids)
+    }
+
+    #[test]
+    fn max_delegate_matches_reference() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 14, 3);
+        for alpha in [4u32, 8, 10] {
+            let dv = build_delegate_vector(&dev, &data, alpha, 1, ConstructionMethod::WarpShuffle);
+            let (vals, ids) = reference_delegates(&data, alpha, 1);
+            assert_eq!(dv.values, vals, "alpha={alpha}");
+            assert_eq!(dv.subrange_ids, ids);
+            assert_eq!(dv.num_subranges, data.len().div_ceil(1 << alpha));
+        }
+    }
+
+    #[test]
+    fn beta_delegates_match_reference_for_both_methods() {
+        let dev = device();
+        let data = topk_datagen::customized(10_000, 5);
+        for beta in [2usize, 3] {
+            for method in [
+                ConstructionMethod::WarpShuffle,
+                ConstructionMethod::CoalescedShared,
+            ] {
+                let dv = build_delegate_vector(&dev, &data, 6, beta, method);
+                let (vals, ids) = reference_delegates(&data, 6, beta);
+                assert_eq!(dv.values, vals, "beta={beta} {method:?}");
+                assert_eq!(dv.subrange_ids, ids);
+            }
+        }
+    }
+
+    #[test]
+    fn short_final_subrange_is_handled() {
+        let dev = device();
+        let data: Vec<u32> = (0..1000u32).collect(); // not a multiple of 2^α
+        let dv = build_delegate_vector(&dev, &data, 8, 2, ConstructionMethod::Auto);
+        assert_eq!(dv.num_subranges, 4);
+        // last subrange has 1000 - 768 = 232 elements, still 2 delegates
+        assert_eq!(dv.len(), 8);
+        assert_eq!(dv.values[6], 999);
+        assert_eq!(dv.values[7], 998);
+        assert_eq!(dv.subrange_ids[6], 3);
+    }
+
+    #[test]
+    fn subrange_smaller_than_beta_yields_fewer_entries() {
+        let dev = device();
+        let data: Vec<u32> = vec![10, 20, 30, 40, 50];
+        let dv = build_delegate_vector(&dev, &data, 2, 3, ConstructionMethod::WarpShuffle);
+        // subrange 0 = [10,20,30,40] -> 3 delegates; subrange 1 = [50] -> 1
+        assert_eq!(dv.values, vec![40, 30, 20, 50]);
+        assert_eq!(dv.subrange_ids, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn auto_switches_method_on_alpha() {
+        assert_eq!(
+            ConstructionMethod::Auto.resolve(4),
+            ConstructionMethod::CoalescedShared
+        );
+        assert_eq!(
+            ConstructionMethod::Auto.resolve(12),
+            ConstructionMethod::WarpShuffle
+        );
+        assert_eq!(
+            ConstructionMethod::WarpShuffle.resolve(4),
+            ConstructionMethod::WarpShuffle
+        );
+    }
+
+    #[test]
+    fn coalesced_method_eliminates_shuffles() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 16, 1);
+        let warp = build_delegate_vector(&dev, &data, 4, 2, ConstructionMethod::WarpShuffle);
+        let coal = build_delegate_vector(&dev, &data, 4, 2, ConstructionMethod::CoalescedShared);
+        assert_eq!(warp.values, coal.values);
+        assert!(warp.stats.shuffle_instructions > 0);
+        assert_eq!(coal.stats.shuffle_instructions, 0);
+        assert!(coal.stats.shared_ops > 0);
+        // the optimization is what Figure 15 shows: less modeled time for
+        // small subranges / β delegates
+        assert!(coal.time_ms < warp.time_ms);
+    }
+
+    #[test]
+    fn construction_reads_whole_vector_once() {
+        let dev = device();
+        let n = 1 << 16;
+        let data = topk_datagen::uniform(n, 1);
+        let dv = build_delegate_vector(&dev, &data, 8, 1, ConstructionMethod::WarpShuffle);
+        let loaded = dv.stats.global_loaded_bytes;
+        assert!(
+            loaded >= (n * 4) as u64 && loaded < (n * 4) as u64 * 11 / 10,
+            "expected ~|V| loads, got {loaded}"
+        );
+        // stores are only the delegate entries
+        assert!(dv.stats.global_stored_bytes <= (dv.len() * 8 + 64) as u64);
+    }
+
+    #[test]
+    fn empty_input() {
+        let dev = device();
+        let dv = build_delegate_vector(&dev, &[], 8, 2, ConstructionMethod::Auto);
+        assert!(dv.is_empty());
+        assert_eq!(dv.num_subranges, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be at least 1")]
+    fn zero_beta_panics() {
+        let dev = device();
+        build_delegate_vector(&dev, &[1, 2, 3], 2, 0, ConstructionMethod::Auto);
+    }
+}

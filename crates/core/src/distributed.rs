@@ -1,0 +1,268 @@
+//! Distributed (multi-GPU) Dr. Top-k — Section 5.4, Figure 16, Table 2.
+//!
+//! The input vector is partitioned into equal sub-vectors no longer than a
+//! device's memory capacity. Each device runs the single-GPU Dr. Top-k on
+//! every sub-vector assigned to it (streaming additional sub-vectors from the
+//! host when it owns more than one — the *reload overhead* column of
+//! Table 2), producing one local top-k per device. The secondary devices then
+//! send their k winners to the primary device with asynchronous messages,
+//! and the primary computes the final top-k over the `#devices × k`
+//! candidates.
+
+use gpu_sim::{GpuCluster, KernelStats, TransferDirection};
+use topk_baselines::reference_topk;
+
+use crate::pipeline::{dr_topk_with_stats, DrTopKConfig};
+use crate::radix_flags::flag_radix_topk;
+
+/// Result of a distributed Dr. Top-k run.
+#[derive(Debug, Clone)]
+pub struct DistributedResult {
+    /// The k largest values across the whole input, descending.
+    pub values: Vec<u32>,
+    /// The k-th largest value.
+    pub kth_value: u32,
+    /// Per-device local compute time (Dr. Top-k over its sub-vectors), ms.
+    pub per_device_compute_ms: Vec<f64>,
+    /// Per-device host→device reload time for sub-vectors beyond the first
+    /// resident one, ms.
+    pub per_device_reload_ms: Vec<f64>,
+    /// Modeled communication time of the asynchronous gather, ms.
+    pub communication_ms: f64,
+    /// Final top-k on the primary device, ms.
+    pub final_topk_ms: f64,
+    /// End-to-end modeled time: slowest device (compute + reload) + gather +
+    /// final top-k.
+    pub total_ms: f64,
+    /// Total reload overhead across all devices (Table 2's "Reload Overhead"
+    /// column reports the per-run total), ms.
+    pub reload_overhead_ms: f64,
+    /// Aggregated kernel counters across all devices.
+    pub stats: KernelStats,
+}
+
+/// Partition `n` elements into sub-vectors of at most `capacity` elements,
+/// returned as index ranges. Sub-vectors are equally sized (within one
+/// element) as the paper prescribes.
+pub fn partition_subvectors(n: usize, capacity: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(capacity > 0, "device capacity must be positive");
+    if n == 0 {
+        return Vec::new();
+    }
+    let pieces = n.div_ceil(capacity).max(1);
+    (0..pieces).map(|p| gpu_sim::chunk_range(n, pieces, p)).collect()
+}
+
+/// Run Dr. Top-k on `data` distributed over the devices of `cluster`.
+pub fn distributed_dr_topk(
+    cluster: &GpuCluster,
+    data: &[u32],
+    k: usize,
+    config: &DrTopKConfig,
+) -> DistributedResult {
+    let k = k.min(data.len());
+    let num_devices = cluster.num_devices();
+    if k == 0 || data.is_empty() {
+        return DistributedResult {
+            values: Vec::new(),
+            kth_value: 0,
+            per_device_compute_ms: vec![0.0; num_devices],
+            per_device_reload_ms: vec![0.0; num_devices],
+            communication_ms: 0.0,
+            final_topk_ms: 0.0,
+            total_ms: 0.0,
+            reload_overhead_ms: 0.0,
+            stats: KernelStats::default(),
+        };
+    }
+
+    // Partition into sub-vectors that fit device memory, then deal them
+    // round-robin over devices (device d owns sub-vectors d, d+#dev, ...).
+    let capacity = cluster
+        .devices()
+        .iter()
+        .map(|d| d.capacity_elems())
+        .min()
+        .expect("cluster has devices");
+    let subvectors = partition_subvectors(data.len(), capacity);
+
+    // Each device processes its sub-vectors and reports (local top-k values,
+    // compute ms, reload ms, stats).
+    let per_device = cluster.run_on_all(|device_idx, device| {
+        let mut local_candidates: Vec<u32> = Vec::new();
+        let mut compute_ms = 0.0;
+        let mut reload_ms = 0.0;
+        let mut stats = KernelStats::default();
+        let mut owned = 0usize;
+        for (i, range) in subvectors.iter().enumerate() {
+            if i % num_devices != device_idx {
+                continue;
+            }
+            // Sub-vectors beyond the first resident one must be streamed in
+            // from the host: that is the reload overhead of Table 2.
+            if owned > 0 {
+                let bytes = (range.len() * std::mem::size_of::<u32>()) as u64;
+                let t = cluster.transfer_time_ms(
+                    TransferDirection::HostToDevice { dst: device_idx },
+                    bytes,
+                );
+                device.record_external("reload_subvector", KernelStats::default(), t);
+                reload_ms += t;
+            }
+            let local = dr_topk_with_stats(device, &data[range.clone()], k, config);
+            compute_ms += local.time_ms;
+            stats += local.stats;
+            local_candidates.extend(local.values);
+            owned += 1;
+        }
+        // A device that owns several sub-vectors merges their top-k's into a
+        // single local top-k before communicating (tiny, done on-device).
+        if owned > 1 {
+            let merged = flag_radix_topk(device, &local_candidates, k);
+            compute_ms += merged.time_ms;
+            stats += merged.stats;
+            local_candidates = merged.values;
+        }
+        (local_candidates, compute_ms, reload_ms, stats)
+    });
+
+    let mut all_candidates: Vec<u32> = Vec::new();
+    let mut per_device_compute_ms = Vec::with_capacity(num_devices);
+    let mut per_device_reload_ms = Vec::with_capacity(num_devices);
+    let mut stats = KernelStats::default();
+    for (candidates, compute, reload, s) in per_device {
+        all_candidates.extend(candidates);
+        per_device_compute_ms.push(compute);
+        per_device_reload_ms.push(reload);
+        stats += s;
+    }
+
+    // Asynchronous gather of each secondary device's k values to the primary.
+    let communication_ms = if num_devices > 1 {
+        cluster.async_gather_time_ms(0, (k * std::mem::size_of::<u32>()) as u64)
+    } else {
+        0.0
+    };
+
+    // Final top-k on the primary device over #devices × k candidates.
+    let (values, final_topk_ms, final_stats) = if all_candidates.len() > k && num_devices > 1 {
+        let primary = cluster.device(0);
+        let final_topk = flag_radix_topk(primary, &all_candidates, k);
+        (final_topk.values, final_topk.time_ms, final_topk.stats)
+    } else {
+        (reference_topk(&all_candidates, k), 0.0, KernelStats::default())
+    };
+    stats += final_stats;
+
+    let slowest_device_ms = per_device_compute_ms
+        .iter()
+        .zip(per_device_reload_ms.iter())
+        .map(|(c, r)| c + r)
+        .fold(0.0f64, f64::max);
+    let reload_overhead_ms: f64 = per_device_reload_ms.iter().sum();
+    let kth_value = values.last().copied().unwrap_or(0);
+
+    DistributedResult {
+        kth_value,
+        total_ms: slowest_device_ms + communication_ms + final_topk_ms,
+        per_device_compute_ms,
+        per_device_reload_ms,
+        communication_ms,
+        final_topk_ms,
+        reload_overhead_ms,
+        stats,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceSpec, GpuCluster};
+    use topk_baselines::reference_topk;
+
+    fn cluster(n: usize, capacity: usize) -> GpuCluster {
+        let c = GpuCluster::homogeneous(n, DeviceSpec::v100s());
+        for d in c.devices() {
+            d.set_capacity_elems(capacity);
+        }
+        c
+    }
+
+    #[test]
+    fn partitioning_covers_everything_equally() {
+        let parts = partition_subvectors(1000, 300);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), 1000);
+        assert!(parts.iter().all(|r| r.len() == 250));
+        assert!(partition_subvectors(0, 100).is_empty());
+        assert_eq!(partition_subvectors(10, 100).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        partition_subvectors(10, 0);
+    }
+
+    #[test]
+    fn distributed_matches_reference_when_data_fits() {
+        let data = topk_datagen::uniform(1 << 16, 4);
+        let k = 128;
+        for devices in [1usize, 2, 4] {
+            let c = cluster(devices, 1 << 20);
+            let got = distributed_dr_topk(&c, &data, k, &DrTopKConfig::default());
+            assert_eq!(got.values, reference_topk(&data, k), "{devices} devices");
+            assert_eq!(got.reload_overhead_ms, 0.0, "no reload when data fits");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_reference_with_reload() {
+        // capacity forces 8 sub-vectors over 2 devices: 3 reloads per device
+        let data = topk_datagen::customized(1 << 16, 9);
+        let k = 64;
+        let c = cluster(2, 1 << 13);
+        let got = distributed_dr_topk(&c, &data, k, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&data, k));
+        assert!(got.reload_overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn more_devices_reduce_total_time_and_reload() {
+        let data = topk_datagen::uniform(1 << 18, 7);
+        let k = 128;
+        let capacity = 1 << 15; // 8 sub-vectors
+        let t1 = distributed_dr_topk(&cluster(1, capacity), &data, k, &DrTopKConfig::default());
+        let t4 = distributed_dr_topk(&cluster(4, capacity), &data, k, &DrTopKConfig::default());
+        let t8 = distributed_dr_topk(&cluster(8, capacity), &data, k, &DrTopKConfig::default());
+        assert_eq!(t1.values, t8.values);
+        assert!(t4.total_ms < t1.total_ms, "{} vs {}", t4.total_ms, t1.total_ms);
+        assert!(t8.total_ms < t1.total_ms);
+        // once every sub-vector has its own device, reload disappears —
+        // the source of the super-linear speedups in Table 2
+        assert!(t1.reload_overhead_ms > 0.0);
+        assert_eq!(t8.reload_overhead_ms, 0.0);
+        // communication exists but stays small (asynchronous gather)
+        assert!(t8.communication_ms > 0.0);
+        assert!(t8.communication_ms < 2.0);
+    }
+
+    #[test]
+    fn single_device_has_no_communication() {
+        let data = topk_datagen::uniform(1 << 14, 3);
+        let c = cluster(1, 1 << 20);
+        let got = distributed_dr_topk(&c, &data, 32, &DrTopKConfig::default());
+        assert_eq!(got.communication_ms, 0.0);
+        assert_eq!(got.final_topk_ms, 0.0);
+        assert_eq!(got.values, reference_topk(&data, 32));
+    }
+
+    #[test]
+    fn empty_and_zero_k_inputs() {
+        let c = cluster(2, 1 << 20);
+        assert!(distributed_dr_topk(&c, &[], 5, &DrTopKConfig::default()).values.is_empty());
+        let data = topk_datagen::uniform(1 << 12, 1);
+        assert!(distributed_dr_topk(&c, &data, 0, &DrTopKConfig::default()).values.is_empty());
+    }
+}

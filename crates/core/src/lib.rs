@@ -1,0 +1,62 @@
+//! # drtopk-core — Dr. Top-k: delegate-centric top-k workload reduction
+//!
+//! This crate implements the primary contribution of *"Dr. Top-k:
+//! Delegate-Centric Top-k on GPUs"* (SC '21) on the [`gpu_sim`] substrate:
+//!
+//! * **Delegate-centric workload reduction** — the input vector is split
+//!   into `2^α`-element subranges; the top-β *delegates* of each subrange
+//!   form a small delegate vector; a first top-k on the delegates decides
+//!   which subranges can contribute at all (Rules 1 and 3), a filtering
+//!   threshold prunes their elements (Rule 2), and a second top-k on the tiny
+//!   concatenated vector produces the answer ([`pipeline`], [`delegate`],
+//!   [`first_topk`], [`concat`]).
+//! * **α tuning** — the convex cost model of Section 5.2 and the closed-form
+//!   Rule 4 optimum ([`tuning`]).
+//! * **Optimized in-place radix top-k** — flag-based candidate tracking with
+//!   zero selection-phase stores ([`radix_flags`], Figure 12).
+//! * **Construction optimizations** — warp-centric shuffle reduction and the
+//!   coalesced-shared/strided-compute kernel for small subranges
+//!   ([`delegate`], Section 5.3).
+//! * **Distributed Dr. Top-k** — multi-device execution with asynchronous
+//!   gathering and reload-overhead modeling ([`distributed`], Section 5.4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use drtopk_core::{dr_topk, DrTopKConfig};
+//! use gpu_sim::{Device, DeviceSpec};
+//!
+//! let device = Device::new(DeviceSpec::v100s());
+//! let data: Vec<u32> = (0..100_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
+//!
+//! let result = dr_topk(&device, &data, 10, &DrTopKConfig::default());
+//! assert_eq!(result.values.len(), 10);
+//! assert_eq!(result.values, topk_baselines::reference_topk(&data, 10));
+//! // the delegate + concatenated workload is a small fraction of |V|
+//! assert!(result.workload.workload_fraction() < 0.2);
+//! ```
+
+pub mod concat;
+pub mod delegate;
+pub mod distributed;
+pub mod first_topk;
+pub mod pipeline;
+pub mod radix_flags;
+pub mod tuning;
+
+pub use concat::{concatenate, Concatenated};
+pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
+pub use distributed::{distributed_dr_topk, partition_subvectors, DistributedResult};
+pub use first_topk::{first_topk, FirstTopK};
+pub use pipeline::{
+    dr_topk, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm, PhaseBreakdown,
+    WorkloadStats,
+};
+pub use radix_flags::{
+    flag_radix_select_by_key, flag_radix_select_kth, flag_radix_topk, FlagSelectConfig,
+    FlagSelectOutcome,
+};
+pub use tuning::{
+    auto_alpha, is_convex_in_alpha, model_optimal_alpha, predicted_cost, rule4_alpha,
+    PredictedCost, PAPER_RULE4_CONST,
+};

@@ -1,0 +1,527 @@
+//! The Dr. Top-k pipeline: delegate construction → first top-k →
+//! concatenation → second top-k (Figure 3b), with per-phase breakdowns and
+//! workload statistics.
+
+use gpu_sim::{Device, KernelStats};
+use topk_baselines::{
+    bitonic_topk, bucket_topk, radix_topk, BitonicConfig, BucketConfig, RadixConfig, TopKResult,
+};
+
+use crate::concat::concatenate;
+use crate::delegate::{build_delegate_vector, ConstructionMethod};
+use crate::first_topk::first_topk;
+use crate::radix_flags::flag_radix_topk;
+use crate::tuning::{auto_alpha, PAPER_RULE4_CONST};
+
+/// Which algorithm runs the second top-k (and, for the baselines-assisted
+/// variants of Figures 17–19, represents the algorithm family Dr. Top-k is
+/// assisting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InnerAlgorithm {
+    /// The paper's optimized flag-based in-place radix top-k (default).
+    FlagRadix,
+    /// GGKS radix top-k.
+    Radix,
+    /// GGKS bucket top-k.
+    Bucket,
+    /// Bitonic top-k.
+    Bitonic,
+}
+
+impl InnerAlgorithm {
+    /// All inner algorithms evaluated by the paper's figures.
+    pub const ALL: [InnerAlgorithm; 4] = [
+        InnerAlgorithm::FlagRadix,
+        InnerAlgorithm::Radix,
+        InnerAlgorithm::Bucket,
+        InnerAlgorithm::Bitonic,
+    ];
+
+    /// Display name used by the harnesses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InnerAlgorithm::FlagRadix => "flag-radix",
+            InnerAlgorithm::Radix => "radix",
+            InnerAlgorithm::Bucket => "bucket",
+            InnerAlgorithm::Bitonic => "bitonic",
+        }
+    }
+
+    fn run(&self, device: &Device, data: &[u32], k: usize) -> TopKResult {
+        match self {
+            InnerAlgorithm::FlagRadix => flag_radix_topk(device, data, k),
+            InnerAlgorithm::Radix => radix_topk(device, data, k, &RadixConfig::default()),
+            InnerAlgorithm::Bucket => bucket_topk(device, data, k, &BucketConfig::default()),
+            InnerAlgorithm::Bitonic => bitonic_topk(device, data, k, &BitonicConfig::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for InnerAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a Dr. Top-k run.
+#[derive(Debug, Clone)]
+pub struct DrTopKConfig {
+    /// Subrange exponent α (subrange size `2^α`). `None` applies Rule 4 with
+    /// [`rule4_const`](DrTopKConfig::rule4_const).
+    pub alpha: Option<u32>,
+    /// Number of delegates per subrange (β). The paper's sweep (Figure 9)
+    /// finds β = 2 the best overall configuration.
+    pub beta: usize,
+    /// Delegate-top-k-enabled filtering (Rule 2). On by default.
+    pub filtering: bool,
+    /// Delegate construction kernel selection.
+    pub construction: ConstructionMethod,
+    /// Algorithm used for the second top-k.
+    pub inner: InnerAlgorithm,
+    /// Skip the last radix pass of the first top-k (the paper enables this
+    /// once β delegates + filtering absorb the lost precision on uniform-like
+    /// data). `None` defaults to off, because on highly concentrated value
+    /// distributions (e.g. ND) the relaxed threshold admits far too many
+    /// subranges; the breakdown harnesses enable it explicitly where the
+    /// paper does.
+    pub skip_last_first_pass: Option<bool>,
+    /// Rule 4 constant used when `alpha` is `None`.
+    pub rule4_const: f64,
+}
+
+impl Default for DrTopKConfig {
+    fn default() -> Self {
+        DrTopKConfig {
+            alpha: None,
+            beta: 2,
+            filtering: true,
+            construction: ConstructionMethod::Auto,
+            inner: InnerAlgorithm::FlagRadix,
+            skip_last_first_pass: None,
+            rule4_const: PAPER_RULE4_CONST,
+        }
+    }
+}
+
+impl DrTopKConfig {
+    /// The recommended configuration for a given problem size: Rule 4 α,
+    /// β = 2, filtering on, automatic construction-kernel choice.
+    pub fn auto(_n: usize, _k: usize) -> Self {
+        DrTopKConfig::default()
+    }
+
+    /// The initial maximum-delegate design of Section 4.1 (β = 1, no
+    /// filtering) — the configuration behind Figure 6.
+    pub fn max_delegate_only() -> Self {
+        DrTopKConfig {
+            beta: 1,
+            filtering: false,
+            ..DrTopKConfig::default()
+        }
+    }
+
+    /// Maximum delegate with delegate-top-k-enabled filtering (Figure 7).
+    pub fn with_filtering_only() -> Self {
+        DrTopKConfig {
+            beta: 1,
+            filtering: true,
+            ..DrTopKConfig::default()
+        }
+    }
+
+    /// β delegate without filtering (one of the Figure 22 configurations).
+    pub fn beta_only(beta: usize) -> Self {
+        DrTopKConfig {
+            beta,
+            filtering: false,
+            ..DrTopKConfig::default()
+        }
+    }
+
+    /// Resolve the subrange exponent for an input of `n` elements.
+    pub fn resolve_alpha(&self, n: usize, k: usize) -> u32 {
+        match self.alpha {
+            Some(a) => a,
+            None => auto_alpha(n.max(2), k.max(1), self.beta, self.rule4_const),
+        }
+    }
+
+    fn resolve_skip_last(&self) -> bool {
+        self.skip_last_first_pass.unwrap_or(false)
+    }
+}
+
+/// Modeled time of each pipeline phase, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Delegate vector construction.
+    pub delegate_ms: f64,
+    /// First top-k (on the delegate vector).
+    pub first_topk_ms: f64,
+    /// Concatenation of the qualified subranges.
+    pub concat_ms: f64,
+    /// Second top-k (on the concatenated vector).
+    pub second_topk_ms: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases.
+    pub fn total_ms(&self) -> f64 {
+        self.delegate_ms + self.first_topk_ms + self.concat_ms + self.second_topk_ms
+    }
+}
+
+/// Workload statistics: the vector sizes each phase operated on (the
+/// quantities plotted in Figures 20 and 21).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Input vector size |V|.
+    pub input_len: usize,
+    /// Delegate vector size (first top-k workload).
+    pub delegate_vector_len: usize,
+    /// Concatenated vector size (second top-k workload).
+    pub concatenated_len: usize,
+    /// Number of subranges the input was split into.
+    pub num_subranges: usize,
+    /// Number of subranges that fully qualified for concatenation.
+    pub fully_taken_subranges: usize,
+    /// Whether the Rule 3 special case fired (no fully-taken subranges: the
+    /// concatenation scan and the second top-k were skipped entirely).
+    pub second_topk_skipped: bool,
+}
+
+impl WorkloadStats {
+    /// (delegate + concatenated) / |V| — the workload ratio the paper tracks.
+    pub fn workload_fraction(&self) -> f64 {
+        if self.input_len == 0 {
+            return 0.0;
+        }
+        (self.delegate_vector_len + self.concatenated_len) as f64 / self.input_len as f64
+    }
+}
+
+/// Result of a Dr. Top-k run.
+#[derive(Debug, Clone)]
+pub struct DrTopKResult {
+    /// The k largest values, descending.
+    pub values: Vec<u32>,
+    /// The k-th largest value.
+    pub kth_value: u32,
+    /// Subrange exponent α that was actually used.
+    pub alpha: u32,
+    /// Per-phase modeled times.
+    pub breakdown: PhaseBreakdown,
+    /// Vector-size statistics.
+    pub workload: WorkloadStats,
+    /// Counters accumulated across every kernel of the run.
+    pub stats: KernelStats,
+    /// Total modeled time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Run Dr. Top-k on `data`, returning the full result with breakdowns.
+pub fn dr_topk_with_stats(
+    device: &Device,
+    data: &[u32],
+    k: usize,
+    config: &DrTopKConfig,
+) -> DrTopKResult {
+    let k = k.min(data.len());
+    if k == 0 || data.is_empty() {
+        return DrTopKResult {
+            values: Vec::new(),
+            kth_value: 0,
+            alpha: 0,
+            breakdown: PhaseBreakdown::default(),
+            workload: WorkloadStats::default(),
+            stats: KernelStats::default(),
+            time_ms: 0.0,
+        };
+    }
+    assert!(config.beta >= 1, "beta must be at least 1");
+
+    let alpha = config.resolve_alpha(data.len(), k);
+
+    // Degenerate split: if the subrange count would be 1, the input is tiny,
+    // or k is not smaller than the delegate vector itself (in which case
+    // Rule 2's threshold — the k-th delegate — does not exist and pruning is
+    // impossible anyway), the delegate machinery cannot help — fall back to
+    // the inner algorithm directly, which is what a production library
+    // should do.
+    let subrange_size = 1usize << alpha;
+    let num_subranges = data.len().div_ceil(subrange_size);
+    let delegate_capacity = num_subranges.saturating_sub(1) * config.beta.min(subrange_size) + 1;
+    if data.len() <= subrange_size || data.len() <= k || k >= delegate_capacity {
+        let inner = config.inner.run(device, data, k);
+        let breakdown = PhaseBreakdown {
+            second_topk_ms: inner.time_ms,
+            ..PhaseBreakdown::default()
+        };
+        return DrTopKResult {
+            kth_value: inner.kth_value,
+            alpha,
+            breakdown,
+            workload: WorkloadStats {
+                input_len: data.len(),
+                delegate_vector_len: 0,
+                concatenated_len: data.len(),
+                num_subranges: 1,
+                fully_taken_subranges: 1,
+                second_topk_skipped: false,
+            },
+            stats: inner.stats,
+            time_ms: inner.time_ms,
+            values: inner.values,
+        };
+    }
+
+    // Phase 1: delegate vector construction.
+    let delegates = build_delegate_vector(device, data, alpha, config.beta, config.construction);
+
+    // Phase 2: first top-k on the delegate vector.
+    let first = first_topk(device, &delegates, k, config.resolve_skip_last());
+
+    // Phase 3: concatenation (Rule 1/3 subrange selection + Rule 2 filter).
+    let concatenated = concatenate(
+        device,
+        data,
+        delegates.subrange_size,
+        &first.fully_taken_subranges,
+        &first.partial_delegate_values,
+        first.threshold,
+        config.filtering,
+    );
+
+    // Phase 4: second top-k on the concatenated vector — skipped entirely
+    // when no subrange was fully taken and the taken delegates alone already
+    // answer the query exactly (Figure 8b) .
+    let second_skipped = first.fully_taken_subranges.is_empty()
+        && first.exact_threshold
+        && concatenated.elements.len() == k;
+    let (values, kth_value, second_stats, second_ms) = if second_skipped {
+        let mut vals = concatenated.elements.clone();
+        vals.sort_unstable_by(|a, b| b.cmp(a));
+        let kth = vals.last().copied().unwrap_or(0);
+        (vals, kth, KernelStats::default(), 0.0)
+    } else {
+        let inner = config.inner.run(device, &concatenated.elements, k);
+        (inner.values, inner.kth_value, inner.stats, inner.time_ms)
+    };
+
+    let breakdown = PhaseBreakdown {
+        delegate_ms: delegates.time_ms,
+        first_topk_ms: first.time_ms,
+        concat_ms: concatenated.time_ms,
+        second_topk_ms: second_ms,
+    };
+    let workload = WorkloadStats {
+        input_len: data.len(),
+        delegate_vector_len: delegates.len(),
+        concatenated_len: concatenated.elements.len(),
+        num_subranges: delegates.num_subranges,
+        fully_taken_subranges: first.fully_taken_subranges.len(),
+        second_topk_skipped: second_skipped,
+    };
+    let mut stats = delegates.stats;
+    stats += first.stats;
+    stats += concatenated.stats;
+    stats += second_stats;
+
+    DrTopKResult {
+        values,
+        kth_value,
+        alpha,
+        time_ms: breakdown.total_ms(),
+        breakdown,
+        workload,
+        stats,
+    }
+}
+
+/// Convenience wrapper around [`dr_topk_with_stats`] (same result type; the
+/// name mirrors the two-function API described in the README quickstart).
+pub fn dr_topk(device: &Device, data: &[u32], k: usize, config: &DrTopKConfig) -> DrTopKResult {
+    dr_topk_with_stats(device, data, k, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use topk_baselines::reference_topk;
+    use topk_datagen::Distribution;
+
+    fn device() -> Device {
+        Device::with_host_threads(DeviceSpec::v100s(), 4)
+    }
+
+    #[test]
+    fn default_config_matches_reference_across_distributions_and_k() {
+        let dev = device();
+        for dist in Distribution::SYNTHETIC {
+            let data = topk_datagen::generate(dist, 1 << 15, 11);
+            for &k in &[1usize, 2, 64, 1000, 1 << 12] {
+                let got = dr_topk(&dev, &data, k, &DrTopKConfig::default());
+                assert_eq!(got.values, reference_topk(&data, k), "{dist} k={k}");
+                assert_eq!(got.kth_value, *got.values.last().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn all_config_variants_are_correct() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 14, 77);
+        let k = 333;
+        let expected = reference_topk(&data, k);
+        let configs = [
+            DrTopKConfig::max_delegate_only(),
+            DrTopKConfig::with_filtering_only(),
+            DrTopKConfig::beta_only(2),
+            DrTopKConfig::beta_only(3),
+            DrTopKConfig {
+                beta: 4,
+                ..DrTopKConfig::default()
+            },
+            DrTopKConfig {
+                alpha: Some(6),
+                ..DrTopKConfig::default()
+            },
+            DrTopKConfig {
+                skip_last_first_pass: Some(true),
+                ..DrTopKConfig::default()
+            },
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            let got = dr_topk(&dev, &data, k, cfg);
+            assert_eq!(got.values, expected, "config #{i}: {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn all_inner_algorithms_are_correct() {
+        let dev = device();
+        let data = topk_datagen::normal(1 << 14, 5);
+        let k = 200;
+        let expected = reference_topk(&data, k);
+        for inner in InnerAlgorithm::ALL {
+            let cfg = DrTopKConfig {
+                inner,
+                ..DrTopKConfig::default()
+            };
+            assert_eq!(dr_topk(&dev, &data, k, &cfg).values, expected, "{inner}");
+        }
+    }
+
+    #[test]
+    fn real_world_proxies_are_correct() {
+        let dev = device();
+        for dist in Distribution::REAL_WORLD {
+            let data = topk_datagen::generate(dist, 1 << 13, 3);
+            let got = dr_topk(&dev, &data, 128, &DrTopKConfig::default());
+            assert_eq!(got.values, reference_topk(&data, 128), "{dist}");
+        }
+    }
+
+    #[test]
+    fn workload_reduction_is_substantial() {
+        let dev = device();
+        let n = 1 << 18;
+        let data = topk_datagen::uniform(n, 9);
+        let got = dr_topk(&dev, &data, 128, &DrTopKConfig::default());
+        let frac = got.workload.workload_fraction();
+        assert!(
+            frac < 0.10,
+            "delegate+concatenated should be a small fraction of |V|, got {frac}"
+        );
+        assert_eq!(got.workload.input_len, n);
+        assert!(got.workload.delegate_vector_len > 0);
+        assert!(got.workload.num_subranges > 1);
+    }
+
+    #[test]
+    fn filtering_shrinks_the_concatenated_vector() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 16, 31);
+        let k = 512;
+        let without = dr_topk(&dev, &data, k, &DrTopKConfig::max_delegate_only());
+        let with = dr_topk(&dev, &data, k, &DrTopKConfig::with_filtering_only());
+        assert_eq!(without.values, with.values);
+        assert!(
+            with.workload.concatenated_len < without.workload.concatenated_len,
+            "filtering: {} vs {}",
+            with.workload.concatenated_len,
+            without.workload.concatenated_len
+        );
+    }
+
+    #[test]
+    fn beta_delegate_reduces_concatenation_further() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 16, 13);
+        let k = 512;
+        let beta1 = dr_topk(&dev, &data, k, &DrTopKConfig::with_filtering_only());
+        let beta2 = dr_topk(&dev, &data, k, &DrTopKConfig::default());
+        assert_eq!(beta1.values, beta2.values);
+        // β = 2 lets Dr. Top-k skip subranges whose second delegate did not
+        // qualify, so fewer subranges are fully taken.
+        assert!(
+            beta2.workload.fully_taken_subranges <= beta1.workload.fully_taken_subranges,
+            "beta2 {} vs beta1 {}",
+            beta2.workload.fully_taken_subranges,
+            beta1.workload.fully_taken_subranges
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_inner_algorithm() {
+        let dev = device();
+        let data: Vec<u32> = (0..100u32).collect();
+        let got = dr_topk(&dev, &data, 50, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&data, 50));
+        let got = dr_topk(&dev, &data, 100, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&data, 100));
+        assert!(dr_topk(&dev, &data, 0, &DrTopKConfig::default()).values.is_empty());
+        assert!(dr_topk(&dev, &[], 5, &DrTopKConfig::default()).values.is_empty());
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_are_exact() {
+        let dev = device();
+        let mut data = vec![7u32; 1 << 14];
+        for (i, x) in data.iter_mut().enumerate().take(100) {
+            *x = 1000 + i as u32;
+        }
+        let got = dr_topk(&dev, &data, 150, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&data, 150));
+    }
+
+    #[test]
+    fn breakdown_and_time_are_consistent() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 16, 2);
+        let got = dr_topk(&dev, &data, 256, &DrTopKConfig::default());
+        let b = got.breakdown;
+        assert!(b.delegate_ms > 0.0);
+        assert!(b.first_topk_ms > 0.0);
+        assert!((b.total_ms() - got.time_ms).abs() < 1e-9);
+        assert!(got.stats.global_load_transactions > 0);
+    }
+
+    #[test]
+    fn explicit_alpha_is_respected() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 14, 2);
+        let got = dr_topk(
+            &dev,
+            &data,
+            64,
+            &DrTopKConfig {
+                alpha: Some(7),
+                ..DrTopKConfig::default()
+            },
+        );
+        assert_eq!(got.alpha, 7);
+        assert_eq!(got.workload.num_subranges, (1 << 14) / (1 << 7));
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic value distributions from Section 6 of the paper.
+//!
+//! * **UD** — uniform over `[0, 2^32 − 1]`.
+//! * **ND** — normal with mean `10^8` and standard deviation `10`, rounded
+//!   to `u32`. Because almost all values share their high-order bits, ND is
+//!   the distribution where radix/bucket top-k carry most elements from one
+//!   iteration to the next.
+//! * **CD** — the paper's "customized distribution", constructed so that the
+//!   bucket containing the k-th element keeps the majority of the elements
+//!   at every iteration while every other bucket still receives at least one
+//!   element: a very dense cluster at the top of the value range plus a thin
+//!   uniform sprinkle across the rest of the range.
+
+use crate::parallel_fill;
+
+/// Mean of the ND distribution (`10^8`), as specified in the paper.
+pub const NORMAL_MEAN: f64 = 1.0e8;
+/// Standard deviation of the ND distribution.
+pub const NORMAL_STD_DEV: f64 = 10.0;
+
+/// Exponent of the CD distribution: values are
+/// `u32::MAX − ⌊2^32 · u^CD_EXPONENT⌋ − jitter`. The exponent is chosen so
+/// that, at every 256-way bucket refinement of the value range, the majority
+/// (≈ `256^(−1/CD_EXPONENT)` ≈ 70%) of the remaining elements stay inside the
+/// bucket that contains the k-th largest element, which is the paper's
+/// definition of the customized distribution; an 8-bit jitter term breaks
+/// exact ties at the finest scale so the distribution stays a proper
+/// multiset rather than collapsing onto `u32::MAX`.
+pub const CD_EXPONENT: i32 = 16;
+
+/// Width of the tie-breaking jitter applied by the CD generator.
+pub const CD_JITTER: u32 = 256;
+
+/// Uniformly distributed `u32` values (the UD dataset).
+pub fn uniform(n: usize, seed: u64) -> Vec<u32> {
+    parallel_fill(n, seed, |rng, out| {
+        for v in out.iter_mut() {
+            *v = rng.next_u32();
+        }
+    })
+}
+
+/// Normally distributed values, `N(10^8, 10)`, clamped to `u32` (the ND
+/// dataset).
+pub fn normal(n: usize, seed: u64) -> Vec<u32> {
+    parallel_fill(n, seed, |rng, out| {
+        let mut i = 0;
+        while i < out.len() {
+            let (a, b) = rng.next_normal_pair();
+            out[i] = to_u32(NORMAL_MEAN + NORMAL_STD_DEV * a);
+            i += 1;
+            if i < out.len() {
+                out[i] = to_u32(NORMAL_MEAN + NORMAL_STD_DEV * b);
+                i += 1;
+            }
+        }
+    })
+}
+
+/// The paper's customized distribution (CD): adversarial for bucket top-k.
+///
+/// Values are `u32::MAX − Y − jitter` with `Y = ⌊2^32 · u^CD_EXPONENT⌋`,
+/// i.e. a power law concentrated just below `u32::MAX` *at every scale*:
+/// whenever the current value range is split into 256 equal buckets, the
+/// majority of the elements land in the top bucket (the one that will
+/// contain the k-th largest element) while the long tail keeps every other
+/// bucket non-empty — the construction the paper describes: "every bucket
+/// other than the bucket containing the k-th element will always have at
+/// least one element in every iteration and majority of the elements is
+/// present in the bucket with the k-th element".
+pub fn customized(n: usize, seed: u64) -> Vec<u32> {
+    parallel_fill(n, seed, move |rng, out| {
+        for v in out.iter_mut() {
+            let u = rng.next_f64();
+            let y = (u.powi(CD_EXPONENT) * u32::MAX as f64) as u64;
+            let jitter = rng.next_bounded(CD_JITTER as u64);
+            *v = u32::MAX - (y + jitter).min(u32::MAX as u64) as u32;
+        }
+    })
+}
+
+fn to_u32(x: f64) -> u32 {
+    if x <= 0.0 {
+        0
+    } else if x >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        x as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_spread() {
+        let a = uniform(1 << 16, 1);
+        let b = uniform(1 << 16, 1);
+        let c = uniform(1 << 16, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mean = a.iter().map(|&v| v as f64).sum::<f64>() / a.len() as f64;
+        let expected = u32::MAX as f64 / 2.0;
+        assert!((mean - expected).abs() / expected < 0.02);
+    }
+
+    #[test]
+    fn normal_concentrates_around_mean() {
+        let v = normal(1 << 16, 7);
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!((mean - NORMAL_MEAN).abs() < 1.0, "mean {mean}");
+        let min = *v.iter().min().unwrap() as f64;
+        let max = *v.iter().max().unwrap() as f64;
+        // within ~6 sigma of the mean
+        assert!(min > NORMAL_MEAN - 100.0);
+        assert!(max < NORMAL_MEAN + 100.0);
+    }
+
+    #[test]
+    fn customized_majority_stays_in_top_bucket_at_every_scale() {
+        let n = 1 << 16;
+        let v = customized(n, 11);
+        // At refinement level j the bucket of interest is the top 256^-j
+        // slice of the value range; ~(256^(-1/CD_EXPONENT))^j of all elements
+        // should stay inside it.
+        let retention = 256f64.powf(-1.0 / CD_EXPONENT as f64);
+        for j in 1..=3u32 {
+            let width = (1u64 << 32) / 256u64.pow(j);
+            let lo = (u32::MAX as u64 + 1 - width) as u32;
+            let inside = v.iter().filter(|&&x| x >= lo).count() as f64 / n as f64;
+            let expected = retention.powi(j as i32);
+            assert!(
+                (inside - expected).abs() < 0.05,
+                "level {j}: inside fraction {inside}, expected ~{expected}"
+            );
+            assert!(inside > 0.3, "majority-ish retention at level {j}: {inside}");
+        }
+        // the tail keeps lower buckets populated
+        assert!(v.iter().any(|&x| x < u32::MAX / 2));
+        // the jitter keeps the top of the range from collapsing onto a
+        // single duplicated value
+        let max_dups = v.iter().filter(|&&x| x == u32::MAX).count() as f64 / n as f64;
+        assert!(max_dups < 0.01, "too many exact duplicates of MAX: {max_dups}");
+    }
+
+    #[test]
+    fn zero_length_inputs_are_fine() {
+        assert!(uniform(0, 3).is_empty());
+        assert!(normal(0, 3).is_empty());
+        assert!(customized(0, 3).is_empty());
+    }
+
+    #[test]
+    fn odd_lengths_are_fine() {
+        assert_eq!(normal(7, 3).len(), 7);
+        assert_eq!(uniform(1, 3).len(), 1);
+        assert_eq!(customized(13, 3).len(), 13);
+    }
+}

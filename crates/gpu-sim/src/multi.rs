@@ -1,0 +1,313 @@
+//! Multi-device cluster model.
+//!
+//! Section 5.4 of the paper distributes Dr. Top-k over up to 16 V100 GPUs on
+//! 4 compute nodes, using asynchronous MPI to gather each device's local
+//! top-k onto a primary device. This module provides:
+//!
+//! * [`GpuCluster`] — a set of [`Device`]s plus an [`InterconnectSpec`]
+//!   describing intra-node (NVLink-class) and inter-node (network) links;
+//! * a parallel [`GpuCluster::run_on_all`] helper that executes one closure
+//!   per device on host threads (the "each GPU computes its local top-k"
+//!   step);
+//! * transfer-time models for device↔device messages and host→device
+//!   reloads, used to produce the Communication and Reload Overhead columns
+//!   of Table 2.
+
+use crate::device::Device;
+use crate::spec::DeviceSpec;
+use crate::timing::host_transfer_time_ms;
+
+/// Link characteristics of the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectSpec {
+    /// Devices installed per compute node.
+    pub devices_per_node: usize,
+    /// One-way latency between two devices on the same node, microseconds.
+    pub intra_node_latency_us: f64,
+    /// Bandwidth between two devices on the same node, GB/s.
+    pub intra_node_bandwidth_gbps: f64,
+    /// One-way latency between devices on different nodes, microseconds.
+    pub inter_node_latency_us: f64,
+    /// Bandwidth between devices on different nodes, GB/s.
+    pub inter_node_bandwidth_gbps: f64,
+}
+
+impl Default for InterconnectSpec {
+    fn default() -> Self {
+        // NVLink-class intra-node links and a 100 Gb/s-class network between
+        // nodes, matching the platform class used in the paper (4 V100 per
+        // node, 4 nodes).
+        InterconnectSpec {
+            devices_per_node: 4,
+            intra_node_latency_us: 8.0,
+            intra_node_bandwidth_gbps: 50.0,
+            inter_node_latency_us: 25.0,
+            inter_node_bandwidth_gbps: 12.0,
+        }
+    }
+}
+
+/// Direction of a modeled transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// Device-to-device message (MPI send/recv between ranks).
+    DeviceToDevice { src: usize, dst: usize },
+    /// Host memory to a device (used for sub-vector reloads).
+    HostToDevice { dst: usize },
+    /// Device back to host memory.
+    DeviceToHost { src: usize },
+}
+
+/// A collection of simulated devices connected by a modeled interconnect.
+pub struct GpuCluster {
+    devices: Vec<Device>,
+    interconnect: InterconnectSpec,
+}
+
+impl GpuCluster {
+    /// Build a homogeneous cluster of `n` devices with the given spec and
+    /// default interconnect.
+    pub fn homogeneous(n: usize, spec: DeviceSpec) -> Self {
+        assert!(n > 0, "a cluster needs at least one device");
+        let devices = (0..n).map(|_| Device::new(spec.clone())).collect();
+        GpuCluster {
+            devices,
+            interconnect: InterconnectSpec::default(),
+        }
+    }
+
+    /// Build a cluster from explicit devices and interconnect.
+    pub fn new(devices: Vec<Device>, interconnect: InterconnectSpec) -> Self {
+        assert!(!devices.is_empty(), "a cluster needs at least one device");
+        GpuCluster {
+            devices,
+            interconnect,
+        }
+    }
+
+    /// Number of devices in the cluster.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of compute nodes occupied by the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.devices
+            .len()
+            .div_ceil(self.interconnect.devices_per_node.max(1))
+    }
+
+    /// Access one device.
+    pub fn device(&self, idx: usize) -> &Device {
+        &self.devices[idx]
+    }
+
+    /// Access all devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Interconnect description.
+    pub fn interconnect(&self) -> &InterconnectSpec {
+        &self.interconnect
+    }
+
+    /// Which node a device lives on.
+    pub fn node_of(&self, device: usize) -> usize {
+        device / self.interconnect.devices_per_node.max(1)
+    }
+
+    /// Reset the kernel logs of every device.
+    pub fn reset_stats(&self) {
+        for d in &self.devices {
+            d.reset_stats();
+        }
+    }
+
+    /// Modeled one-way transfer time for `bytes` moved along `direction`,
+    /// in milliseconds.
+    pub fn transfer_time_ms(&self, direction: TransferDirection, bytes: u64) -> f64 {
+        match direction {
+            TransferDirection::DeviceToDevice { src, dst } => {
+                if src == dst {
+                    return 0.0;
+                }
+                let (lat_us, bw_gbps) = if self.node_of(src) == self.node_of(dst) {
+                    (
+                        self.interconnect.intra_node_latency_us,
+                        self.interconnect.intra_node_bandwidth_gbps,
+                    )
+                } else {
+                    (
+                        self.interconnect.inter_node_latency_us,
+                        self.interconnect.inter_node_bandwidth_gbps,
+                    )
+                };
+                lat_us * 1e-3 + bytes as f64 / (bw_gbps * 1e9) * 1e3
+            }
+            TransferDirection::HostToDevice { dst } => {
+                host_transfer_time_ms(bytes, self.devices[dst].spec())
+            }
+            TransferDirection::DeviceToHost { src } => {
+                host_transfer_time_ms(bytes, self.devices[src].spec())
+            }
+        }
+    }
+
+    /// Modeled time of an **asynchronous gather**: every secondary device
+    /// sends `bytes_per_rank` to `primary` concurrently; the result is the
+    /// slowest individual transfer plus a small per-message ingest cost at
+    /// the primary, matching the paper's observation that the asynchronous
+    /// MPI gather stays in the 0.1–1.5 ms range even at 16 GPUs.
+    pub fn async_gather_time_ms(&self, primary: usize, bytes_per_rank: u64) -> f64 {
+        let mut slowest: f64 = 0.0;
+        let mut messages = 0u32;
+        for src in 0..self.num_devices() {
+            if src == primary {
+                continue;
+            }
+            let t = self.transfer_time_ms(
+                TransferDirection::DeviceToDevice { src, dst: primary },
+                bytes_per_rank,
+            );
+            slowest = slowest.max(t);
+            messages += 1;
+        }
+        // per-message ingest/processing at the primary rank
+        slowest + messages as f64 * 0.01
+    }
+
+    /// Run `work` once per device, in parallel on host threads, and return
+    /// the per-device results in device order.
+    pub fn run_on_all<R, F>(&self, work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &Device) -> R + Sync,
+    {
+        let n = self.num_devices();
+        if n == 1 {
+            return vec![work(0, &self.devices[0])];
+        }
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        crossbeam::scope(|scope| {
+            let work = &work;
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(idx, dev)| scope.spawn(move |_| (idx, work(idx, dev))))
+                .collect();
+            for h in handles {
+                let (idx, r) = h.join().expect("device worker panicked");
+                results[idx] = Some(r);
+            }
+        })
+        .expect("cluster scope failed");
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+impl std::fmt::Debug for GpuCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuCluster")
+            .field("num_devices", &self.num_devices())
+            .field("num_nodes", &self.num_nodes())
+            .field("device", &self.devices[0].spec().name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster_layout() {
+        let cluster = GpuCluster::homogeneous(16, DeviceSpec::v100s());
+        assert_eq!(cluster.num_devices(), 16);
+        assert_eq!(cluster.num_nodes(), 4);
+        assert_eq!(cluster.node_of(0), 0);
+        assert_eq!(cluster.node_of(3), 0);
+        assert_eq!(cluster.node_of(4), 1);
+        assert_eq!(cluster.node_of(15), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_panics() {
+        GpuCluster::homogeneous(0, DeviceSpec::v100s());
+    }
+
+    #[test]
+    fn intra_node_is_faster_than_inter_node() {
+        let cluster = GpuCluster::homogeneous(8, DeviceSpec::v100s());
+        let bytes = 1 << 20;
+        let intra = cluster.transfer_time_ms(
+            TransferDirection::DeviceToDevice { src: 0, dst: 1 },
+            bytes,
+        );
+        let inter = cluster.transfer_time_ms(
+            TransferDirection::DeviceToDevice { src: 0, dst: 7 },
+            bytes,
+        );
+        assert!(intra < inter);
+        let same = cluster.transfer_time_ms(
+            TransferDirection::DeviceToDevice { src: 2, dst: 2 },
+            bytes,
+        );
+        assert_eq!(same, 0.0);
+    }
+
+    #[test]
+    fn host_transfer_is_much_slower_than_nvlink() {
+        let cluster = GpuCluster::homogeneous(4, DeviceSpec::v100s());
+        let bytes = 256 << 20;
+        let h2d = cluster.transfer_time_ms(TransferDirection::HostToDevice { dst: 0 }, bytes);
+        let d2d = cluster.transfer_time_ms(
+            TransferDirection::DeviceToDevice { src: 0, dst: 1 },
+            bytes,
+        );
+        assert!(h2d > d2d);
+        let d2h = cluster.transfer_time_ms(TransferDirection::DeviceToHost { src: 0 }, bytes);
+        assert!((d2h - h2d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn async_gather_grows_slowly_with_devices() {
+        let small = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+        let large = GpuCluster::homogeneous(16, DeviceSpec::v100s());
+        let bytes = 128 * 4; // k=128 u32 values
+        let t_small = small.async_gather_time_ms(0, bytes);
+        let t_large = large.async_gather_time_ms(0, bytes);
+        assert!(t_small > 0.0);
+        assert!(t_large > t_small);
+        // Paper Table 2 reports ≤ 1.43 ms even at 16 GPUs with k = 128.
+        assert!(t_large < 2.0, "gather time {t_large} too large");
+    }
+
+    #[test]
+    fn run_on_all_returns_in_device_order() {
+        let cluster = GpuCluster::homogeneous(6, DeviceSpec::titan_xp());
+        let results = cluster.run_on_all(|idx, dev| {
+            let data = vec![idx as u32; 1024];
+            let launch = dev.launch("scan", 2, |ctx| {
+                ctx.read_coalesced(&data[ctx.chunk_of(data.len())]);
+                ctx.warp_id
+            });
+            (idx, launch.output.len())
+        });
+        assert_eq!(results.len(), 6);
+        for (i, (idx, warps)) in results.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*warps, 2);
+        }
+        // every device logged a kernel
+        for d in cluster.devices() {
+            assert_eq!(d.stats().kernels.len(), 1);
+        }
+        cluster.reset_stats();
+        for d in cluster.devices() {
+            assert!(d.stats().kernels.is_empty());
+        }
+    }
+}

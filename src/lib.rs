@@ -1,0 +1,58 @@
+//! # Dr. Top-k — delegate-centric top-k (SC '21) reproduction
+//!
+//! This facade crate re-exports every sub-crate of the workspace so that a
+//! downstream user can depend on a single crate:
+//!
+//! * [`sim`] — the GPU execution-model substrate ([`gpu_sim`]): devices,
+//!   warps, memory-transaction accounting and the timing model.
+//! * [`core`] — the paper's contribution ([`drtopk_core`]): delegate vector
+//!   construction, β delegates, delegate-filtered concatenation, α tuning,
+//!   the flag-based in-place radix top-k and distributed Dr. Top-k.
+//! * [`baselines`] — the state-of-the-art algorithms Dr. Top-k assists and
+//!   is compared with ([`topk_baselines`]): radix, bucket, bitonic,
+//!   sort-and-choose and a CPU priority-queue reference.
+//! * [`datagen`] — the synthetic (UD/ND/CD) and real-world-proxy datasets
+//!   used by the paper's evaluation ([`topk_datagen`]).
+//! * [`bmw`] — the Block-Max WAND information-retrieval baseline used in
+//!   Figure 24 ([`bmw_baseline`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use drtopk::prelude::*;
+//!
+//! // 1M uniformly distributed u32 values.
+//! let data = topk_datagen::uniform(1 << 20, 0x5eed);
+//! let device = Device::new(DeviceSpec::v100s());
+//!
+//! // Dr. Top-k assisted radix top-k with automatic α / β configuration.
+//! let config = DrTopKConfig::auto(data.len(), 1024);
+//! let result = dr_topk(&device, &data, 1024, &config);
+//!
+//! // The result is exactly the 1024 largest elements.
+//! let mut expected = data.clone();
+//! expected.sort_unstable_by(|a, b| b.cmp(a));
+//! expected.truncate(1024);
+//! let mut got = result.values.clone();
+//! got.sort_unstable_by(|a, b| b.cmp(a));
+//! assert_eq!(got, expected);
+//! ```
+
+pub use bmw_baseline as bmw;
+pub use drtopk_core as core;
+pub use gpu_sim as sim;
+pub use topk_baselines as baselines;
+pub use topk_datagen as datagen;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use bmw_baseline::{BmwIndex, BmwStats};
+    pub use drtopk_core::{
+        dr_topk, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
+    };
+    pub use gpu_sim::{Device, DeviceSpec, KernelStats};
+    pub use topk_baselines::{
+        bitonic_topk, bucket_topk, priority_queue_topk, radix_topk, sort_and_choose_topk,
+    };
+    pub use topk_datagen::{self, Distribution};
+}

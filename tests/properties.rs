@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) of the paper's rules and of the core data
+//! structures' invariants.
+
+use drtopk::core::{
+    build_delegate_vector, dr_topk, first_topk, flag_radix_select_kth, flag_radix_topk,
+    rule4_alpha, ConstructionMethod, DrTopKConfig, FlagSelectConfig,
+};
+use drtopk::prelude::*;
+use proptest::prelude::*;
+use topk_baselines::{reference_kth, reference_topk};
+
+fn device() -> Device {
+    Device::with_host_threads(DeviceSpec::v100s(), 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dr. Top-k returns exactly the reference top-k for arbitrary vectors,
+    /// k, α, β and filtering choices (Rules 1–3 never lose an element).
+    #[test]
+    fn drtopk_equals_reference(
+        data in proptest::collection::vec(any::<u32>(), 1..4000),
+        k_frac in 0.0f64..1.0,
+        alpha in 2u32..8,
+        beta in 1usize..4,
+        filtering in any::<bool>(),
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let device = device();
+        let config = DrTopKConfig {
+            alpha: Some(alpha),
+            beta,
+            filtering,
+            ..DrTopKConfig::default()
+        };
+        let got = dr_topk(&device, &data, k, &config);
+        prop_assert_eq!(got.values, reference_topk(&data, k));
+    }
+
+    /// The flag-based radix selection finds exactly the k-th largest value.
+    #[test]
+    fn flag_radix_select_equals_reference(
+        data in proptest::collection::vec(any::<u32>(), 1..3000),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let device = device();
+        let got = flag_radix_select_kth(&device, &data, k, &FlagSelectConfig::default());
+        prop_assert_eq!(got.threshold, reference_kth(&data, k));
+        let topk = flag_radix_topk(&device, &data, k);
+        prop_assert_eq!(topk.values, reference_topk(&data, k));
+    }
+
+    /// Rule 2: the k-th delegate never exceeds the k-th element of V, so
+    /// filtering by it can never discard a true top-k element.
+    #[test]
+    fn rule2_threshold_is_a_lower_bound(
+        data in proptest::collection::vec(any::<u32>(), 64..3000),
+        alpha in 2u32..7,
+        beta in 1usize..3,
+        k in 1usize..64,
+    ) {
+        let device = device();
+        let k = k.min(data.len());
+        let delegates = build_delegate_vector(&device, &data, alpha, beta, ConstructionMethod::Auto);
+        // Rule 2 presupposes that the k-th delegate exists (k <= |D|); the
+        // pipeline falls back to a plain top-k otherwise.
+        prop_assume!(k <= delegates.len());
+        let first = first_topk(&device, &delegates, k, false);
+        let true_kth = reference_kth(&data, k);
+        prop_assert!(first.threshold <= true_kth,
+            "delegate threshold {} must not exceed the true k-th {}", first.threshold, true_kth);
+    }
+
+    /// Delegate construction is exact: the β delegates of every subrange are
+    /// its β largest elements, and both construction kernels agree.
+    #[test]
+    fn delegate_construction_is_exact(
+        data in proptest::collection::vec(any::<u32>(), 1..2000),
+        alpha in 2u32..7,
+        beta in 1usize..4,
+    ) {
+        let device = device();
+        let warp = build_delegate_vector(&device, &data, alpha, beta, ConstructionMethod::WarpShuffle);
+        let shared = build_delegate_vector(&device, &data, alpha, beta, ConstructionMethod::CoalescedShared);
+        prop_assert_eq!(&warp.values, &shared.values);
+        prop_assert_eq!(&warp.subrange_ids, &shared.subrange_ids);
+        let size = 1usize << alpha;
+        for (s, chunk) in data.chunks(size).enumerate() {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.truncate(beta);
+            let got: Vec<u32> = warp.values.iter().zip(&warp.subrange_ids)
+                .filter(|&(_, &id)| id as usize == s)
+                .map(|(&v, _)| v)
+                .collect();
+            prop_assert_eq!(got, sorted, "subrange {}", s);
+        }
+    }
+
+    /// Rule 4 behaves monotonically: α never increases when k grows and
+    /// never decreases when |V| grows.
+    #[test]
+    fn rule4_monotonicity(
+        n_exp in 10u32..31,
+        k_exp in 0u32..24,
+        const_term in 0.0f64..4.0,
+    ) {
+        prop_assume!(k_exp < n_exp);
+        let n = 1usize << n_exp;
+        let k = 1usize << k_exp;
+        let a = rule4_alpha(n, k, const_term);
+        prop_assert!(rule4_alpha(n * 2, k, const_term) >= a);
+        if k >= 2 {
+            prop_assert!(rule4_alpha(n, k / 2, const_term) >= a);
+        }
+    }
+
+    /// The baselines agree with each other on arbitrary data (differential
+    /// testing of radix vs bucket vs bitonic).
+    #[test]
+    fn baselines_agree(
+        data in proptest::collection::vec(any::<u32>(), 1..2500),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let device = device();
+        let expected = reference_topk(&data, k);
+        let radix = radix_topk(&device, &data, k, &topk_baselines::RadixConfig::default());
+        let bucket = bucket_topk(&device, &data, k, &topk_baselines::BucketConfig::default());
+        let bitonic = bitonic_topk(&device, &data, k, &topk_baselines::BitonicConfig::default());
+        prop_assert_eq!(radix.values, expected.clone());
+        prop_assert_eq!(bucket.values, expected.clone());
+        prop_assert_eq!(bitonic.values, expected);
+    }
+}
