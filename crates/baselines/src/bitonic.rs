@@ -65,7 +65,7 @@ pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicCon
         let num_chunks = survivors.len().div_ceil(chunk);
         // cap the number of simulated warps; each warp loops over its share
         // of the 2k chunks
-        let num_warps = num_chunks.min(4096).max(1);
+        let num_warps = num_chunks.clamp(1, 4096);
         let input = &survivors;
         let merge_depth = (usize::BITS - (chunk - 1).leading_zeros()) as u64; // log2(2k)
         let launch = device.launch(
@@ -87,10 +87,7 @@ pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicCon
                     if iteration == 0 {
                         // the initial local sort is a full bitonic sort:
                         // log2(2k)·(log2(2k)+1)/2 stages instead of log2(2k)
-                        let extra = (slice.len() as u64)
-                            * merge_depth
-                            * (merge_depth + 1)
-                            / 2
+                        let extra = (slice.len() as u64) * merge_depth * (merge_depth + 1) / 2
                             * occupancy_penalty as u64;
                         ctx.record_shared(2 * extra);
                         ctx.record_alu(extra);
@@ -179,7 +176,12 @@ mod tests {
         let dev = device();
         let n = 1 << 14;
         let k = 64;
-        let ud = bitonic_topk(&dev, &topk_datagen::uniform(n, 3), k, &BitonicConfig::default());
+        let ud = bitonic_topk(
+            &dev,
+            &topk_datagen::uniform(n, 3),
+            k,
+            &BitonicConfig::default(),
+        );
         let cd = bitonic_topk(
             &dev,
             &topk_datagen::customized(n, 3),

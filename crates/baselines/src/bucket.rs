@@ -135,7 +135,8 @@ pub fn bucket_select_kth(
 
         let range = (hi - lo) as u64 + 1;
         let width = range.div_ceil(nb as u64).max(1);
-        let bucket_of = |x: u32| -> usize { (((x - lo) as u64) / width).min(nb as u64 - 1) as usize };
+        let bucket_of =
+            |x: u32| -> usize { (((x - lo) as u64) / width).min(nb as u64 - 1) as usize };
 
         // --- histogram over the current candidates ---------------------------
         let num_warps = candidates.len().div_ceil(config.elems_per_warp).max(1);

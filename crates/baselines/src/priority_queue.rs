@@ -52,7 +52,7 @@ pub fn parallel_priority_queue_topk(data: &[u32], k: usize, workers: usize) -> T
     let workers = workers.max(1).min(data.len());
     let started = Instant::now();
     let mut partials: Vec<Vec<u32>> = Vec::with_capacity(workers);
-    crossbeam_scope(data, k, workers, &mut partials);
+    scoped_partial_topk(data, k, workers, &mut partials);
     let mut merged: Vec<u32> = partials.into_iter().flatten().collect();
     merged.sort_unstable_by(|a, b| b.cmp(a));
     merged.truncate(k);
@@ -60,7 +60,7 @@ pub fn parallel_priority_queue_topk(data: &[u32], k: usize, workers: usize) -> T
     TopKResult::from_values(merged, KernelStats::default(), wall_ms)
 }
 
-fn crossbeam_scope(data: &[u32], k: usize, workers: usize, partials: &mut Vec<Vec<u32>>) {
+fn scoped_partial_topk(data: &[u32], k: usize, workers: usize, partials: &mut Vec<Vec<u32>>) {
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -83,7 +83,10 @@ mod tests {
     fn sequential_matches_reference() {
         let data = topk_datagen::uniform(1 << 14, 42);
         for &k in &[1usize, 7, 255, 5000] {
-            assert_eq!(priority_queue_topk(&data, k).values, reference_topk(&data, k));
+            assert_eq!(
+                priority_queue_topk(&data, k).values,
+                reference_topk(&data, k)
+            );
         }
         assert!(priority_queue_topk(&data, 0).is_empty());
         assert_eq!(
@@ -111,7 +114,10 @@ mod tests {
     fn handles_duplicates() {
         let data = vec![9u32; 100];
         assert_eq!(priority_queue_topk(&data, 3).values, vec![9, 9, 9]);
-        assert_eq!(parallel_priority_queue_topk(&data, 3, 4).values, vec![9, 9, 9]);
+        assert_eq!(
+            parallel_priority_queue_topk(&data, 3, 4).values,
+            vec![9, 9, 9]
+        );
     }
 
     #[test]

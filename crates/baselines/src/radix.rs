@@ -132,25 +132,29 @@ pub fn radix_select_kth(
         // --- histogram kernel -------------------------------------------------
         let num_warps = scan.len().div_ceil(config.elems_per_warp);
         let hist_buf = AtomicBuffer::zeroed(digits);
-        let launch = device.launch(&format!("baseline_radix_hist_pass{pass}"), num_warps, |ctx| {
-            let chunk = ctx.chunk_of(scan.len());
-            let slice = ctx.read_coalesced(&scan[chunk]);
-            let mut local = vec![0u32; digits];
-            for &x in slice {
-                if x & prefix_mask == prefix_value {
-                    let d = ((x >> shift) as usize) & (digits - 1);
-                    local[d] += 1;
+        let launch = device.launch(
+            &format!("baseline_radix_hist_pass{pass}"),
+            num_warps,
+            |ctx| {
+                let chunk = ctx.chunk_of(scan.len());
+                let slice = ctx.read_coalesced(&scan[chunk]);
+                let mut local = vec![0u32; digits];
+                for &x in slice {
+                    if x & prefix_mask == prefix_value {
+                        let d = ((x >> shift) as usize) & (digits - 1);
+                        local[d] += 1;
+                    }
+                    ctx.record_alu(2);
                 }
-                ctx.record_alu(2);
-            }
-            // flush the warp-local histogram to the global one with one
-            // atomicAdd per non-empty bucket (block-level flush, GGKS style)
-            for (d, &c) in local.iter().enumerate() {
-                if c > 0 {
-                    hist_buf.fetch_add(ctx, d, c);
+                // flush the warp-local histogram to the global one with one
+                // atomicAdd per non-empty bucket (block-level flush, GGKS style)
+                for (d, &c) in local.iter().enumerate() {
+                    if c > 0 {
+                        hist_buf.fetch_add(ctx, d, c);
+                    }
                 }
-            }
-        });
+            },
+        );
         stats += launch.stats;
         time_ms += launch.time_ms;
 
@@ -304,7 +308,7 @@ pub fn gather_topk(
     debug_assert!(above.len() <= k && above.len() + total_ties >= k);
     let need = k - above.len().min(k);
     above.truncate(k);
-    above.extend(std::iter::repeat(threshold).take(need));
+    above.extend(std::iter::repeat_n(threshold, need));
     TopKResult::from_values(above, stats, time_ms)
 }
 

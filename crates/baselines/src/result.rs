@@ -94,7 +94,7 @@ pub fn collect_topk_by_threshold(data: &[u32], k: usize, threshold: u32) -> Vec<
         k
     );
     let need = k - out.len();
-    out.extend(std::iter::repeat(threshold).take(need));
+    out.extend(std::iter::repeat_n(threshold, need));
     out
 }
 

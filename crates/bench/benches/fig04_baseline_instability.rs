@@ -23,5 +23,9 @@ fn main() {
             }
         }
     }
-    emit("fig04_baseline_instability", &["dist", "k", "algorithm", "time_ms"], &rows);
+    emit(
+        "fig04_baseline_instability",
+        &["dist", "k", "algorithm", "time_ms"],
+        &rows,
+    );
 }

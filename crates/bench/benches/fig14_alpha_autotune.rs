@@ -52,7 +52,14 @@ fn main() {
     }
     emit(
         "fig14_alpha_autotune",
-        &["k", "auto_alpha", "auto_ms", "oracle_alpha", "oracle_ms", "auto_over_oracle"],
+        &[
+            "k",
+            "auto_alpha",
+            "auto_ms",
+            "oracle_alpha",
+            "oracle_ms",
+            "auto_over_oracle",
+        ],
         &rows,
     );
 }

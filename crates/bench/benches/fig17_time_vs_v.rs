@@ -21,10 +21,22 @@ fn main() {
             BaselineAlgorithm::Bitonic,
         ] {
             let r = run_baseline_checked(&device, algo, &data, k);
-            rows.push(vec![n.to_string(), k.to_string(), algo.name().into(), fmt(r.time_ms)]);
+            rows.push(vec![
+                n.to_string(),
+                k.to_string(),
+                algo.name().into(),
+                fmt(r.time_ms),
+            ]);
         }
-        for inner in [InnerAlgorithm::Radix, InnerAlgorithm::Bucket, InnerAlgorithm::Bitonic] {
-            let cfg = DrTopKConfig { inner, ..DrTopKConfig::default() };
+        for inner in [
+            InnerAlgorithm::Radix,
+            InnerAlgorithm::Bucket,
+            InnerAlgorithm::Bitonic,
+        ] {
+            let cfg = DrTopKConfig {
+                inner,
+                ..DrTopKConfig::default()
+            };
             let r = run_drtopk_checked(&device, &data, k, &cfg);
             rows.push(vec![
                 n.to_string(),
@@ -34,5 +46,9 @@ fn main() {
             ]);
         }
     }
-    emit("fig17_time_vs_v", &["n", "k", "algorithm", "time_ms"], &rows);
+    emit(
+        "fig17_time_vs_v",
+        &["n", "k", "algorithm", "time_ms"],
+        &rows,
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
         for k in k_sweep(2) {
             for algo in BaselineAlgorithm::TOPK {
                 let base = run_baseline_checked(&device, algo, &data, k);
-                let cfg = DrTopKConfig { inner: pair(algo), ..DrTopKConfig::default() };
+                let cfg = DrTopKConfig {
+                    inner: pair(algo),
+                    ..DrTopKConfig::default()
+                };
                 let dr = run_drtopk_checked(&device, &data, k, &cfg);
                 rows.push(vec![
                     dist.abbrev().into(),
@@ -40,7 +43,14 @@ fn main() {
     }
     emit(
         "fig18_speedup_synthetic",
-        &["dist", "k", "algorithm", "baseline_ms", "drtopk_ms", "speedup"],
+        &[
+            "dist",
+            "k",
+            "algorithm",
+            "baseline_ms",
+            "drtopk_ms",
+            "speedup",
+        ],
         &rows,
     );
 }

@@ -27,7 +27,10 @@ fn main() {
         for k in k_sweep(4) {
             for algo in BaselineAlgorithm::TOPK {
                 let base = run_baseline_checked(&device, algo, &data, k);
-                let cfg = DrTopKConfig { inner: pair(algo), ..DrTopKConfig::default() };
+                let cfg = DrTopKConfig {
+                    inner: pair(algo),
+                    ..DrTopKConfig::default()
+                };
                 let dr = run_drtopk_checked(&device, &data, k, &cfg);
                 rows.push(vec![
                     dist.abbrev().into(),
@@ -42,7 +45,14 @@ fn main() {
     }
     emit(
         "fig19_speedup_realworld",
-        &["dataset", "k", "algorithm", "baseline_ms", "drtopk_ms", "speedup"],
+        &[
+            "dataset",
+            "k",
+            "algorithm",
+            "baseline_ms",
+            "drtopk_ms",
+            "speedup",
+        ],
         &rows,
     );
 }

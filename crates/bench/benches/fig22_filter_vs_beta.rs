@@ -11,7 +11,8 @@ fn main() {
     let device = device();
     let mut rows = Vec::new();
     for k in k_sweep(2) {
-        let filtering_only = run_drtopk_checked(&device, &data, k, &DrTopKConfig::with_filtering_only());
+        let filtering_only =
+            run_drtopk_checked(&device, &data, k, &DrTopKConfig::with_filtering_only());
         let beta_only = run_drtopk_checked(&device, &data, k, &DrTopKConfig::beta_only(2));
         let combined = run_drtopk_checked(&device, &data, k, &DrTopKConfig::default());
         rows.push(vec![

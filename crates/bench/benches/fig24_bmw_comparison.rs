@@ -30,7 +30,13 @@ fn main() {
     }
     emit(
         "fig24_bmw_comparison",
-        &["dist", "k", "bmw_fully_evaluated", "drtopk_workload", "ratio"],
+        &[
+            "dist",
+            "k",
+            "bmw_fully_evaluated",
+            "drtopk_workload",
+            "ratio",
+        ],
         &rows,
     );
 }

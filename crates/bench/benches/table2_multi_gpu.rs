@@ -43,7 +43,14 @@ fn main() {
     }
     emit(
         "table2_multi_gpu",
-        &["n", "gpus", "communication_ms", "reload_ms", "total_ms", "speedup"],
+        &[
+            "n",
+            "gpus",
+            "communication_ms",
+            "reload_ms",
+            "total_ms",
+            "speedup",
+        ],
         &rows,
     );
 }

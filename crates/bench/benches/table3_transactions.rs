@@ -19,7 +19,10 @@ fn main() {
     ];
     for (algo, inner) in pairs {
         let base = run_baseline_checked(&device, algo, &data, k);
-        let cfg = DrTopKConfig { inner, ..DrTopKConfig::default() };
+        let cfg = DrTopKConfig {
+            inner,
+            ..DrTopKConfig::default()
+        };
         let dr = run_drtopk_checked(&device, &data, k, &cfg);
         rows.push(vec![
             algo.name().into(),

@@ -130,9 +130,18 @@ mod tests {
     #[test]
     fn builds_from_postings() {
         let postings = vec![
-            Posting { doc_id: 2, score: 4 },
-            Posting { doc_id: 7, score: 6 },
-            Posting { doc_id: 9, score: 1 },
+            Posting {
+                doc_id: 2,
+                score: 4,
+            },
+            Posting {
+                doc_id: 7,
+                score: 6,
+            },
+            Posting {
+                doc_id: 9,
+                score: 1,
+            },
         ];
         let idx = BmwIndex::from_postings(postings, 2);
         assert_eq!(idx.num_blocks(), 2);
@@ -145,8 +154,14 @@ mod tests {
     fn rejects_unsorted_postings() {
         BmwIndex::from_postings(
             vec![
-                Posting { doc_id: 5, score: 1 },
-                Posting { doc_id: 2, score: 2 },
+                Posting {
+                    doc_id: 5,
+                    score: 1,
+                },
+                Posting {
+                    doc_id: 2,
+                    score: 2,
+                },
             ],
             2,
         );

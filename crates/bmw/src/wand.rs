@@ -103,12 +103,7 @@ fn heap_topk(
 
 /// Plain WAND: the upper bound of every document is the list-wide maximum.
 pub fn wand_topk(index: &BmwIndex, k: usize) -> BmwResult {
-    let list_max = index
-        .postings()
-        .iter()
-        .map(|p| p.score)
-        .max()
-        .unwrap_or(0);
+    let list_max = index.postings().iter().map(|p| p.score).max().unwrap_or(0);
     heap_topk(
         index,
         k,

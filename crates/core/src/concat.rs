@@ -58,7 +58,7 @@ pub fn concatenate(
     let cursor = AtomicCounter::new(0);
 
     // One simulated warp per group of qualified subranges.
-    let num_warps = fully_taken_subranges.len().min(1 << 14).max(1);
+    let num_warps = fully_taken_subranges.len().clamp(1, 1 << 14);
     let launch = device.launch("drtopk_concatenation", num_warps, |ctx| {
         let share = ctx.chunk_of(fully_taken_subranges.len());
         // reading the qualified subrange ids produced by the first top-k

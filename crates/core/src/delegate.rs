@@ -115,7 +115,7 @@ pub fn build_delegate_vector(
     method: ConstructionMethod,
 ) -> DelegateVector {
     assert!(beta >= 1, "beta must be at least 1");
-    assert!(alpha >= 1 && alpha < 32, "alpha must be in 1..32");
+    assert!((1..32).contains(&alpha), "alpha must be in 1..32");
     let subrange_size = 1usize << alpha;
     let num_subranges = data.len().div_ceil(subrange_size);
     let method = method.resolve(alpha);
@@ -135,7 +135,7 @@ pub fn build_delegate_vector(
 
     // Each simulated warp handles a contiguous run of subranges; cap the
     // warp count so tiny subranges do not explode the simulation overhead.
-    let num_warps = num_subranges.min(1 << 14).max(1);
+    let num_warps = num_subranges.clamp(1, 1 << 14);
 
     let kernel_name = match method {
         ConstructionMethod::WarpShuffle => "drtopk_delegate_construction_warp",

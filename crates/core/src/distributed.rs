@@ -50,7 +50,9 @@ pub fn partition_subvectors(n: usize, capacity: usize) -> Vec<std::ops::Range<us
         return Vec::new();
     }
     let pieces = n.div_ceil(capacity).max(1);
-    (0..pieces).map(|p| gpu_sim::chunk_range(n, pieces, p)).collect()
+    (0..pieces)
+        .map(|p| gpu_sim::chunk_range(n, pieces, p))
+        .collect()
 }
 
 /// Run Dr. Top-k on `data` distributed over the devices of `cluster`.
@@ -102,10 +104,8 @@ pub fn distributed_dr_topk(
             // from the host: that is the reload overhead of Table 2.
             if owned > 0 {
                 let bytes = (range.len() * std::mem::size_of::<u32>()) as u64;
-                let t = cluster.transfer_time_ms(
-                    TransferDirection::HostToDevice { dst: device_idx },
-                    bytes,
-                );
+                let t = cluster
+                    .transfer_time_ms(TransferDirection::HostToDevice { dst: device_idx }, bytes);
                 device.record_external("reload_subvector", KernelStats::default(), t);
                 reload_ms += t;
             }
@@ -150,7 +150,11 @@ pub fn distributed_dr_topk(
         let final_topk = flag_radix_topk(primary, &all_candidates, k);
         (final_topk.values, final_topk.time_ms, final_topk.stats)
     } else {
-        (reference_topk(&all_candidates, k), 0.0, KernelStats::default())
+        (
+            reference_topk(&all_candidates, k),
+            0.0,
+            KernelStats::default(),
+        )
     };
     stats += final_stats;
 
@@ -237,7 +241,12 @@ mod tests {
         let t4 = distributed_dr_topk(&cluster(4, capacity), &data, k, &DrTopKConfig::default());
         let t8 = distributed_dr_topk(&cluster(8, capacity), &data, k, &DrTopKConfig::default());
         assert_eq!(t1.values, t8.values);
-        assert!(t4.total_ms < t1.total_ms, "{} vs {}", t4.total_ms, t1.total_ms);
+        assert!(
+            t4.total_ms < t1.total_ms,
+            "{} vs {}",
+            t4.total_ms,
+            t1.total_ms
+        );
         assert!(t8.total_ms < t1.total_ms);
         // once every sub-vector has its own device, reload disappears —
         // the source of the super-linear speedups in Table 2
@@ -261,8 +270,12 @@ mod tests {
     #[test]
     fn empty_and_zero_k_inputs() {
         let c = cluster(2, 1 << 20);
-        assert!(distributed_dr_topk(&c, &[], 5, &DrTopKConfig::default()).values.is_empty());
+        assert!(distributed_dr_topk(&c, &[], 5, &DrTopKConfig::default())
+            .values
+            .is_empty());
         let data = topk_datagen::uniform(1 << 12, 1);
-        assert!(distributed_dr_topk(&c, &data, 0, &DrTopKConfig::default()).values.is_empty());
+        assert!(distributed_dr_topk(&c, &data, 0, &DrTopKConfig::default())
+            .values
+            .is_empty());
     }
 }

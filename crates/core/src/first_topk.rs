@@ -234,7 +234,10 @@ mod tests {
         );
         assert_eq!(got.taken_entries, k);
         // the threshold bounds every partial delegate from below
-        assert!(got.partial_delegate_values.iter().all(|&v| v >= got.threshold));
+        assert!(got
+            .partial_delegate_values
+            .iter()
+            .all(|&v| v >= got.threshold));
     }
 
     #[test]

@@ -481,8 +481,12 @@ mod tests {
         assert_eq!(got.values, reference_topk(&data, 50));
         let got = dr_topk(&dev, &data, 100, &DrTopKConfig::default());
         assert_eq!(got.values, reference_topk(&data, 100));
-        assert!(dr_topk(&dev, &data, 0, &DrTopKConfig::default()).values.is_empty());
-        assert!(dr_topk(&dev, &[], 5, &DrTopKConfig::default()).values.is_empty());
+        assert!(dr_topk(&dev, &data, 0, &DrTopKConfig::default())
+            .values
+            .is_empty());
+        assert!(dr_topk(&dev, &[], 5, &DrTopKConfig::default())
+            .values
+            .is_empty());
     }
 
     #[test]

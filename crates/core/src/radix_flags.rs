@@ -211,7 +211,10 @@ mod tests {
         let dev = device();
         let data = topk_datagen::uniform(1 << 14, 4);
         for &k in &[1usize, 100, 3000] {
-            assert_eq!(flag_radix_topk(&dev, &data, k).values, reference_topk(&data, k));
+            assert_eq!(
+                flag_radix_topk(&dev, &data, k).values,
+                reference_topk(&data, k)
+            );
         }
         assert!(flag_radix_topk(&dev, &data, 0).is_empty());
         assert_eq!(flag_radix_topk(&dev, &[5, 5, 5], 2).values, vec![5, 5]);
@@ -234,7 +237,10 @@ mod tests {
         );
         assert!(!got.exact);
         assert_eq!(got.passes, 3);
-        assert!(got.threshold <= exact, "skipped threshold must not exceed exact");
+        assert!(
+            got.threshold <= exact,
+            "skipped threshold must not exceed exact"
+        );
         // it must still be within one last-pass bucket (256 values) of exact
         assert!(exact - got.threshold < 256, "threshold too loose");
     }

@@ -57,6 +57,24 @@ impl Distribution {
         Distribution::TwitterFear,
     ];
 
+    /// Every distribution, synthetic then real-world. Derived from
+    /// [`Self::SYNTHETIC`] and [`Self::REAL_WORLD`] so the three constants
+    /// cannot drift apart; a new variant must be added to one of those two.
+    pub const ALL: [Distribution; 6] = {
+        let mut all = [Distribution::Uniform; 6];
+        let mut i = 0;
+        while i < Self::SYNTHETIC.len() {
+            all[i] = Self::SYNTHETIC[i];
+            i += 1;
+        }
+        let mut j = 0;
+        while j < Self::REAL_WORLD.len() {
+            all[Self::SYNTHETIC.len() + j] = Self::REAL_WORLD[j];
+            j += 1;
+        }
+        all
+    };
+
     /// Abbreviation used in the paper's figures (UD, ND, CD, AN, CW, TR).
     pub fn abbrev(&self) -> &'static str {
         match self {
@@ -127,7 +145,7 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(num_chunks);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let fill = &fill;
         let chunks: Vec<(usize, &mut [u32])> = out.chunks_mut(CHUNK_ELEMS).enumerate().collect();
         // round-robin chunks over workers
@@ -137,7 +155,7 @@ where
             per_worker[i % workers].push((i, chunk));
         }
         for worker_chunks in per_worker {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (idx, chunk) in worker_chunks {
                     let mut rng =
                         Xoshiro256StarStar::seed_from_u64(realworld::chunk_seed(seed, idx));
@@ -145,8 +163,7 @@ where
                 }
             });
         }
-    })
-    .expect("parallel data generation failed");
+    });
     out
 }
 

@@ -38,7 +38,9 @@ pub fn ann_sift_distances(n: usize, seed: u64) -> Vec<u32> {
     // The query vector is derived from the seed so the whole dataset is
     // reproducible from a single number.
     let mut qrng = Xoshiro256StarStar::seed_from_u64(seed ^ 0xA11C_E500);
-    let query: Vec<u8> = (0..SIFT_DIMS).map(|_| (qrng.next_u32() >> 24) as u8).collect();
+    let query: Vec<u8> = (0..SIFT_DIMS)
+        .map(|_| (qrng.next_u32() >> 24) as u8)
+        .collect();
     let query_ref = &query;
     parallel_fill(n, seed, move |rng, out| {
         let mut descriptor = [0u8; SIFT_DIMS];

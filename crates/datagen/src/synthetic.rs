@@ -134,14 +134,20 @@ mod tests {
                 (inside - expected).abs() < 0.05,
                 "level {j}: inside fraction {inside}, expected ~{expected}"
             );
-            assert!(inside > 0.3, "majority-ish retention at level {j}: {inside}");
+            assert!(
+                inside > 0.3,
+                "majority-ish retention at level {j}: {inside}"
+            );
         }
         // the tail keeps lower buckets populated
         assert!(v.iter().any(|&x| x < u32::MAX / 2));
         // the jitter keeps the top of the range from collapsing onto a
         // single duplicated value
         let max_dups = v.iter().filter(|&&x| x == u32::MAX).count() as f64 / n as f64;
-        assert!(max_dups < 0.01, "too many exact duplicates of MAX: {max_dups}");
+        assert!(
+            max_dups < 0.01,
+            "too many exact duplicates of MAX: {max_dups}"
+        );
     }
 
     #[test]

@@ -240,7 +240,9 @@ mod tests {
     fn counter_hands_out_unique_positions() {
         let counter = AtomicCounter::new(0);
         let (positions, stats) = with_ctx(|ctx| {
-            (0..10).map(|_| counter.fetch_add(ctx, 2)).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| counter.fetch_add(ctx, 2))
+                .collect::<Vec<_>>()
         });
         assert_eq!(positions, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
         assert_eq!(counter.load(), 20);

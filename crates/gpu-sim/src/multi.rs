@@ -189,20 +189,19 @@ impl GpuCluster {
             return vec![work(0, &self.devices[0])];
         }
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let work = &work;
             let handles: Vec<_> = self
                 .devices
                 .iter()
                 .enumerate()
-                .map(|(idx, dev)| scope.spawn(move |_| (idx, work(idx, dev))))
+                .map(|(idx, dev)| scope.spawn(move || (idx, work(idx, dev))))
                 .collect();
             for h in handles {
                 let (idx, r) = h.join().expect("device worker panicked");
                 results[idx] = Some(r);
             }
-        })
-        .expect("cluster scope failed");
+        });
         results.into_iter().map(|r| r.unwrap()).collect()
     }
 }
@@ -242,19 +241,13 @@ mod tests {
     fn intra_node_is_faster_than_inter_node() {
         let cluster = GpuCluster::homogeneous(8, DeviceSpec::v100s());
         let bytes = 1 << 20;
-        let intra = cluster.transfer_time_ms(
-            TransferDirection::DeviceToDevice { src: 0, dst: 1 },
-            bytes,
-        );
-        let inter = cluster.transfer_time_ms(
-            TransferDirection::DeviceToDevice { src: 0, dst: 7 },
-            bytes,
-        );
+        let intra =
+            cluster.transfer_time_ms(TransferDirection::DeviceToDevice { src: 0, dst: 1 }, bytes);
+        let inter =
+            cluster.transfer_time_ms(TransferDirection::DeviceToDevice { src: 0, dst: 7 }, bytes);
         assert!(intra < inter);
-        let same = cluster.transfer_time_ms(
-            TransferDirection::DeviceToDevice { src: 2, dst: 2 },
-            bytes,
-        );
+        let same =
+            cluster.transfer_time_ms(TransferDirection::DeviceToDevice { src: 2, dst: 2 }, bytes);
         assert_eq!(same, 0.0);
     }
 
@@ -263,10 +256,8 @@ mod tests {
         let cluster = GpuCluster::homogeneous(4, DeviceSpec::v100s());
         let bytes = 256 << 20;
         let h2d = cluster.transfer_time_ms(TransferDirection::HostToDevice { dst: 0 }, bytes);
-        let d2d = cluster.transfer_time_ms(
-            TransferDirection::DeviceToDevice { src: 0, dst: 1 },
-            bytes,
-        );
+        let d2d =
+            cluster.transfer_time_ms(TransferDirection::DeviceToDevice { src: 0, dst: 1 }, bytes);
         assert!(h2d > d2d);
         let d2h = cluster.transfer_time_ms(TransferDirection::DeviceToHost { src: 0 }, bytes);
         assert!((d2h - h2d).abs() < 1e-9);

@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn concurrent_warps_positive() {
-        for spec in [DeviceSpec::v100s(), DeviceSpec::titan_xp(), DeviceSpec::a100()] {
+        for spec in [
+            DeviceSpec::v100s(),
+            DeviceSpec::titan_xp(),
+            DeviceSpec::a100(),
+        ] {
             assert!(spec.concurrent_warps() >= 1);
             assert!(spec.max_resident_warps() >= spec.concurrent_warps());
         }

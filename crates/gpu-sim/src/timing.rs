@@ -57,8 +57,7 @@ pub fn estimate_time_ms(stats: &KernelStats, spec: &DeviceSpec) -> f64 {
     // Atomics: throughput-limited when spread over addresses, but never
     // faster than the serialized same-address chain (histogram hot-spot
     // model, each serialized update paying the full round-trip latency).
-    let atomic_throughput_s =
-        stats.atomic_operations as f64 / (ATOMIC_OPS_PER_CYCLE * clock_hz);
+    let atomic_throughput_s = stats.atomic_operations as f64 / (ATOMIC_OPS_PER_CYCLE * clock_hz);
     let atomic_serial_s = stats.atomic_serialized_ops as f64 * spec.c_atomic_cycles / clock_hz;
     let atomic_time_s = atomic_throughput_s.max(atomic_serial_s);
 
@@ -71,7 +70,12 @@ pub fn estimate_time_ms(stats: &KernelStats, spec: &DeviceSpec) -> f64 {
 
     let launch_s = spec.launch_overhead_us * 1e-6;
 
-    (global_time_s + shfl_time_s + shared_time_s + atomic_time_s + alu_time_s + sync_time_s
+    (global_time_s
+        + shfl_time_s
+        + shared_time_s
+        + atomic_time_s
+        + alu_time_s
+        + sync_time_s
         + launch_s)
         * 1e3
 }

@@ -29,7 +29,10 @@ fn main() {
     expected.truncate(k);
     assert_eq!(least_fearful, expected);
 
-    println!("\n{k} least fearful tweet scores: {:?}", &least_fearful[..10.min(k)]);
+    println!(
+        "\n{k} least fearful tweet scores: {:?}",
+        &least_fearful[..10.min(k)]
+    );
     println!("single-device modeled time: {:.3} ms", single.time_ms);
 
     // The same query distributed over 4 simulated V100s.
@@ -40,12 +43,21 @@ fn main() {
     assert_eq!(dist_scores, expected);
 
     println!("\n--- 4-GPU distributed run ---");
-    println!("per-device compute (ms): {:?}", distributed
-        .per_device_compute_ms
-        .iter()
-        .map(|t| format!("{t:.3}"))
-        .collect::<Vec<_>>());
+    println!(
+        "per-device compute (ms): {:?}",
+        distributed
+            .per_device_compute_ms
+            .iter()
+            .map(|t| format!("{t:.3}"))
+            .collect::<Vec<_>>()
+    );
     println!("communication: {:.3} ms", distributed.communication_ms);
-    println!("final top-k on primary: {:.3} ms", distributed.final_topk_ms);
-    println!("total: {:.3} ms (vs {:.3} ms on one device)", distributed.total_ms, single.time_ms);
+    println!(
+        "final top-k on primary: {:.3} ms",
+        distributed.final_topk_ms
+    );
+    println!(
+        "total: {:.3} ms (vs {:.3} ms on one device)",
+        distributed.total_ms, single.time_ms
+    );
 }

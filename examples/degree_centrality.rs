@@ -18,9 +18,15 @@ fn main() {
     let device = Device::new(DeviceSpec::v100s());
 
     let expected = topk_baselines::reference_topk(&degrees, k);
-    println!("\ntop-{k} hub degrees (largest 10): {:?}", &expected[..10.min(k)]);
+    println!(
+        "\ntop-{k} hub degrees (largest 10): {:?}",
+        &expected[..10.min(k)]
+    );
 
-    println!("\n{:<28} {:>12} {:>14}", "configuration", "time (ms)", "workload (%|V|)");
+    println!(
+        "\n{:<28} {:>12} {:>14}",
+        "configuration", "time (ms)", "workload (%|V|)"
+    );
     for inner in InnerAlgorithm::ALL {
         let config = DrTopKConfig {
             inner,
@@ -43,5 +49,8 @@ fn main() {
         &topk_baselines::BucketConfig::default(),
     );
     assert_eq!(baseline.values, expected);
-    println!("{:<28} {:>12.3} {:>14}", "stand-alone bucket top-k", baseline.time_ms, "100.000");
+    println!(
+        "{:<28} {:>12.3} {:>14}",
+        "stand-alone bucket top-k", baseline.time_ms, "100.000"
+    );
 }

@@ -40,7 +40,10 @@ fn main() {
     if k > 10 {
         println!("  ... ({} more)", k - 10);
     }
-    println!("\nmodeled GPU time: {:.3} ms (α = {})", result.time_ms, result.alpha);
+    println!(
+        "\nmodeled GPU time: {:.3} ms (α = {})",
+        result.time_ms, result.alpha
+    );
     println!(
         "workload touched beyond the initial scan: {:.3}% of |V|",
         result.workload.workload_fraction() * 100.0

@@ -23,12 +23,7 @@ fn main() {
     let result = dr_topk(&device, &data, k, &config);
 
     // Baseline: stand-alone radix top-k on the same device.
-    let baseline = radix_topk(
-        &device,
-        &data,
-        k,
-        &topk_baselines::RadixConfig::default(),
-    );
+    let baseline = radix_topk(&device, &data, k, &topk_baselines::RadixConfig::default());
 
     assert_eq!(result.values, baseline.values, "both must agree");
     assert_eq!(
@@ -37,14 +32,29 @@ fn main() {
         "and match the CPU ground truth"
     );
 
-    println!("\ntop-{k} (largest 5 shown): {:?}", &result.values[..5.min(k)]);
+    println!(
+        "\ntop-{k} (largest 5 shown): {:?}",
+        &result.values[..5.min(k)]
+    );
     println!("k-th largest value       : {}", result.kth_value);
     println!("\n--- modeled GPU cost ---");
     println!("Dr. Top-k (α = {}, β = {})", result.alpha, config.beta);
-    println!("  delegate construction : {:8.3} ms", result.breakdown.delegate_ms);
-    println!("  first top-k           : {:8.3} ms", result.breakdown.first_topk_ms);
-    println!("  concatenation         : {:8.3} ms", result.breakdown.concat_ms);
-    println!("  second top-k          : {:8.3} ms", result.breakdown.second_topk_ms);
+    println!(
+        "  delegate construction : {:8.3} ms",
+        result.breakdown.delegate_ms
+    );
+    println!(
+        "  first top-k           : {:8.3} ms",
+        result.breakdown.first_topk_ms
+    );
+    println!(
+        "  concatenation         : {:8.3} ms",
+        result.breakdown.concat_ms
+    );
+    println!(
+        "  second top-k          : {:8.3} ms",
+        result.breakdown.second_topk_ms
+    );
     println!("  total                 : {:8.3} ms", result.time_ms);
     println!("stand-alone radix top-k : {:8.3} ms", baseline.time_ms);
     println!(

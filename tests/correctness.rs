@@ -109,12 +109,7 @@ fn adversarial_inputs() {
             let expected = reference_topk(&data, k);
             let got = dr_topk(&device, &data, k, &DrTopKConfig::default());
             assert_eq!(got.values, expected, "|V|={} k={k}", data.len());
-            let got = bitonic_topk(
-                &device,
-                &data,
-                k,
-                &topk_baselines::BitonicConfig::default(),
-            );
+            let got = bitonic_topk(&device, &data, k, &topk_baselines::BitonicConfig::default());
             assert_eq!(got.values, expected);
         }
     }
@@ -128,7 +123,10 @@ fn results_report_consistent_metadata() {
     let r = dr_topk(&device, &data, k, &DrTopKConfig::default());
     assert_eq!(r.values.len(), k);
     assert_eq!(r.kth_value, r.values[k - 1]);
-    assert!(r.values.windows(2).all(|w| w[0] >= w[1]), "descending order");
+    assert!(
+        r.values.windows(2).all(|w| w[0] >= w[1]),
+        "descending order"
+    );
     assert_eq!(r.workload.input_len, data.len());
     assert!(r.workload.delegate_vector_len < data.len());
     assert!((r.breakdown.total_ms() - r.time_ms).abs() < 1e-9);

@@ -1,0 +1,152 @@
+//! Golden-value regression tests for the dataset generators.
+//!
+//! The evaluation harness, the correctness tests and the figures all assume
+//! `topk_datagen::generate` is a pure function of `(distribution, n, seed)`.
+//! These tests freeze the element sum and the reference top-k of every
+//! [`Distribution`] at two fixed `(n, seed)` points, so any drift in the RNG
+//! stream, the chunked parallel fill, or a distribution's shape is caught
+//! here — independently of the top-k algorithms under test.
+//!
+//! If a PR changes these values **intentionally** (e.g. a new generation
+//! scheme), re-derive the constants with the snippet in each test and say so
+//! in the PR description; silent drift is the failure mode this file exists
+//! to catch.
+
+use drtopk::prelude::*;
+use topk_baselines::reference_topk;
+use topk_datagen::generate;
+
+/// (distribution, element sum, reference top-8) at n = 2^16, seed = 0x5eed.
+const GOLDEN_N16_SEED_0X5EED: &[(Distribution, u64, &[u32])] = &[
+    (
+        Distribution::Uniform,
+        141_017_943_632_819,
+        &[
+            4294764799, 4294748075, 4294721171, 4294717939, 4294711679, 4294685858, 4294652949,
+            4294530103,
+        ],
+    ),
+    (
+        Distribution::Normal,
+        6_553_599_967_817,
+        &[
+            100000054, 100000040, 100000040, 100000039, 100000039, 100000038, 100000038, 100000038,
+        ],
+    ),
+    (
+        Distribution::Customized,
+        264_968_207_592_427,
+        &[
+            4294967295, 4294967295, 4294967295, 4294967295, 4294967295, 4294967295, 4294967295,
+            4294967295,
+        ],
+    ),
+    (
+        Distribution::AnnSift,
+        94_121_592_777,
+        &[
+            2011773, 1995975, 1991436, 1963489, 1956926, 1955429, 1951893, 1948198,
+        ],
+    ),
+    (
+        Distribution::WebDegrees,
+        1_798_786,
+        &[1196828, 182345, 10426, 9129, 5424, 5191, 3342, 3256],
+    ),
+    (
+        Distribution::TwitterFear,
+        1_651_456_680,
+        &[98915, 98915, 98915, 98915, 98915, 98915, 98915, 98915],
+    ),
+];
+
+/// (distribution, element sum, reference top-4) at n = 4096, seed = 7 —
+/// a second point so seed- and size-handling drift can't cancel out.
+const GOLDEN_N4096_SEED_7: &[(Distribution, u64, &[u32])] = &[
+    (
+        Distribution::Uniform,
+        8_874_946_795_209,
+        &[4294615955, 4293831171, 4291940733, 4291837170],
+    ),
+    (
+        Distribution::Normal,
+        409_599_997_958,
+        &[100000037, 100000036, 100000034, 100000033],
+    ),
+    (
+        Distribution::Customized,
+        16_632_285_510_860,
+        &[4294967295, 4294967295, 4294967295, 4294967295],
+    ),
+    (
+        Distribution::AnnSift,
+        6_437_160_019,
+        &[2140448, 2090710, 2073737, 2072681],
+    ),
+    (Distribution::WebDegrees, 22_099, &[1890, 649, 518, 472]),
+    (
+        Distribution::TwitterFear,
+        99_998_936,
+        &[99424, 99424, 99424, 99424],
+    ),
+];
+
+fn check(golden: &[(Distribution, u64, &[u32])], n: usize, seed: u64, k: usize) {
+    for &(dist, expected_sum, expected_topk) in golden {
+        let data = generate(dist, n, seed);
+        assert_eq!(data.len(), n, "{dist:?}: wrong length");
+        let sum: u64 = data.iter().map(|&x| x as u64).sum();
+        assert_eq!(
+            sum, expected_sum,
+            "{dist:?}: element sum drifted at n={n} seed={seed} — the RNG \
+             stream or distribution shape changed"
+        );
+        assert_eq!(
+            reference_topk(&data, k),
+            expected_topk,
+            "{dist:?}: reference top-{k} drifted at n={n} seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn golden_values_at_n16_seed_0x5eed() {
+    check(GOLDEN_N16_SEED_0X5EED, 1 << 16, 0x5eed, 8);
+}
+
+#[test]
+fn golden_values_at_n4096_seed_7() {
+    check(GOLDEN_N4096_SEED_7, 4096, 7, 4);
+}
+
+#[test]
+fn every_distribution_has_a_golden_entry() {
+    // Adding a new Distribution variant must extend the golden tables.
+    for dist in Distribution::ALL {
+        assert!(
+            GOLDEN_N16_SEED_0X5EED.iter().any(|&(d, _, _)| d == dist),
+            "{dist:?} missing from GOLDEN_N16_SEED_0X5EED"
+        );
+        assert!(
+            GOLDEN_N4096_SEED_7.iter().any(|&(d, _, _)| d == dist),
+            "{dist:?} missing from GOLDEN_N4096_SEED_7"
+        );
+    }
+}
+
+#[test]
+fn generation_spans_chunk_boundaries_deterministically() {
+    // The parallel fill derives one RNG stream per 2^18-element chunk; a
+    // multi-chunk vector must be the concatenation of the same streams
+    // regardless of worker count, and its prefix must NOT equal the
+    // shorter-vector generation (chunk seeds are index-based).
+    let big = generate(Distribution::Uniform, (1 << 18) + 1024, 0x5eed);
+    let again = generate(Distribution::Uniform, (1 << 18) + 1024, 0x5eed);
+    assert_eq!(big, again, "multi-chunk generation must be deterministic");
+    let small = generate(Distribution::Uniform, 1 << 16, 0x5eed);
+    assert_eq!(
+        &big[..1 << 16],
+        &small[..],
+        "chunk-0 stream must be independent of total length"
+    );
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of criterion's API the workspace's `topk_criterion` bench target
+//! uses: [`Criterion`], [`BenchmarkGroup`], [`Bencher`] with `iter` /
+//! `iter_batched`, [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It measures wall-clock time with `std::time::Instant` and prints a
+//! single mean-per-iteration line per benchmark — no statistics, plots or
+//! `target/criterion` reports. Timings are indicative only; the macros and
+//! structure exist primarily so `cargo bench --no-run` compiles and
+//! `cargo bench` produces readable output.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup output is batched (accepted for API
+/// compatibility; the stand-in runs every routine unbatched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// An opaque identity function that prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run a free-standing benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one("", name, sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a routine under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, name, self.sample_size, f);
+        self
+    }
+
+    /// End the group. (The stand-in reports per-benchmark, so this is a
+    /// no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(group: &str, name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if bencher.iters == 0 {
+        println!("{label:<48} (no iterations)");
+    } else {
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        println!(
+            "{label:<48} {:>12.3} us/iter ({} iters)",
+            mean * 1e6,
+            bencher.iters
+        );
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Time `routine` on an input built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        black_box(routine(&mut input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0;
+        group.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}

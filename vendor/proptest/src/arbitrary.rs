@@ -1,0 +1,119 @@
+//! `any::<T>()` — the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value. Integer implementations bias toward
+    /// edge values (zero, max) occasionally, since those are
+    /// disproportionately likely to expose bugs.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Canonical strategy for `T`: `any::<u32>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    // ~1/16 of draws return an edge value.
+                    match rng.next_below(16) {
+                        0 => 0,
+                        1 => <$ty>::MAX,
+                        _ => rng.next_u64() as $ty,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    match rng.next_below(16) {
+                        0 => 0,
+                        1 => <$ty>::MAX,
+                        2 => <$ty>::MIN,
+                        _ => rng.next_u64() as $ty,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only — the workspace's tests feed these straight
+        // into ordering-sensitive code.
+        (rng.next_unit_f64() - 0.5) * 2.0 * 1e12
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u32_hits_edge_values() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = any::<u32>();
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..512 {
+            match strat.sample(&mut rng) {
+                0 => saw_zero = true,
+                u32::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn any_bool_yields_both() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything usable as a collection-size specification.
+pub trait SizeRange {
+    /// Draw a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a length drawn from
+/// `R`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// `vec(any::<u32>(), 1..4000)` — a vector whose length is drawn from the
+/// given range and whose elements come from `element`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_vary_within_range() {
+        let mut rng = TestRng::from_seed(9);
+        let strat = vec(any::<u32>(), 3..9);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..128 {
+            let v = strat.sample(&mut rng);
+            assert!((3..9).contains(&v.len()));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 1, "lengths should not be constant");
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let mut rng = TestRng::from_seed(10);
+        let strat = vec(any::<u8>(), 5usize);
+        assert_eq!(strat.sample(&mut rng).len(), 5);
+    }
+}

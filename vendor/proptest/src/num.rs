@@ -1,0 +1,5 @@
+//! Numeric strategy helpers, kept as a module for path compatibility with
+//! real proptest (`proptest::num::...`). The range `Strategy`
+//! implementations themselves live in [`crate::strategy`].
+
+pub use crate::strategy::Strategy;

@@ -1,0 +1,201 @@
+//! The [`Strategy`] trait: a recipe for generating values of one type.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of type [`Strategy::Value`].
+///
+/// The real proptest `Strategy` produces *value trees* that support
+/// shrinking; this stand-in samples final values directly.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `&S` is a strategy wherever `S` is, so strategies can be reused without
+/// moving them.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy {:?}", self);
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.next_below(span) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy {:?}", self);
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    lo + rng.next_below(span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_int_range_strategy {
+    ($($ty:ty => $uty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy {:?}", self);
+                    let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                    self.start.wrapping_add(rng.next_below(span) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+signed_int_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start.is_finite() && self.end.is_finite() && self.start < self.end,
+            "invalid f64 range strategy {:?}",
+            self
+        );
+        let v = self.start + rng.next_unit_f64() * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; clamp back
+        // inside the half-open interval.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        let wide = (self.start as f64)..(self.end as f64);
+        let v = wide.sample(rng) as f32;
+        // The f64→f32 rounding can land exactly on `end` even though the
+        // f64 sample was below it; re-clamp in f32.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// A strategy wrapping a plain function of the RNG. Used by combinators and
+/// handy for one-off custom strategies.
+pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ranges_cover_bounds_eventually() {
+        let mut rng = TestRng::from_seed(7);
+        let strat = 0u32..4;
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 should be generated");
+    }
+
+    #[test]
+    fn inclusive_range_can_produce_end() {
+        let mut rng = TestRng::from_seed(11);
+        let strat = 0u8..=1;
+        let mut saw_end = false;
+        for _ in 0..64 {
+            saw_end |= strat.sample(&mut rng) == 1;
+        }
+        assert!(saw_end);
+    }
+
+    #[test]
+    fn f64_range_is_half_open() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = -1.0f64..1.0;
+        for _ in 0..1000 {
+            let v = strat.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f32_range_is_half_open_despite_rounding() {
+        let mut rng = TestRng::from_seed(17);
+        // A range whose end sits where f64→f32 rounding pressure is real.
+        let strat = 0.0f32..1.0;
+        for _ in 0..10_000 {
+            let v = strat.sample(&mut rng);
+            assert!(
+                (0.0..1.0).contains(&v),
+                "sampled {v} outside half-open range"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_range_spans_zero() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = -5i32..5;
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..256 {
+            let v = strat.sample(&mut rng);
+            assert!((-5..5).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+}
