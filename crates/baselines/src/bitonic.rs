@@ -16,7 +16,9 @@
 //! implementation at `k ≤ 256`).
 
 use gpu_sim::{Device, KernelStats, WARP_SIZE};
+use std::cmp::Reverse;
 
+use crate::key::TopKKey;
 use crate::result::TopKResult;
 
 /// Configuration of the bitonic top-k baseline.
@@ -40,8 +42,15 @@ impl Default for BitonicConfig {
     }
 }
 
-/// Bitonic **top-k** of `data`.
-pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicConfig) -> TopKResult {
+/// Bitonic **top-k** of `data`. The merge network is comparison-based, so
+/// genericity over [`TopKKey`] costs nothing: elements are compared in the
+/// key's order-preserving radix space.
+pub fn bitonic_topk<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    config: &BitonicConfig,
+) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
@@ -58,7 +67,7 @@ pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicCon
     // Iteration 0: sort every 2k chunk and keep its top k.
     // Iterations 1..: merge adjacent k-sequences (a bitonic 2k merge) and
     // keep the top k of each, halving the survivors every time.
-    let mut survivors: Vec<u32> = data.to_vec();
+    let mut survivors: Vec<K> = data.to_vec();
     let mut iteration = 0usize;
     while survivors.len() > k {
         let chunk = (2 * k).max(2);
@@ -74,7 +83,7 @@ pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicCon
             |ctx| {
                 // each simulated warp handles its share of the 2k chunks
                 let chunk_range = ctx.chunk_of(num_chunks);
-                let mut kept: Vec<u32> = Vec::new();
+                let mut kept: Vec<K> = Vec::new();
                 for c in chunk_range {
                     let start = c * chunk;
                     let end = ((c + 1) * chunk).min(input.len());
@@ -93,10 +102,10 @@ pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicCon
                         ctx.record_alu(extra);
                     }
                     ctx.syncthreads();
-                    let mut local: Vec<u32> = slice.to_vec();
-                    local.sort_unstable_by(|a, b| b.cmp(a));
+                    let mut local: Vec<K> = slice.to_vec();
+                    local.sort_unstable_by_key(|v| Reverse(v.to_bits()));
                     local.truncate(k);
-                    ctx.record_store_coalesced::<u32>(local.len());
+                    ctx.record_store_coalesced::<K>(local.len());
                     kept.extend(local);
                 }
                 kept
@@ -112,7 +121,7 @@ pub fn bitonic_topk(device: &Device, data: &[u32], k: usize, config: &BitonicCon
         }
     }
 
-    survivors.sort_unstable_by(|a, b| b.cmp(a));
+    survivors.sort_unstable_by_key(|v| Reverse(v.to_bits()));
     survivors.truncate(k);
     TopKResult::from_values(survivors, stats, time_ms)
 }

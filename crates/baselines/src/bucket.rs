@@ -1,10 +1,17 @@
-//! GGKS-style bucket top-k (Alabi et al.).
+//! GGKS-style bucket top-k (Alabi et al.), generic over any [`TopKKey`].
 //!
 //! Bucket select first finds the min/max of the input, splits that value
 //! range into equal-width buckets, histograms the candidates, keeps only the
 //! bucket that contains the k-th largest element and repeats on the narrowed
 //! value range until the bucket of interest is pinned down to a single value
 //! (or the remaining candidates can be resolved directly).
+//!
+//! Bucketing happens in the key's radix space ([`TopKKey::Bits`]): the
+//! order-preserving bijection makes equal-width *bit-space* buckets a valid
+//! monotone partition for every key type (for floats the buckets are not
+//! equal-width in value space, which affects only the refinement rate, not
+//! correctness). Range arithmetic is done in `u128` so 64-bit key spaces
+//! cannot overflow.
 //!
 //! Unlike radix select, the number of iterations and the rate at which the
 //! candidate set shrinks depend entirely on the *value distribution*: on the
@@ -14,6 +21,7 @@
 
 use gpu_sim::{AtomicBuffer, AtomicCounter, Device, KernelStats};
 
+use crate::key::{KeyBits, TopKKey};
 use crate::radix::gather_topk;
 use crate::result::TopKResult;
 
@@ -40,9 +48,9 @@ impl Default for BucketConfig {
 
 /// Outcome of the bucket k-selection.
 #[derive(Debug, Clone)]
-pub struct BucketSelectOutcome {
+pub struct BucketSelectOutcome<K: TopKKey = u32> {
     /// The k-th largest value.
-    pub threshold: u32,
+    pub threshold: K,
     /// Number of refinement iterations executed (excluding min/max).
     pub iterations: usize,
     /// Counters accumulated by the selection kernels.
@@ -51,14 +59,19 @@ pub struct BucketSelectOutcome {
     pub time_ms: f64,
 }
 
-/// Find the global min and max of `data` with one warp-reduction kernel.
-fn min_max(device: &Device, data: &[u32], elems_per_warp: usize) -> (u32, u32, KernelStats, f64) {
+/// Find the global min and max of `data` (in radix space) with one
+/// warp-reduction kernel.
+fn min_max<B: KeyBits>(
+    device: &Device,
+    data: &[B],
+    elems_per_warp: usize,
+) -> (B, B, KernelStats, f64) {
     let num_warps = data.len().div_ceil(elems_per_warp).max(1);
     let launch = device.launch("baseline_bucket_minmax", num_warps, |ctx| {
         let chunk = ctx.chunk_of(data.len());
         let slice = ctx.read_coalesced(&data[chunk]);
-        let mut lo = u32::MAX;
-        let mut hi = 0u32;
+        let mut lo = B::MAX;
+        let mut hi = B::ZERO;
         for &x in slice {
             lo = lo.min(x);
             hi = hi.max(x);
@@ -68,8 +81,8 @@ fn min_max(device: &Device, data: &[u32], elems_per_warp: usize) -> (u32, u32, K
         let lo = ctx.warp_reduce_min_lanes(&[lo]);
         (lo, hi)
     });
-    let mut lo = u32::MAX;
-    let mut hi = 0u32;
+    let mut lo = B::MAX;
+    let mut hi = B::ZERO;
     for (l, h) in &launch.output {
         lo = lo.min(*l);
         hi = hi.max(*h);
@@ -79,25 +92,26 @@ fn min_max(device: &Device, data: &[u32], elems_per_warp: usize) -> (u32, u32, K
 
 /// Bucket **k-selection**: find the k-th largest value of `data`
 /// (1 ≤ k ≤ |data|).
-pub fn bucket_select_kth(
+pub fn bucket_select_kth<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     k: usize,
     config: &BucketConfig,
-) -> BucketSelectOutcome {
+) -> BucketSelectOutcome<K> {
     assert!(k >= 1 && k <= data.len(), "k must be in 1..=|V|");
     assert!(config.num_buckets >= 2, "need at least two buckets");
 
-    let (mut lo, mut hi, mut stats, mut time_ms) = min_max(device, data, config.elems_per_warp);
+    let bits: Vec<K::Bits> = data.iter().map(|x| x.to_bits()).collect();
+    let (mut lo, mut hi, mut stats, mut time_ms) = min_max(device, &bits, config.elems_per_warp);
     let mut k_remaining = k;
-    let mut candidates: Vec<u32> = data.to_vec();
+    let mut candidates: Vec<K::Bits> = bits;
     let mut iterations = 0usize;
 
     // Special case: k == 1 is answered by the min/max kernel alone, which is
     // why the paper notes that "bucket top-k performs fairly well when k=1".
     if k == 1 {
         return BucketSelectOutcome {
-            threshold: hi,
+            threshold: K::from_bits(hi),
             iterations: 0,
             stats,
             time_ms,
@@ -119,24 +133,26 @@ pub fn bucket_select_kth(
             let launch = device.launch("baseline_bucket_min_of_rest", num_warps, |ctx| {
                 let chunk = ctx.chunk_of(cand.len());
                 let slice = ctx.read_coalesced(&cand[chunk]);
-                let m = slice.iter().copied().min().unwrap_or(u32::MAX);
+                let m = slice.iter().copied().min().unwrap_or(K::Bits::MAX);
                 ctx.warp_reduce_min_lanes(&[m])
             });
             stats += launch.stats;
             time_ms += launch.time_ms;
             let threshold = launch.output.into_iter().min().unwrap_or(lo);
             return BucketSelectOutcome {
-                threshold,
+                threshold: K::from_bits(threshold),
                 iterations,
                 stats,
                 time_ms,
             };
         }
 
-        let range = (hi - lo) as u64 + 1;
-        let width = range.div_ceil(nb as u64).max(1);
-        let bucket_of =
-            |x: u32| -> usize { (((x - lo) as u64) / width).min(nb as u64 - 1) as usize };
+        let range = hi.to_u128() - lo.to_u128() + 1;
+        let width = range.div_ceil(nb as u128).max(1);
+        let lo_wide = lo.to_u128();
+        let bucket_of = |x: K::Bits| -> usize {
+            ((x.to_u128() - lo_wide) / width).min(nb as u128 - 1) as usize
+        };
 
         // --- histogram over the current candidates ---------------------------
         let num_warps = candidates.len().div_ceil(config.elems_per_warp).max(1);
@@ -177,13 +193,14 @@ pub fn bucket_select_kth(
         }
         k_remaining -= above;
 
-        let new_lo_u64 = lo as u64 + chosen as u64 * width;
-        let new_hi_u64 = (new_lo_u64 + width - 1).min(hi as u64);
-        let (new_lo, new_hi) = (new_lo_u64 as u32, new_hi_u64 as u32);
+        let new_lo_wide = lo.to_u128() + chosen as u128 * width;
+        let new_hi_wide = (new_lo_wide + width - 1).min(hi.to_u128());
+        let (new_lo, new_hi) = (
+            K::Bits::from_u128(new_lo_wide),
+            K::Bits::from_u128(new_hi_wide),
+        );
 
         // --- compact the candidates into the chosen bucket -------------------
-        let survivors = histogram[chosen] as usize;
-        let out = AtomicBuffer::zeroed(survivors);
         let cursor = AtomicCounter::new(0);
         let launch = device.launch(
             &format!("baseline_bucket_compact_iter{iterations}"),
@@ -191,7 +208,7 @@ pub fn bucket_select_kth(
             |ctx| {
                 let chunk = ctx.chunk_of(cand.len());
                 let slice = ctx.read_coalesced(&cand[chunk]);
-                let mut kept: Vec<u32> = Vec::new();
+                let mut kept: Vec<K::Bits> = Vec::new();
                 for &x in slice {
                     if x >= new_lo && x <= new_hi {
                         kept.push(x);
@@ -199,20 +216,21 @@ pub fn bucket_select_kth(
                     ctx.record_alu(2);
                 }
                 if !kept.is_empty() {
-                    let base = cursor.fetch_add(ctx, kept.len() as u64) as usize;
-                    out.store_coalesced(ctx, base, &kept);
+                    cursor.fetch_add(ctx, kept.len() as u64);
+                    ctx.record_store_coalesced::<K::Bits>(kept.len());
                 }
+                kept
             },
         );
         stats += launch.stats;
         time_ms += launch.time_ms;
-        candidates = out.to_vec();
+        candidates = launch.output.into_iter().flatten().collect();
         lo = new_lo;
         hi = new_hi;
 
         if candidates.len() == 1 {
             return BucketSelectOutcome {
-                threshold: candidates[0],
+                threshold: K::from_bits(candidates[0]),
                 iterations,
                 stats,
                 time_ms,
@@ -221,7 +239,7 @@ pub fn bucket_select_kth(
     }
 
     BucketSelectOutcome {
-        threshold: lo,
+        threshold: K::from_bits(lo),
         iterations,
         stats,
         time_ms,
@@ -229,7 +247,12 @@ pub fn bucket_select_kth(
 }
 
 /// Full bucket **top-k**: selection followed by the shared gather pass.
-pub fn bucket_topk(device: &Device, data: &[u32], k: usize, config: &BucketConfig) -> TopKResult {
+pub fn bucket_topk<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    config: &BucketConfig,
+) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
@@ -291,6 +314,26 @@ mod tests {
             vec![9, 3]
         );
         assert!(bucket_topk(&dev, &two, 0, &BucketConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn bucket_topk_is_generic_over_keys() {
+        let dev = device();
+        let signed: Vec<i32> = (-2000i32..2000).map(|x| x.wrapping_mul(7919)).collect();
+        for &k in &[1usize, 9, 500] {
+            assert_eq!(
+                bucket_topk(&dev, &signed, k, &BucketConfig::default()).values,
+                reference_topk(&signed, k),
+                "i32 k={k}"
+            );
+        }
+        let floats: Vec<f64> = (0..3000)
+            .map(|i| ((i * 37) % 1000) as f64 - 500.0 + 0.25)
+            .collect();
+        assert_eq!(
+            bucket_topk(&dev, &floats, 11, &BucketConfig::default()).values,
+            reference_topk(&floats, 11)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod bitonic;
 pub mod bucket;
+pub mod key;
 pub mod priority_queue;
 pub mod radix;
 pub mod result;
@@ -38,11 +39,14 @@ pub mod sort_and_choose;
 
 pub use bitonic::{bitonic_iterations, bitonic_topk, BitonicConfig};
 pub use bucket::{bucket_select_kth, bucket_topk, BucketConfig, BucketSelectOutcome};
+pub use key::{sort_keys_asc, sort_keys_desc, Desc, KeyBits, TopKKey};
 pub use priority_queue::{parallel_priority_queue_topk, priority_queue_topk};
 pub use radix::{
     gather_topk, radix_select_kth, radix_topk, RadixConfig, RadixVariant, SelectOutcome,
 };
-pub use result::{collect_topk_by_threshold, reference_kth, reference_topk, TopKResult};
+pub use result::{
+    collect_topk_by_threshold, reference_kth, reference_topk, reference_topk_min, TopKResult,
+};
 pub use sort_and_choose::sort_and_choose_topk;
 
 /// The inner top-k algorithms Dr. Top-k can assist (Figures 17–19 evaluate
@@ -77,8 +81,8 @@ impl BaselineAlgorithm {
         }
     }
 
-    /// Run this baseline with its default configuration.
-    pub fn run(&self, device: &gpu_sim::Device, data: &[u32], k: usize) -> TopKResult {
+    /// Run this baseline with its default configuration, on any key type.
+    pub fn run<K: TopKKey>(&self, device: &gpu_sim::Device, data: &[K], k: usize) -> TopKResult<K> {
         match self {
             BaselineAlgorithm::Radix => radix_topk(device, data, k, &RadixConfig::default()),
             BaselineAlgorithm::Bucket => bucket_topk(device, data, k, &BucketConfig::default()),

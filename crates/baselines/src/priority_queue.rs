@@ -10,33 +10,36 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use crate::key::TopKKey;
 use crate::result::TopKResult;
 use gpu_sim::KernelStats;
 
 /// Single-threaded min-heap top-k over `data`.
 ///
 /// A size-`k` min-heap slides over the input; each element larger than the
-/// heap minimum replaces it. `stats` stays empty (no simulated device is
+/// heap minimum replaces it. The heap orders elements by their
+/// [`TopKKey::to_bits`] image, which gives floats the documented
+/// `total_cmp` order. `stats` stays empty (no simulated device is
 /// involved); `time_ms` is the measured host wall-clock time.
-pub fn priority_queue_topk(data: &[u32], k: usize) -> TopKResult {
+pub fn priority_queue_topk<K: TopKKey>(data: &[K], k: usize) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
     }
     let started = Instant::now();
-    let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::with_capacity(k + 1);
+    let mut heap: BinaryHeap<Reverse<K::Bits>> = BinaryHeap::with_capacity(k + 1);
     for &x in data.iter().take(k) {
-        heap.push(Reverse(x));
+        heap.push(Reverse(x.to_bits()));
     }
     for &x in data.iter().skip(k) {
         // peek is O(1); only elements beating the current minimum pay the
         // O(log k) heap update.
-        if x > heap.peek().expect("heap is non-empty").0 {
+        if x.to_bits() > heap.peek().expect("heap is non-empty").0 {
             heap.pop();
-            heap.push(Reverse(x));
+            heap.push(Reverse(x.to_bits()));
         }
     }
-    let values: Vec<u32> = heap.into_iter().map(|Reverse(v)| v).collect();
+    let values: Vec<K> = heap.into_iter().map(|Reverse(v)| K::from_bits(v)).collect();
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     TopKResult::from_values(values, KernelStats::default(), wall_ms)
 }
@@ -44,23 +47,32 @@ pub fn priority_queue_topk(data: &[u32], k: usize) -> TopKResult {
 /// Multi-threaded min-heap top-k: each worker keeps a local heap over its
 /// chunk, and the local results are merged at the end — the structure whose
 /// GPU-scale synchronization cost the paper calls out.
-pub fn parallel_priority_queue_topk(data: &[u32], k: usize, workers: usize) -> TopKResult {
+pub fn parallel_priority_queue_topk<K: TopKKey>(
+    data: &[K],
+    k: usize,
+    workers: usize,
+) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
     }
     let workers = workers.max(1).min(data.len());
     let started = Instant::now();
-    let mut partials: Vec<Vec<u32>> = Vec::with_capacity(workers);
+    let mut partials: Vec<Vec<K>> = Vec::with_capacity(workers);
     scoped_partial_topk(data, k, workers, &mut partials);
-    let mut merged: Vec<u32> = partials.into_iter().flatten().collect();
-    merged.sort_unstable_by(|a, b| b.cmp(a));
+    let mut merged: Vec<K> = partials.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(|v| Reverse(v.to_bits()));
     merged.truncate(k);
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     TopKResult::from_values(merged, KernelStats::default(), wall_ms)
 }
 
-fn scoped_partial_topk(data: &[u32], k: usize, workers: usize, partials: &mut Vec<Vec<u32>>) {
+fn scoped_partial_topk<K: TopKKey>(
+    data: &[K],
+    k: usize,
+    workers: usize,
+    partials: &mut Vec<Vec<K>>,
+) {
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {

@@ -1,5 +1,5 @@
 //! GGKS-style radix top-k (Alabi et al., "Fast k-Selection Algorithms for
-//! Graphics Processing Units").
+//! Graphics Processing Units"), generic over any [`TopKKey`].
 //!
 //! Radix select walks the bits of the values from the most significant digit
 //! to the least significant digit (8 bits per pass by default). Each pass
@@ -7,6 +7,12 @@
 //! contains the k-th largest element, and restricts the candidate set to
 //! that digit. After all passes the accumulated digit prefix *is* the k-th
 //! value; a final gather pass collects every element above it.
+//!
+//! All digit arithmetic happens in the key's radix space
+//! ([`TopKKey::Bits`]): the order-preserving bijection makes unsigned radix
+//! selection correct for signed integers and IEEE-754 floats unchanged. A
+//! 32-bit key takes 4 passes at the default 8 bits per digit; a 64-bit key
+//! takes 8.
 //!
 //! Two variants are provided, matching the paper's discussion:
 //!
@@ -28,6 +34,7 @@
 
 use gpu_sim::{AtomicBuffer, AtomicCounter, Device, KernelStats};
 
+use crate::key::{KeyBits, TopKKey};
 use crate::result::TopKResult;
 
 /// Which radix-select variant to run.
@@ -75,16 +82,16 @@ impl RadixConfig {
         1 << self.bits_per_pass
     }
 
-    fn num_passes(&self) -> u32 {
-        32_u32.div_ceil(self.bits_per_pass)
+    fn num_passes<B: KeyBits>(&self) -> u32 {
+        B::BITS.div_ceil(self.bits_per_pass)
     }
 }
 
 /// Outcome of a k-selection (threshold search) on the device.
 #[derive(Debug, Clone)]
-pub struct SelectOutcome {
+pub struct SelectOutcome<K: TopKKey = u32> {
     /// The k-th largest value.
-    pub threshold: u32,
+    pub threshold: K,
     /// Counters accumulated by the selection kernels.
     pub stats: KernelStats,
     /// Modeled time of the selection kernels in milliseconds.
@@ -93,35 +100,41 @@ pub struct SelectOutcome {
 
 /// Radix **k-selection**: find the k-th largest value of `data`
 /// (1 ≤ k ≤ |data|).
-pub fn radix_select_kth(
+pub fn radix_select_kth<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     k: usize,
     config: &RadixConfig,
-) -> SelectOutcome {
+) -> SelectOutcome<K> {
     assert!(k >= 1 && k <= data.len(), "k must be in 1..=|V|");
     let mut stats = KernelStats::default();
     let mut time_ms = 0.0;
 
     let bits = config.bits_per_pass;
     let digits = config.num_digits() as usize;
-    let passes = config.num_passes();
+    let passes = config.num_passes::<K::Bits>();
 
-    let mut prefix_value: u32 = 0;
-    let mut prefix_mask: u32 = 0;
+    let mut prefix_value = K::Bits::ZERO;
+    let mut prefix_mask = K::Bits::ZERO;
+    let digit_mask = K::Bits::from_u64(digits as u64 - 1);
     let mut k_remaining = k;
 
+    // All selection arithmetic happens in the radix space; the initial
+    // conversion is the same host-side copy the u32 version always made.
     // Out-of-place candidate buffer (starts as the full input, shrinks).
-    let mut candidates: Vec<u32> = data.to_vec();
+    let mut candidates: Vec<K::Bits> = match config.variant {
+        RadixVariant::OutOfPlace => data.iter().map(|x| x.to_bits()).collect(),
+        RadixVariant::InPlaceZeroing => Vec::new(),
+    };
     // In-place working copy (ineligible elements are overwritten with 0).
-    let mut working: Vec<u32> = match config.variant {
-        RadixVariant::InPlaceZeroing => data.to_vec(),
+    let mut working: Vec<K::Bits> = match config.variant {
+        RadixVariant::InPlaceZeroing => data.iter().map(|x| x.to_bits()).collect(),
         RadixVariant::OutOfPlace => Vec::new(),
     };
 
     for pass in 0..passes {
-        let shift = 32 - bits * (pass + 1);
-        let scan: &[u32] = match config.variant {
+        let shift = K::Bits::BITS - bits * (pass + 1);
+        let scan: &[K::Bits] = match config.variant {
             RadixVariant::OutOfPlace => &candidates,
             RadixVariant::InPlaceZeroing => &working,
         };
@@ -141,7 +154,7 @@ pub fn radix_select_kth(
                 let mut local = vec![0u32; digits];
                 for &x in slice {
                     if x & prefix_mask == prefix_value {
-                        let d = ((x >> shift) as usize) & (digits - 1);
+                        let d = ((x >> shift) & digit_mask).as_digit();
                         local[d] += 1;
                     }
                     ctx.record_alu(2);
@@ -172,14 +185,12 @@ pub fn radix_select_kth(
             above += count;
         }
         k_remaining -= above;
-        prefix_value |= (chosen as u32) << shift;
-        prefix_mask |= ((digits - 1) as u32) << shift;
+        prefix_value |= K::Bits::from_u64(chosen as u64) << shift;
+        prefix_mask |= digit_mask << shift;
 
         // --- restrict candidates ----------------------------------------------
         match config.variant {
             RadixVariant::OutOfPlace => {
-                let survivors = histogram[chosen] as usize;
-                let out = AtomicBuffer::zeroed(survivors);
                 let cursor = AtomicCounter::new(0);
                 let launch = device.launch(
                     &format!("baseline_radix_compact_pass{pass}"),
@@ -187,7 +198,7 @@ pub fn radix_select_kth(
                     |ctx| {
                         let chunk = ctx.chunk_of(scan.len());
                         let slice = ctx.read_coalesced(&scan[chunk]);
-                        let mut kept: Vec<u32> = Vec::new();
+                        let mut kept: Vec<K::Bits> = Vec::new();
                         for &x in slice {
                             if x & prefix_mask == prefix_value {
                                 kept.push(x);
@@ -196,19 +207,19 @@ pub fn radix_select_kth(
                         }
                         if !kept.is_empty() {
                             // warp-aggregated position allocation + coalesced store
-                            let base = cursor.fetch_add(ctx, kept.len() as u64) as usize;
-                            out.store_coalesced(ctx, base, &kept);
+                            cursor.fetch_add(ctx, kept.len() as u64);
+                            ctx.record_store_coalesced::<K::Bits>(kept.len());
                         }
+                        kept
                     },
                 );
                 stats += launch.stats;
                 time_ms += launch.time_ms;
-                candidates = out.to_vec();
+                candidates = launch.output.into_iter().flatten().collect();
                 if candidates.len() == 1 {
                     // the k-th value is pinned down early
-                    let threshold = candidates[0];
                     return SelectOutcome {
-                        threshold,
+                        threshold: K::from_bits(candidates[0]),
                         stats,
                         time_ms,
                     };
@@ -222,14 +233,16 @@ pub fn radix_select_kth(
                 // fused with the histogram scan, so no extra loads.
                 let mut zeroed: u64 = 0;
                 for x in working.iter_mut() {
-                    if *x != 0 && *x & prefix_mask != prefix_value && *x < prefix_value {
-                        *x = 0;
+                    if *x != K::Bits::ZERO && *x & prefix_mask != prefix_value && *x < prefix_value
+                    {
+                        *x = K::Bits::ZERO;
                         zeroed += 1;
                     }
                 }
+                let elem_bytes = std::mem::size_of::<K::Bits>() as u64;
                 let zero_stats = KernelStats {
                     global_store_transactions: zeroed,
-                    global_stored_bytes: zeroed * 4,
+                    global_stored_bytes: zeroed * elem_bytes,
                     ..KernelStats::default()
                 };
                 let zero_time = gpu_sim::estimate_time_ms(&zero_stats, device.spec());
@@ -249,12 +262,12 @@ pub fn radix_select_kth(
             // After the final pass every surviving candidate equals the full
             // prefix, which is the k-th value.
             if candidates.is_empty() {
-                prefix_value
+                K::from_bits(prefix_value)
             } else {
-                candidates[0]
+                K::from_bits(candidates[0])
             }
         }
-        RadixVariant::InPlaceZeroing => prefix_value,
+        RadixVariant::InPlaceZeroing => K::from_bits(prefix_value),
     };
 
     SelectOutcome {
@@ -266,40 +279,42 @@ pub fn radix_select_kth(
 
 /// Gather every element above `threshold` (plus enough ties to reach `k`)
 /// into a [`TopKResult`], charging the scan and the output stores.
-pub fn gather_topk(
+pub fn gather_topk<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     k: usize,
-    threshold: u32,
+    threshold: K,
     elems_per_warp: usize,
     mut stats: KernelStats,
     mut time_ms: f64,
-) -> TopKResult {
+) -> TopKResult<K> {
+    let tb = threshold.to_bits();
     let num_warps = data.len().div_ceil(elems_per_warp).max(1);
     let cursor = AtomicCounter::new(0);
     let launch = device.launch("baseline_topk_gather", num_warps, |ctx| {
         let chunk = ctx.chunk_of(data.len());
         let slice = ctx.read_coalesced(&data[chunk]);
-        let mut kept: Vec<u32> = Vec::new();
+        let mut kept: Vec<K> = Vec::new();
         let mut ties = 0u32;
         for &x in slice {
-            if x > threshold {
+            let xb = x.to_bits();
+            if xb > tb {
                 kept.push(x);
-            } else if x == threshold {
+            } else if xb == tb {
                 ties += 1;
             }
             ctx.record_alu(1);
         }
         if !kept.is_empty() {
             cursor.fetch_add(ctx, kept.len() as u64);
-            ctx.record_store_coalesced::<u32>(kept.len());
+            ctx.record_store_coalesced::<K>(kept.len());
         }
         (kept, ties)
     });
     stats += launch.stats;
     time_ms += launch.time_ms;
 
-    let mut above: Vec<u32> = Vec::new();
+    let mut above: Vec<K> = Vec::new();
     let mut total_ties = 0usize;
     for (kept, ties) in launch.output {
         above.extend(kept);
@@ -313,7 +328,12 @@ pub fn gather_topk(
 }
 
 /// Full radix **top-k**: selection followed by the gather pass.
-pub fn radix_topk(device: &Device, data: &[u32], k: usize, config: &RadixConfig) -> TopKResult {
+pub fn radix_topk<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    config: &RadixConfig,
+) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
@@ -394,6 +414,35 @@ mod tests {
         let data = vec![0u32, u32::MAX, 5, u32::MAX - 1, 0];
         let got = radix_topk(&dev, &data, 2, &RadixConfig::default());
         assert_eq!(got.values, vec![u32::MAX, u32::MAX - 1]);
+    }
+
+    #[test]
+    fn radix_topk_is_generic_over_keys() {
+        let dev = device();
+        // i64 with negatives, u64 with high bits, f32 with specials: 64-bit
+        // keys run 8 digit passes, floats go through the total-order map.
+        let signed: Vec<i64> = (-500i64..500).map(|x| x * 3_000_000_007).collect();
+        assert_eq!(
+            radix_topk(&dev, &signed, 7, &RadixConfig::default()).values,
+            reference_topk(&signed, 7)
+        );
+        let wide: Vec<u64> = (0..1000u64).map(|x| x << 40 | x).collect();
+        assert_eq!(
+            radix_topk(&dev, &wide, 5, &RadixConfig::in_place()).values,
+            reference_topk(&wide, 5)
+        );
+        let floats = vec![
+            1.5f32,
+            -2.25,
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            3.75,
+        ];
+        let got = radix_topk(&dev, &floats, 3, &RadixConfig::default());
+        assert_eq!(got.values, vec![f32::INFINITY, 3.75, 1.5]);
+        assert_eq!(got.kth_value, 1.5);
     }
 
     #[test]

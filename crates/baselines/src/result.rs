@@ -1,20 +1,25 @@
 //! Common result type and reference (ground-truth) helpers shared by every
-//! top-k algorithm in the workspace.
+//! top-k algorithm in the workspace, generic over any [`TopKKey`].
 
 use gpu_sim::KernelStats;
+use std::cmp::Reverse;
+
+use crate::key::TopKKey;
 
 /// Result of a top-k computation.
 ///
 /// `values` always contains exactly `min(k, |V|)` elements, sorted in
-/// descending order. When the input contains duplicates of the k-th value,
-/// ties are resolved arbitrarily but the returned *multiset* of values is
-/// exact, so results can be compared against [`reference_topk`] directly.
+/// descending key order (the total order induced by [`TopKKey::to_bits`];
+/// for floats this is the `total_cmp` order). When the input contains
+/// duplicates of the k-th value, ties are resolved arbitrarily but the
+/// returned *multiset* of values is exact, so results can be compared
+/// against [`reference_topk`] directly.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TopKResult {
+pub struct TopKResult<K: TopKKey = u32> {
     /// The k largest values, descending.
-    pub values: Vec<u32>,
+    pub values: Vec<K>,
     /// The k-th largest value (the selection threshold).
-    pub kth_value: u32,
+    pub kth_value: K,
     /// Instrumentation counters accumulated by all kernels this computation
     /// launched.
     pub stats: KernelStats,
@@ -22,11 +27,11 @@ pub struct TopKResult {
     pub time_ms: f64,
 }
 
-impl TopKResult {
+impl<K: TopKKey> TopKResult<K> {
     /// Build a result from an unsorted list of selected values.
-    pub fn from_values(mut values: Vec<u32>, stats: KernelStats, time_ms: f64) -> Self {
-        values.sort_unstable_by(|a, b| b.cmp(a));
-        let kth_value = values.last().copied().unwrap_or(0);
+    pub fn from_values(mut values: Vec<K>, stats: KernelStats, time_ms: f64) -> Self {
+        values.sort_unstable_by_key(|v| Reverse(v.to_bits()));
+        let kth_value = values.last().copied().unwrap_or_default();
         TopKResult {
             values,
             kth_value,
@@ -48,7 +53,7 @@ impl TopKResult {
 
 /// CPU reference: the `min(k, |V|)` largest values of `data`, descending.
 /// Used as ground truth by every test in the workspace.
-pub fn reference_topk(data: &[u32], k: usize) -> Vec<u32> {
+pub fn reference_topk<K: TopKKey>(data: &[K], k: usize) -> Vec<K> {
     let k = k.min(data.len());
     if k == 0 {
         return Vec::new();
@@ -57,18 +62,32 @@ pub fn reference_topk(data: &[u32], k: usize) -> Vec<u32> {
     // select_nth_unstable puts the (len-k)-th smallest in place with all
     // larger elements to its right: O(n) instead of a full sort.
     let split = copy.len() - k;
-    copy.select_nth_unstable(split);
-    let mut top: Vec<u32> = copy[split..].to_vec();
-    top.sort_unstable_by(|a, b| b.cmp(a));
+    copy.select_nth_unstable_by_key(split, |v| v.to_bits());
+    let mut top: Vec<K> = copy[split..].to_vec();
+    top.sort_unstable_by_key(|v| Reverse(v.to_bits()));
     top
 }
 
+/// CPU reference: the `min(k, |V|)` *smallest* values of `data`, ascending.
+/// Ground truth for the `dr_topk_min` / descending-order entry points.
+pub fn reference_topk_min<K: TopKKey>(data: &[K], k: usize) -> Vec<K> {
+    let k = k.min(data.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut copy = data.to_vec();
+    copy.select_nth_unstable_by_key(k - 1, |v| v.to_bits());
+    let mut bottom: Vec<K> = copy[..k].to_vec();
+    bottom.sort_unstable_by_key(|v| v.to_bits());
+    bottom
+}
+
 /// CPU reference for the k-th largest value (k ≥ 1).
-pub fn reference_kth(data: &[u32], k: usize) -> u32 {
+pub fn reference_kth<K: TopKKey>(data: &[K], k: usize) -> K {
     assert!(k >= 1 && k <= data.len(), "k out of range");
     let mut copy = data.to_vec();
     let split = copy.len() - k;
-    let (_, kth, _) = copy.select_nth_unstable(split);
+    let (_, kth, _) = copy.select_nth_unstable_by_key(split, |v| v.to_bits());
     *kth
 }
 
@@ -76,13 +95,15 @@ pub fn reference_kth(data: &[u32], k: usize) -> u32 {
 /// everything strictly greater than the threshold plus enough copies of the
 /// threshold itself to reach `k`. Panics if the threshold is not consistent
 /// with `k` (fewer than `k` elements ≥ threshold).
-pub fn collect_topk_by_threshold(data: &[u32], k: usize, threshold: u32) -> Vec<u32> {
-    let mut out: Vec<u32> = Vec::with_capacity(k);
+pub fn collect_topk_by_threshold<K: TopKKey>(data: &[K], k: usize, threshold: K) -> Vec<K> {
+    let tb = threshold.to_bits();
+    let mut out: Vec<K> = Vec::with_capacity(k);
     let mut ties = 0usize;
     for &v in data {
-        if v > threshold {
+        let vb = v.to_bits();
+        if vb > tb {
             out.push(v);
-        } else if v == threshold {
+        } else if vb == tb {
             ties += 1;
         }
     }
@@ -109,7 +130,7 @@ mod tests {
         assert_eq!(reference_topk(&data, 1), vec![9]);
         assert_eq!(reference_topk(&data, 0), Vec::<u32>::new());
         assert_eq!(reference_topk(&data, 100), vec![9, 9, 5, 3, 2, 1]);
-        assert_eq!(reference_topk(&[], 3), Vec::<u32>::new());
+        assert_eq!(reference_topk::<u32>(&[], 3), Vec::<u32>::new());
     }
 
     #[test]
@@ -121,14 +142,26 @@ mod tests {
     }
 
     #[test]
+    fn reference_helpers_are_generic_over_keys() {
+        let signed = vec![-5i64, 3, -1, 7, 0];
+        assert_eq!(reference_topk(&signed, 2), vec![7, 3]);
+        assert_eq!(reference_kth(&signed, 4), -1);
+        assert_eq!(reference_topk_min(&signed, 2), vec![-5, -1]);
+        let floats = vec![1.5f32, -2.0, 0.0, f32::INFINITY];
+        assert_eq!(reference_topk(&floats, 2), vec![f32::INFINITY, 1.5]);
+        assert_eq!(reference_topk_min(&floats, 2), vec![-2.0, 0.0]);
+        assert_eq!(reference_kth(&floats, 1), f32::INFINITY);
+    }
+
+    #[test]
     #[should_panic(expected = "k out of range")]
     fn reference_kth_rejects_zero() {
-        reference_kth(&[1, 2, 3], 0);
+        reference_kth(&[1u32, 2, 3], 0);
     }
 
     #[test]
     fn threshold_collection_handles_ties() {
-        let data = vec![7, 7, 7, 5, 9, 7];
+        let data = vec![7u32, 7, 7, 5, 9, 7];
         // top-3 is {9, 7, 7}: threshold 7 with 4 ties present
         let got = collect_topk_by_threshold(&data, 3, 7);
         assert_eq!(got.len(), 3);
@@ -140,17 +173,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent threshold")]
     fn threshold_collection_rejects_bad_threshold() {
-        collect_topk_by_threshold(&[1, 2, 3], 2, 3);
+        collect_topk_by_threshold(&[1u32, 2, 3], 2, 3);
     }
 
     #[test]
     fn result_from_values_sorts_and_exposes_kth() {
-        let r = TopKResult::from_values(vec![3, 9, 5], KernelStats::default(), 1.0);
+        let r = TopKResult::from_values(vec![3u32, 9, 5], KernelStats::default(), 1.0);
         assert_eq!(r.values, vec![9, 5, 3]);
         assert_eq!(r.kth_value, 3);
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());
-        let empty = TopKResult::from_values(vec![], KernelStats::default(), 0.0);
+        let empty = TopKResult::from_values(Vec::<u32>::new(), KernelStats::default(), 0.0);
         assert!(empty.is_empty());
         assert_eq!(empty.kth_value, 0);
     }

@@ -11,14 +11,19 @@
 //! (reads + writes), followed by reading back the `k` winners.
 
 use gpu_sim::{Device, KernelStats};
+use std::cmp::Reverse;
 
+use crate::key::{KeyBits, TopKKey};
 use crate::result::TopKResult;
 
 /// Elements assigned to each simulated warp when scanning.
 const ELEMS_PER_WARP: usize = 8192;
 
 /// Sort-and-choose top-k: full radix sort, then take the top `k`.
-pub fn sort_and_choose_topk(device: &Device, data: &[u32], k: usize) -> TopKResult {
+///
+/// Generic over [`TopKKey`]: the LSD radix sort runs over the key's radix
+/// space, so a 32-bit key pays 4 byte passes and a 64-bit key pays 8.
+pub fn sort_and_choose_topk<K: TopKKey>(device: &Device, data: &[K], k: usize) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
@@ -26,10 +31,11 @@ pub fn sort_and_choose_topk(device: &Device, data: &[u32], k: usize) -> TopKResu
     let mut stats = KernelStats::default();
     let mut time_ms = 0.0;
 
-    // Four LSD radix-sort passes: each pass histograms (read all) and
-    // scatters (read all + write all, scattered by digit).
+    // One LSD radix-sort pass per byte of the key: each pass histograms
+    // (read all) and scatters (read all + write all, scattered by digit).
     let num_warps = data.len().div_ceil(ELEMS_PER_WARP).max(1);
-    for pass in 0..4 {
+    let sort_passes = K::Bits::BITS.div_ceil(8);
+    for pass in 0..sort_passes {
         let launch = device.launch(&format!("baseline_sort_pass{pass}"), num_warps, |ctx| {
             let chunk = ctx.chunk_of(data.len());
             let slice = ctx.read_coalesced(&data[chunk]);
@@ -38,8 +44,8 @@ pub fn sort_and_choose_topk(device: &Device, data: &[u32], k: usize) -> TopKResu
             // at cache-line granularity (radix sort scatters are partially
             // coalesced, one line per 32-element run on average).
             ctx.record_alu(slice.len() as u64);
-            ctx.record_load_coalesced::<u32>(slice.len());
-            ctx.record_store_coalesced::<u32>(slice.len());
+            ctx.record_load_coalesced::<K>(slice.len());
+            ctx.record_store_coalesced::<K>(slice.len());
         });
         stats += launch.stats;
         time_ms += launch.time_ms;
@@ -47,8 +53,8 @@ pub fn sort_and_choose_topk(device: &Device, data: &[u32], k: usize) -> TopKResu
 
     // Selection of the top k from the sorted output.
     let launch = device.launch("baseline_sort_choose", 1, |ctx| {
-        ctx.record_load_coalesced::<u32>(k);
-        ctx.record_store_coalesced::<u32>(k);
+        ctx.record_load_coalesced::<K>(k);
+        ctx.record_store_coalesced::<K>(k);
     });
     stats += launch.stats;
     time_ms += launch.time_ms;
@@ -56,7 +62,7 @@ pub fn sort_and_choose_topk(device: &Device, data: &[u32], k: usize) -> TopKResu
     // The actual values: host-side sort of a copy (the simulated kernels
     // above already charged the device cost).
     let mut sorted = data.to_vec();
-    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    sorted.sort_unstable_by_key(|v| Reverse(v.to_bits()));
     sorted.truncate(k);
     TopKResult::from_values(sorted, stats, time_ms)
 }

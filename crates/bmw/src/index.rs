@@ -5,30 +5,44 @@
 //! For the Figure 24 comparison the "documents" are simply the positions of
 //! the Dr. Top-k input vector and the scores are its values, mirroring the
 //! paper's setting where both approaches answer the same top-k query.
+//!
+//! The score type is any [`TopKKey`], so the index ranks native `f32` BM25
+//! scores exactly as it ranks the integer proxies (block maxima and the
+//! heap threshold compare in the key's total order).
+
+use topk_baselines::TopKKey;
 
 /// One (document id, score) posting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Posting {
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting<S: TopKKey = u32> {
     /// Document identifier (monotonically increasing within a list).
     pub doc_id: u32,
     /// Score of the term in this document.
-    pub score: u32,
+    pub score: S,
 }
 
 /// A block-max indexed posting list.
 #[derive(Debug, Clone)]
-pub struct BmwIndex {
-    postings: Vec<Posting>,
+pub struct BmwIndex<S: TopKKey = u32> {
+    postings: Vec<Posting<S>>,
     block_size: usize,
-    block_max: Vec<u32>,
+    block_max: Vec<S>,
 }
 
-impl BmwIndex {
+fn max_score<S: TopKKey>(block: &[Posting<S>]) -> S {
+    block
+        .iter()
+        .map(|p| p.score)
+        .max_by_key(|s| s.to_bits())
+        .unwrap_or_default()
+}
+
+impl<S: TopKKey> BmwIndex<S> {
     /// Build an index over the scores of a value vector: document `i` gets
     /// score `scores[i]`.
-    pub fn from_scores(scores: &[u32], block_size: usize) -> Self {
+    pub fn from_scores(scores: &[S], block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        let postings: Vec<Posting> = scores
+        let postings: Vec<Posting<S>> = scores
             .iter()
             .enumerate()
             .map(|(i, &s)| Posting {
@@ -36,10 +50,7 @@ impl BmwIndex {
                 score: s,
             })
             .collect();
-        let block_max = postings
-            .chunks(block_size)
-            .map(|b| b.iter().map(|p| p.score).max().unwrap_or(0))
-            .collect();
+        let block_max = postings.chunks(block_size).map(max_score).collect();
         BmwIndex {
             postings,
             block_size,
@@ -48,16 +59,13 @@ impl BmwIndex {
     }
 
     /// Build an index from explicit postings (doc ids must be increasing).
-    pub fn from_postings(postings: Vec<Posting>, block_size: usize) -> Self {
+    pub fn from_postings(postings: Vec<Posting<S>>, block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
         assert!(
             postings.windows(2).all(|w| w[0].doc_id < w[1].doc_id),
             "postings must be sorted by strictly increasing doc id"
         );
-        let block_max = postings
-            .chunks(block_size)
-            .map(|b| b.iter().map(|p| p.score).max().unwrap_or(0))
-            .collect();
+        let block_max = postings.chunks(block_size).map(max_score).collect();
         BmwIndex {
             postings,
             block_size,
@@ -86,12 +94,12 @@ impl BmwIndex {
     }
 
     /// All postings, in doc-id order.
-    pub fn postings(&self) -> &[Posting] {
+    pub fn postings(&self) -> &[Posting<S>] {
         &self.postings
     }
 
     /// Maximum score of block `b`.
-    pub fn block_max(&self, b: usize) -> u32 {
+    pub fn block_max(&self, b: usize) -> S {
         self.block_max[b]
     }
 
@@ -175,8 +183,18 @@ mod tests {
 
     #[test]
     fn empty_scores() {
-        let idx = BmwIndex::from_scores(&[], 4);
+        let idx = BmwIndex::<u32>::from_scores(&[], 4);
         assert!(idx.is_empty());
         assert_eq!(idx.num_blocks(), 0);
+    }
+
+    #[test]
+    fn float_scores_build_total_order_block_maxima() {
+        let scores = vec![0.5f32, -1.0, 2.25, f32::NEG_INFINITY, 0.0, 1.5];
+        let idx = BmwIndex::from_scores(&scores, 2);
+        assert_eq!(idx.num_blocks(), 3);
+        assert_eq!(idx.block_max(0), 0.5);
+        assert_eq!(idx.block_max(1), 2.25);
+        assert_eq!(idx.block_max(2), 1.5);
     }
 }

@@ -18,11 +18,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use topk_baselines::TopKKey;
+
 use crate::index::BmwIndex;
 
 /// Workload counters of a WAND/BMW evaluation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct BmwStats {
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BmwStats<S: TopKKey = u32> {
     /// Documents whose exact score was inspected ("fully evaluated" in the
     /// paper's terminology).
     pub fully_evaluated: u64,
@@ -31,26 +33,27 @@ pub struct BmwStats {
     /// Number of block-max comparisons performed.
     pub block_checks: u64,
     /// Final threshold λ (the k-th best score found).
-    pub final_threshold: u32,
+    pub final_threshold: S,
 }
 
 /// Result of a WAND/BMW top-k evaluation.
 #[derive(Debug, Clone)]
-pub struct BmwResult {
+pub struct BmwResult<S: TopKKey = u32> {
     /// The k best (score, doc id) pairs, sorted by descending score.
-    pub top: Vec<(u32, u32)>,
+    pub top: Vec<(S, u32)>,
     /// Workload counters.
-    pub stats: BmwStats,
+    pub stats: BmwStats<S>,
 }
 
-fn heap_topk(
-    index: &BmwIndex,
+fn heap_topk<S: TopKKey>(
+    index: &BmwIndex<S>,
     k: usize,
-    mut upper_bound_of: impl FnMut(usize, &mut BmwStats) -> u32,
+    mut upper_bound_of: impl FnMut(usize, &mut BmwStats<S>) -> S,
     allow_block_skip: bool,
-) -> BmwResult {
+) -> BmwResult<S> {
     let mut stats = BmwStats::default();
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(k + 1);
+    // the heap orders (score bits, doc id): bits order == score total order
+    let mut heap: BinaryHeap<Reverse<(S::Bits, u32)>> = BinaryHeap::with_capacity(k + 1);
     let postings = index.postings();
     let k = k.min(postings.len());
     if k == 0 {
@@ -62,13 +65,14 @@ fn heap_topk(
 
     let mut pos = 0usize;
     while pos < postings.len() {
-        let lambda = if heap.len() < k {
-            0
-        } else {
-            heap.peek().map(|Reverse((s, _))| *s).unwrap_or(0)
-        };
+        // λ is only consulted once the heap is full, so the placeholder for
+        // a partially filled heap is never compared against.
+        let lambda = heap
+            .peek()
+            .map(|Reverse((s, _))| *s)
+            .unwrap_or(S::default().to_bits());
         let ub = upper_bound_of(pos, &mut stats);
-        if heap.len() >= k && ub <= lambda {
+        if heap.len() >= k && ub.to_bits() <= lambda {
             // the upper bound cannot improve the heap
             if allow_block_skip {
                 // BMW: skip the rest of the block in one jump
@@ -87,23 +91,31 @@ fn heap_topk(
         stats.fully_evaluated += 1;
         let p = postings[pos];
         if heap.len() < k {
-            heap.push(Reverse((p.score, p.doc_id)));
-        } else if p.score > lambda {
+            heap.push(Reverse((p.score.to_bits(), p.doc_id)));
+        } else if p.score.to_bits() > lambda {
             heap.pop();
-            heap.push(Reverse((p.score, p.doc_id)));
+            heap.push(Reverse((p.score.to_bits(), p.doc_id)));
         }
         pos += 1;
     }
 
-    let mut top: Vec<(u32, u32)> = heap.into_iter().map(|Reverse(x)| x).collect();
-    top.sort_unstable_by(|a, b| b.cmp(a));
-    stats.final_threshold = top.last().map(|&(s, _)| s).unwrap_or(0);
+    let mut top: Vec<(S, u32)> = heap
+        .into_iter()
+        .map(|Reverse((s, d))| (S::from_bits(s), d))
+        .collect();
+    top.sort_unstable_by_key(|&(s, d)| Reverse((s.to_bits(), d)));
+    stats.final_threshold = top.last().map(|&(s, _)| s).unwrap_or_default();
     BmwResult { top, stats }
 }
 
 /// Plain WAND: the upper bound of every document is the list-wide maximum.
-pub fn wand_topk(index: &BmwIndex, k: usize) -> BmwResult {
-    let list_max = index.postings().iter().map(|p| p.score).max().unwrap_or(0);
+pub fn wand_topk<S: TopKKey>(index: &BmwIndex<S>, k: usize) -> BmwResult<S> {
+    let list_max = index
+        .postings()
+        .iter()
+        .map(|p| p.score)
+        .max_by_key(|s| s.to_bits())
+        .unwrap_or_default();
     heap_topk(
         index,
         k,
@@ -117,7 +129,7 @@ pub fn wand_topk(index: &BmwIndex, k: usize) -> BmwResult {
 
 /// Block-Max WAND: the upper bound of a document is its block's maximum and
 /// failing blocks are skipped wholesale.
-pub fn bmw_topk(index: &BmwIndex, k: usize) -> BmwResult {
+pub fn bmw_topk<S: TopKKey>(index: &BmwIndex<S>, k: usize) -> BmwResult<S> {
     heap_topk(
         index,
         k,
@@ -154,6 +166,25 @@ mod tests {
             assert_eq!(got_wand, expected, "wand k={k}");
             assert_eq!(bmw.stats.final_threshold, *expected.last().unwrap());
         }
+    }
+
+    #[test]
+    fn float_bm25_scores_rank_identically_to_reference() {
+        // the ported score path: native f32 BM25-like scores, no integer
+        // quantization anywhere
+        let scores = topk_datagen::bm25_scores(1 << 12, 17);
+        let index = BmwIndex::from_scores(&scores, 64);
+        for &k in &[1usize, 16, 100] {
+            let bmw = bmw_topk(&index, k);
+            let mut expected = scores.clone();
+            expected.sort_unstable_by(|a, b| b.total_cmp(a));
+            expected.truncate(k);
+            let got: Vec<f32> = bmw.top.iter().map(|&(s, _)| s).collect();
+            assert_eq!(got, expected, "k={k}");
+            assert_eq!(bmw.stats.final_threshold, *expected.last().unwrap());
+        }
+        let with_skips = bmw_topk(&index, 8);
+        assert!(with_skips.stats.skipped > 0, "block maxima must prune");
     }
 
     #[test]
@@ -196,7 +227,7 @@ mod tests {
 
     #[test]
     fn edge_cases() {
-        let index = BmwIndex::from_scores(&[], 8);
+        let index = BmwIndex::<u32>::from_scores(&[], 8);
         assert!(bmw_topk(&index, 4).top.is_empty());
         let index = BmwIndex::from_scores(&[5, 5, 5, 5], 2);
         let r = bmw_topk(&index, 10);

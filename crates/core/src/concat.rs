@@ -1,5 +1,5 @@
 //! Warp-centric concatenation with delegate-top-k-enabled filtering
-//! (Sections 4.2 and 5.1).
+//! (Sections 4.2 and 5.1), generic over any [`TopKKey`].
 //!
 //! The subranges that the first top-k fully qualified are copied into a new,
 //! much smaller *concatenated vector* on which the second top-k runs. When
@@ -7,15 +7,22 @@
 //! k-th delegate value are copied; since the number of surviving elements
 //! per subrange is unknown in advance, each warp claims output positions
 //! with an atomic counter, exactly as the paper describes.
+//!
+//! The host-side gather allocates exactly the surviving elements: each
+//! simulated warp returns the elements it kept and they are appended to the
+//! output directly, instead of materializing the full
+//! `fully_taken × subrange_size` upper-bound buffer and copying a prefix of
+//! it (which doubled the allocation on the hot path).
 
-use gpu_sim::{AtomicBuffer, AtomicCounter, Device, KernelStats};
+use gpu_sim::{AtomicCounter, Device, KernelStats};
+use topk_baselines::TopKKey;
 
 /// Result of the concatenation step.
 #[derive(Debug, Clone)]
-pub struct Concatenated {
+pub struct Concatenated<K: TopKKey = u32> {
     /// The concatenated vector: partial delegates first, then every element
     /// gathered from the fully-taken subranges (filtered if requested).
-    pub elements: Vec<u32>,
+    pub elements: Vec<K>,
     /// How many of `elements` came straight from partially-taken subranges'
     /// delegates (no subrange scan was needed for them).
     pub partial_delegates: usize,
@@ -29,15 +36,15 @@ pub struct Concatenated {
 /// `fully_taken_subranges`, subrange size `subrange_size`), prepending
 /// `partial_delegate_values`, filtering by `threshold` when
 /// `filtering` is true.
-pub fn concatenate(
+pub fn concatenate<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     subrange_size: usize,
     fully_taken_subranges: &[u32],
-    partial_delegate_values: &[u32],
-    threshold: u32,
+    partial_delegate_values: &[K],
+    threshold: K,
     filtering: bool,
-) -> Concatenated {
+) -> Concatenated<K> {
     let mut stats = KernelStats::default();
     let mut time_ms = 0.0;
 
@@ -51,10 +58,7 @@ pub fn concatenate(
         };
     }
 
-    // Upper bound on the gathered size: every element of every fully-taken
-    // subrange survives (filtering can only shrink this).
-    let upper = fully_taken_subranges.len() * subrange_size;
-    let out = AtomicBuffer::zeroed(upper);
+    let threshold_bits = threshold.to_bits();
     let cursor = AtomicCounter::new(0);
 
     // One simulated warp per group of qualified subranges.
@@ -63,13 +67,14 @@ pub fn concatenate(
         let share = ctx.chunk_of(fully_taken_subranges.len());
         // reading the qualified subrange ids produced by the first top-k
         let ids = ctx.read_coalesced(&fully_taken_subranges[share]);
+        let mut gathered: Vec<K> = Vec::new();
         for &id in ids {
             let start = (id as usize) * subrange_size;
             let end = (start + subrange_size).min(data.len());
             let slice = ctx.read_coalesced(&data[start..end]);
-            let mut kept: Vec<u32> = Vec::with_capacity(slice.len());
+            let mut kept: Vec<K> = Vec::with_capacity(slice.len());
             for &x in slice {
-                if !filtering || x >= threshold {
+                if !filtering || x.to_bits() >= threshold_bits {
                     kept.push(x);
                 }
                 ctx.record_alu(1);
@@ -77,19 +82,23 @@ pub fn concatenate(
             if !kept.is_empty() {
                 // the eligible count is unknown beforehand: claim positions
                 // with an atomic, then store (warp-aggregated)
-                let base = cursor.fetch_add(ctx, kept.len() as u64) as usize;
-                out.store_coalesced(ctx, base, &kept);
+                cursor.fetch_add(ctx, kept.len() as u64);
+                ctx.record_store_coalesced::<K>(kept.len());
+                gathered.append(&mut kept);
             }
         }
+        gathered
     });
     stats += launch.stats;
     time_ms += launch.time_ms;
 
     let gathered_len = cursor.load() as usize;
-    let gathered = out.to_vec();
-    let mut elements = Vec::with_capacity(partial_delegate_values.len() + gathered_len);
+    let mut elements: Vec<K> = Vec::with_capacity(partial_delegate_values.len() + gathered_len);
     elements.extend_from_slice(partial_delegate_values);
-    elements.extend_from_slice(&gathered[..gathered_len]);
+    for warp_kept in launch.output {
+        elements.extend(warp_kept);
+    }
+    debug_assert_eq!(elements.len(), partial_delegate_values.len() + gathered_len);
 
     Concatenated {
         elements,
@@ -171,5 +180,32 @@ mod tests {
         assert!(got.stats.atomic_operations > 0);
         // every surviving element really is above the filter
         assert!(got.elements.iter().all(|&x| x >= 1 << 30));
+    }
+
+    #[test]
+    fn gather_allocates_exactly_the_survivors() {
+        // Regression for the double-allocation bug: the output vector's
+        // capacity must match the surviving element count, not the
+        // fully_taken × subrange_size upper bound.
+        let dev = device();
+        let data: Vec<u32> = (0..1024u32).collect();
+        // threshold keeps only the top 8 values of the last subrange
+        let got = concatenate(&dev, &data, 256, &[0, 1, 2, 3], &[7], 1016, true);
+        assert_eq!(got.elements.len(), 9);
+        assert!(
+            got.elements.capacity() < 64,
+            "capacity {} must track survivors, not the 1024-element upper bound",
+            got.elements.capacity()
+        );
+    }
+
+    #[test]
+    fn float_keys_filter_in_total_order() {
+        let dev = device();
+        let data: Vec<f32> = vec![-2.0, -1.0, 0.5, 3.0, f32::NEG_INFINITY, 7.5, -0.0, 8.0];
+        let got = concatenate(&dev, &data, 4, &[0, 1], &[], 0.5, true);
+        let mut sorted = got.elements.clone();
+        sorted.sort_unstable_by(f32::total_cmp);
+        assert_eq!(sorted, vec![0.5, 3.0, 7.5, 8.0]);
     }
 }

@@ -21,6 +21,7 @@
 //!   (Section 5.3, Figure 15).
 
 use gpu_sim::{Device, KernelStats, WARP_SIZE};
+use topk_baselines::TopKKey;
 
 /// How the delegate vector is built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,10 +56,10 @@ impl ConstructionMethod {
 /// The delegate vector: `β` (value, subrange id) entries per subrange,
 /// stored as two parallel columns (structure of arrays).
 #[derive(Debug, Clone)]
-pub struct DelegateVector {
+pub struct DelegateVector<K: TopKKey = u32> {
     /// Delegate values, `β` consecutive entries per subrange, each subrange's
     /// entries in descending order.
-    pub values: Vec<u32>,
+    pub values: Vec<K>,
     /// Subrange id of each delegate entry (parallel to `values`).
     pub subrange_ids: Vec<u32>,
     /// Number of delegates extracted per subrange.
@@ -75,7 +76,7 @@ pub struct DelegateVector {
     pub time_ms: f64,
 }
 
-impl DelegateVector {
+impl<K: TopKKey> DelegateVector<K> {
     /// Total number of delegate entries (`num_subranges × β`, minus the
     /// entries that short final subranges could not fill).
     pub fn len(&self) -> usize {
@@ -88,18 +89,20 @@ impl DelegateVector {
     }
 }
 
-/// Extract the top `beta` values of `slice` in descending order (β is tiny —
-/// 1 to 4 — so a simple insertion pass beats sorting).
+/// Extract the top `beta` values of `slice` in descending key order (β is
+/// tiny — 1 to 4 — so a simple insertion pass beats sorting). Comparisons
+/// run in the key's order-preserving radix space.
 #[inline]
-fn top_beta_of(slice: &[u32], beta: usize, out: &mut Vec<u32>) {
+fn top_beta_of<K: TopKKey>(slice: &[K], beta: usize, out: &mut Vec<K>) {
     out.clear();
     for &x in slice {
+        let xb = x.to_bits();
         if out.len() < beta {
-            let pos = out.partition_point(|&y| y >= x);
+            let pos = out.partition_point(|y| y.to_bits() >= xb);
             out.insert(pos, x);
-        } else if x > *out.last().unwrap() {
+        } else if xb > out.last().unwrap().to_bits() {
             out.pop();
-            let pos = out.partition_point(|&y| y >= x);
+            let pos = out.partition_point(|y| y.to_bits() >= xb);
             out.insert(pos, x);
         }
     }
@@ -107,13 +110,13 @@ fn top_beta_of(slice: &[u32], beta: usize, out: &mut Vec<u32>) {
 
 /// Build the delegate vector of `data` for subrange size `2^alpha` and `beta`
 /// delegates per subrange.
-pub fn build_delegate_vector(
+pub fn build_delegate_vector<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     alpha: u32,
     beta: usize,
     method: ConstructionMethod,
-) -> DelegateVector {
+) -> DelegateVector<K> {
     assert!(beta >= 1, "beta must be at least 1");
     assert!((1..32).contains(&alpha), "alpha must be in 1..32");
     let subrange_size = 1usize << alpha;
@@ -143,11 +146,15 @@ pub fn build_delegate_vector(
         ConstructionMethod::Auto => unreachable!("resolved above"),
     };
 
+    // One (key, subrange id) pair per delegate entry, expressed in u32-sized
+    // words so the charged store bytes stay exact for 8-byte keys.
+    let kv_words = 1 + std::mem::size_of::<K>() / std::mem::size_of::<u32>();
+
     let launch = device.launch(kernel_name, num_warps, |ctx| {
         let subranges = ctx.chunk_of(num_subranges);
-        let mut values: Vec<u32> = Vec::with_capacity(subranges.len() * beta);
+        let mut values: Vec<K> = Vec::with_capacity(subranges.len() * beta);
         let mut ids: Vec<u32> = Vec::with_capacity(subranges.len() * beta);
-        let mut scratch: Vec<u32> = Vec::with_capacity(beta);
+        let mut scratch: Vec<K> = Vec::with_capacity(beta);
         match method {
             ConstructionMethod::WarpShuffle => {
                 for s in subranges {
@@ -158,12 +165,12 @@ pub fn build_delegate_vector(
                     top_beta_of(slice, beta, &mut scratch);
                     // β warp reductions to agree on the top-β of the subrange
                     for &v in &scratch {
-                        ctx.warp_reduce_max(v);
+                        ctx.warp_reduce_max(v.to_bits());
                         values.push(v);
                         ids.push(s as u32);
                     }
                     // delegate (value, id) pair written to global memory
-                    ctx.record_store_coalesced::<u32>(2 * scratch.len());
+                    ctx.record_store_coalesced::<u32>(kv_words * scratch.len());
                 }
             }
             ConstructionMethod::CoalescedShared => {
@@ -190,7 +197,7 @@ pub fn build_delegate_vector(
                             values.push(v);
                             ids.push(s as u32);
                         }
-                        ctx.record_store_coalesced::<u32>(2 * scratch.len());
+                        ctx.record_store_coalesced::<u32>(kv_words * scratch.len());
                     }
                 }
             }
@@ -345,7 +352,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let dev = device();
-        let dv = build_delegate_vector(&dev, &[], 8, 2, ConstructionMethod::Auto);
+        let dv = build_delegate_vector::<u32>(&dev, &[], 8, 2, ConstructionMethod::Auto);
         assert!(dv.is_empty());
         assert_eq!(dv.num_subranges, 0);
     }

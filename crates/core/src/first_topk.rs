@@ -17,17 +17,18 @@
 //! entries and groups them by subrange.
 
 use gpu_sim::{Device, KernelStats};
+use topk_baselines::TopKKey;
 
 use crate::delegate::DelegateVector;
 use crate::radix_flags::{flag_radix_select_by_key, FlagSelectConfig, ELEMS_PER_WARP};
 
 /// Outcome of the first top-k over the delegate vector.
 #[derive(Debug, Clone)]
-pub struct FirstTopK {
+pub struct FirstTopK<K: TopKKey = u32> {
     /// Rule 2 threshold: the k-th largest delegate value (or a safe lower
     /// bound when the last radix pass is skipped). Only elements `≥ threshold`
-    /// can reach the final top-k.
-    pub threshold: u32,
+    /// (in the key's total order) can reach the final top-k.
+    pub threshold: K,
     /// Whether `threshold` is the exact k-th delegate.
     pub exact_threshold: bool,
     /// Subranges whose **entire** β delegate set is within the top-k of the
@@ -38,7 +39,7 @@ pub struct FirstTopK {
     /// Delegate values taken from subranges that are *not* fully taken; they
     /// are already candidates themselves and are prepended to the
     /// concatenated vector without rescanning their subranges.
-    pub partial_delegate_values: Vec<u32>,
+    pub partial_delegate_values: Vec<K>,
     /// Total number of delegate entries that made the top-k.
     pub taken_entries: usize,
     /// Counters accumulated by the first top-k kernels.
@@ -52,12 +53,12 @@ pub struct FirstTopK {
 /// `k` is the query's k; `skip_last_pass` enables the paper's optimization of
 /// dropping the final radix pass when β delegates and filtering make the
 /// precision unnecessary.
-pub fn first_topk(
+pub fn first_topk<K: TopKKey>(
     device: &Device,
-    delegates: &DelegateVector,
+    delegates: &DelegateVector<K>,
     k: usize,
     skip_last_pass: bool,
-) -> FirstTopK {
+) -> FirstTopK<K> {
     assert!(!delegates.is_empty(), "delegate vector must not be empty");
     let k = k.min(delegates.len());
     let config = FlagSelectConfig {
@@ -77,6 +78,7 @@ pub fn first_topk(
     let mut stats = select.stats;
     let mut time_ms = select.time_ms;
     let threshold = select.threshold;
+    let threshold_bits = threshold.to_bits();
 
     // Mark pass: find every delegate entry ≥ threshold and report it together
     // with its subrange id. When the threshold is exact we cap the ties so
@@ -84,17 +86,19 @@ pub fn first_topk(
     // threshold is a lower bound and every qualifying entry is taken.
     let values = &delegates.values;
     let ids = &delegates.subrange_ids;
+    let kv_words = 1 + std::mem::size_of::<K>() / std::mem::size_of::<u32>();
     let num_warps = values.len().div_ceil(ELEMS_PER_WARP).max(1);
     let launch = device.launch("drtopk_first_topk_mark", num_warps, |ctx| {
         let chunk = ctx.chunk_of(values.len());
         let vals = ctx.read_coalesced(&values[chunk.clone()]);
-        let mut above: Vec<(u32, u32)> = Vec::new();
-        let mut ties: Vec<(u32, u32)> = Vec::new();
+        let mut above: Vec<(K, u32)> = Vec::new();
+        let mut ties: Vec<(K, u32)> = Vec::new();
         for (offset, &v) in vals.iter().enumerate() {
-            if v >= threshold {
+            let vb = v.to_bits();
+            if vb >= threshold_bits {
                 let id = ids[chunk.start + offset];
                 ctx.record_load_coalesced::<u32>(1);
-                if v > threshold {
+                if vb > threshold_bits {
                     above.push((v, id));
                 } else {
                     ties.push((v, id));
@@ -102,20 +106,20 @@ pub fn first_topk(
             }
             ctx.record_alu(1);
         }
-        ctx.record_store_coalesced::<u32>(2 * (above.len() + ties.len()));
+        ctx.record_store_coalesced::<u32>(kv_words * (above.len() + ties.len()));
         (above, ties)
     });
     stats += launch.stats;
     time_ms += launch.time_ms;
 
-    let mut above: Vec<(u32, u32)> = Vec::new();
-    let mut ties: Vec<(u32, u32)> = Vec::new();
+    let mut above: Vec<(K, u32)> = Vec::new();
+    let mut ties: Vec<(K, u32)> = Vec::new();
     for (a, t) in launch.output {
         above.extend(a);
         ties.extend(t);
     }
 
-    let taken: Vec<(u32, u32)> = if select.exact {
+    let taken: Vec<(K, u32)> = if select.exact {
         // exactly k entries: all strictly-above entries plus enough ties
         let need = k.saturating_sub(above.len());
         above.extend(ties.into_iter().take(need));
@@ -160,7 +164,7 @@ pub fn first_topk(
     }
     fully_taken_subranges.sort_unstable();
 
-    let partial_delegate_values: Vec<u32> = taken
+    let partial_delegate_values: Vec<K> = taken
         .iter()
         .filter(|&&(_, id)| partial_ids.contains(&id))
         .map(|&(v, _)| v)

@@ -19,6 +19,10 @@
 //!   ([`delegate`], Section 5.3).
 //! * **Distributed Dr. Top-k** — multi-device execution with asynchronous
 //!   gathering and reload-overhead modeling ([`distributed`], Section 5.4).
+//! * **Generic keys** — every entry point is generic over
+//!   [`TopKKey`] (`u32`/`u64`/`i32`/`i64`/`f32`/`f64`), and [`dr_topk_min`]
+//!   answers top-k-*smallest* queries (k-NN distances) on native keys with
+//!   no caller-side bit tricks.
 //!
 //! ## Quickstart
 //!
@@ -49,13 +53,14 @@ pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{distributed_dr_topk, partition_subvectors, DistributedResult};
 pub use first_topk::{first_topk, FirstTopK};
 pub use pipeline::{
-    dr_topk, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm, PhaseBreakdown,
-    WorkloadStats,
+    dr_topk, dr_topk_min, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
+    PhaseBreakdown, WorkloadStats,
 };
 pub use radix_flags::{
     flag_radix_select_by_key, flag_radix_select_kth, flag_radix_topk, FlagSelectConfig,
     FlagSelectOutcome,
 };
+pub use topk_baselines::{Desc, KeyBits, TopKKey};
 pub use tuning::{
     auto_alpha, is_convex_in_alpha, model_optimal_alpha, predicted_cost, rule4_alpha,
     PredictedCost, PAPER_RULE4_CONST,

@@ -1,10 +1,19 @@
 //! The Dr. Top-k pipeline: delegate construction → first top-k →
 //! concatenation → second top-k (Figure 3b), with per-phase breakdowns and
 //! workload statistics.
+//!
+//! Every entry point is generic over [`TopKKey`], so the same pipeline
+//! serves `u32`/`u64`/`i32`/`i64`/`f32`/`f64` workloads; the `u32`
+//! monomorphization is byte-for-byte the historical one. [`dr_topk`] answers
+//! top-k-*largest*; [`dr_topk_min`] answers top-k-*smallest* (e.g. k-NN
+//! distances) by running the same machinery through the order-reversing
+//! [`Desc`] key adapter with zero per-element cost.
 
 use gpu_sim::{Device, KernelStats};
+use std::cmp::Reverse;
 use topk_baselines::{
-    bitonic_topk, bucket_topk, radix_topk, BitonicConfig, BucketConfig, RadixConfig, TopKResult,
+    bitonic_topk, bucket_topk, radix_topk, BitonicConfig, BucketConfig, Desc, RadixConfig, TopKKey,
+    TopKResult,
 };
 
 use crate::concat::concatenate;
@@ -47,7 +56,7 @@ impl InnerAlgorithm {
         }
     }
 
-    fn run(&self, device: &Device, data: &[u32], k: usize) -> TopKResult {
+    fn run<K: TopKKey>(&self, device: &Device, data: &[K], k: usize) -> TopKResult<K> {
         match self {
             InnerAlgorithm::FlagRadix => flag_radix_topk(device, data, k),
             InnerAlgorithm::Radix => radix_topk(device, data, k, &RadixConfig::default()),
@@ -104,10 +113,24 @@ impl Default for DrTopKConfig {
 }
 
 impl DrTopKConfig {
-    /// The recommended configuration for a given problem size: Rule 4 α,
-    /// β = 2, filtering on, automatic construction-kernel choice.
-    pub fn auto(_n: usize, _k: usize) -> Self {
-        DrTopKConfig::default()
+    /// The recommended configuration for a given problem size: Rule 4 α
+    /// **eagerly resolved** from `n` and `k` (with the paper's tuned
+    /// constant and the default β = 2), filtering on, automatic
+    /// construction-kernel choice.
+    ///
+    /// The eagerly resolved α is identical to what the lazy
+    /// [`Default`] configuration would resolve for the same `(n, k)`, but
+    /// it is pinned in [`alpha`](DrTopKConfig::alpha), so the configuration
+    /// can be logged, compared, or reused on same-shaped inputs without
+    /// re-deriving it. Degenerate sizes are clamped the same way
+    /// [`resolve_alpha`](DrTopKConfig::resolve_alpha) clamps them.
+    pub fn auto(n: usize, k: usize) -> Self {
+        let base = DrTopKConfig::default();
+        let alpha = base.resolve_alpha(n, k);
+        DrTopKConfig {
+            alpha: Some(alpha),
+            ..base
+        }
     }
 
     /// The initial maximum-delegate design of Section 4.1 (β = 1, no
@@ -188,10 +211,21 @@ pub struct WorkloadStats {
     /// Whether the Rule 3 special case fired (no fully-taken subranges: the
     /// concatenation scan and the second top-k were skipped entirely).
     pub second_topk_skipped: bool,
+    /// Whether the delegate machinery was bypassed entirely and the inner
+    /// algorithm ran directly on the input (tiny input, or `k` too large
+    /// for delegate pruning to help). When set, `delegate_vector_len` and
+    /// `concatenated_len` are both 0 — no delegate vector was built and no
+    /// concatenation happened — so
+    /// [`workload_fraction`](WorkloadStats::workload_fraction) honestly
+    /// reports 0: the pipeline added no workload beyond the inner
+    /// algorithm's own scan.
+    pub fell_back: bool,
 }
 
 impl WorkloadStats {
     /// (delegate + concatenated) / |V| — the workload ratio the paper tracks.
+    /// Always ≤ 1.0 on the fallback path (it is 0.0 there: nothing beyond
+    /// the inner algorithm's own scan was touched).
     pub fn workload_fraction(&self) -> f64 {
         if self.input_len == 0 {
             return 0.0;
@@ -202,11 +236,12 @@ impl WorkloadStats {
 
 /// Result of a Dr. Top-k run.
 #[derive(Debug, Clone)]
-pub struct DrTopKResult {
-    /// The k largest values, descending.
-    pub values: Vec<u32>,
-    /// The k-th largest value.
-    pub kth_value: u32,
+pub struct DrTopKResult<K: TopKKey = u32> {
+    /// The selected values: the k largest in descending order for
+    /// [`dr_topk`], the k smallest in ascending order for [`dr_topk_min`].
+    pub values: Vec<K>,
+    /// The k-th selected value (the selection threshold).
+    pub kth_value: K,
     /// Subrange exponent α that was actually used.
     pub alpha: u32,
     /// Per-phase modeled times.
@@ -220,17 +255,17 @@ pub struct DrTopKResult {
 }
 
 /// Run Dr. Top-k on `data`, returning the full result with breakdowns.
-pub fn dr_topk_with_stats(
+pub fn dr_topk_with_stats<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     k: usize,
     config: &DrTopKConfig,
-) -> DrTopKResult {
+) -> DrTopKResult<K> {
     let k = k.min(data.len());
     if k == 0 || data.is_empty() {
         return DrTopKResult {
             values: Vec::new(),
-            kth_value: 0,
+            kth_value: K::default(),
             alpha: 0,
             breakdown: PhaseBreakdown::default(),
             workload: WorkloadStats::default(),
@@ -247,7 +282,8 @@ pub fn dr_topk_with_stats(
     // Rule 2's threshold — the k-th delegate — does not exist and pruning is
     // impossible anyway), the delegate machinery cannot help — fall back to
     // the inner algorithm directly, which is what a production library
-    // should do.
+    // should do. The workload statistics report the fallback honestly: no
+    // delegate vector, no concatenation, one effective subrange.
     let subrange_size = 1usize << alpha;
     let num_subranges = data.len().div_ceil(subrange_size);
     let delegate_capacity = num_subranges.saturating_sub(1) * config.beta.min(subrange_size) + 1;
@@ -264,10 +300,11 @@ pub fn dr_topk_with_stats(
             workload: WorkloadStats {
                 input_len: data.len(),
                 delegate_vector_len: 0,
-                concatenated_len: data.len(),
+                concatenated_len: 0,
                 num_subranges: 1,
-                fully_taken_subranges: 1,
+                fully_taken_subranges: 0,
                 second_topk_skipped: false,
+                fell_back: true,
             },
             stats: inner.stats,
             time_ms: inner.time_ms,
@@ -300,8 +337,8 @@ pub fn dr_topk_with_stats(
         && concatenated.elements.len() == k;
     let (values, kth_value, second_stats, second_ms) = if second_skipped {
         let mut vals = concatenated.elements.clone();
-        vals.sort_unstable_by(|a, b| b.cmp(a));
-        let kth = vals.last().copied().unwrap_or(0);
+        vals.sort_unstable_by_key(|v| Reverse(v.to_bits()));
+        let kth = vals.last().copied().unwrap_or_default();
         (vals, kth, KernelStats::default(), 0.0)
     } else {
         let inner = config.inner.run(device, &concatenated.elements, k);
@@ -321,6 +358,7 @@ pub fn dr_topk_with_stats(
         num_subranges: delegates.num_subranges,
         fully_taken_subranges: first.fully_taken_subranges.len(),
         second_topk_skipped: second_skipped,
+        fell_back: false,
     };
     let mut stats = delegates.stats;
     stats += first.stats;
@@ -340,15 +378,54 @@ pub fn dr_topk_with_stats(
 
 /// Convenience wrapper around [`dr_topk_with_stats`] (same result type; the
 /// name mirrors the two-function API described in the README quickstart).
-pub fn dr_topk(device: &Device, data: &[u32], k: usize, config: &DrTopKConfig) -> DrTopKResult {
+pub fn dr_topk<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    config: &DrTopKConfig,
+) -> DrTopKResult<K> {
     dr_topk_with_stats(device, data, k, config)
+}
+
+/// Top-k **smallest**: the k minimum elements of `data`, ascending
+/// (closest-first for distance data).
+///
+/// This is the natural entry point for k-nearest-neighbour search over
+/// native distances (f32 squared L2, etc.) — no caller-side bit flipping is
+/// needed. Internally the input is *reinterpreted* (not copied) as a slice
+/// of the order-reversing [`Desc`] key adapter, so the cost is identical to
+/// [`dr_topk`].
+///
+/// Float caveat (see the NaN policy in [`topk_baselines::key`]): positive
+/// NaNs are the *largest* keys in the total order, so a min-query ranks
+/// them last — NaN distances can never displace a genuine neighbour.
+pub fn dr_topk_min<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    config: &DrTopKConfig,
+) -> DrTopKResult<K> {
+    // SAFETY: `Desc<K>` is `#[repr(transparent)]` over `K`, so the slice
+    // layouts are identical and the reinterpretation is sound.
+    let flipped: &[Desc<K>] =
+        unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<Desc<K>>(), data.len()) };
+    let res = dr_topk_with_stats(device, flipped, k, config);
+    DrTopKResult {
+        values: res.values.into_iter().map(|d| d.0).collect(),
+        kth_value: res.kth_value.0,
+        alpha: res.alpha,
+        breakdown: res.breakdown,
+        workload: res.workload,
+        stats: res.stats,
+        time_ms: res.time_ms,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gpu_sim::DeviceSpec;
-    use topk_baselines::reference_topk;
+    use topk_baselines::{reference_topk, reference_topk_min};
     use topk_datagen::Distribution;
 
     fn device() -> Device {
@@ -424,6 +501,64 @@ mod tests {
     }
 
     #[test]
+    fn generic_keys_match_reference() {
+        let dev = device();
+        let signed: Vec<i64> = topk_datagen::uniform(1 << 14, 23)
+            .into_iter()
+            .map(|x| x as i64 - (1 << 31))
+            .collect();
+        assert_eq!(
+            dr_topk(&dev, &signed, 100, &DrTopKConfig::default()).values,
+            reference_topk(&signed, 100)
+        );
+        let floats: Vec<f32> = topk_datagen::uniform(1 << 14, 29)
+            .into_iter()
+            .map(|x| (x as f32 / u32::MAX as f32) * 2000.0 - 1000.0)
+            .collect();
+        for inner in InnerAlgorithm::ALL {
+            let cfg = DrTopKConfig {
+                inner,
+                ..DrTopKConfig::default()
+            };
+            assert_eq!(
+                dr_topk(&dev, &floats, 64, &cfg).values,
+                reference_topk(&floats, 64),
+                "{inner} over f32"
+            );
+        }
+    }
+
+    #[test]
+    fn dr_topk_min_returns_smallest_ascending() {
+        let dev = device();
+        let distances: Vec<f32> = topk_datagen::uniform(1 << 14, 31)
+            .into_iter()
+            .map(|x| (x % 100_000) as f32 * 0.125)
+            .collect();
+        let got = dr_topk_min(&dev, &distances, 50, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk_min(&distances, 50));
+        assert_eq!(got.kth_value, *got.values.last().unwrap());
+        // u32 keys work through the same entry point
+        let ints = topk_datagen::uniform(1 << 13, 5);
+        let got = dr_topk_min(&dev, &ints, 17, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk_min(&ints, 17));
+    }
+
+    #[test]
+    fn dr_topk_min_ranks_nan_distances_last() {
+        let dev = device();
+        let mut distances: Vec<f32> = (0..4096).map(|i| 1.0 + (i % 977) as f32).collect();
+        distances[7] = f32::NAN;
+        distances[999] = f32::NAN;
+        let got = dr_topk_min(&dev, &distances, 64, &DrTopKConfig::default());
+        assert!(
+            got.values.iter().all(|v| !v.is_nan()),
+            "NaN distances must never displace genuine neighbours"
+        );
+        assert_eq!(got.values, reference_topk_min(&distances, 64));
+    }
+
+    #[test]
     fn workload_reduction_is_substantial() {
         let dev = device();
         let n = 1 << 18;
@@ -437,6 +572,7 @@ mod tests {
         assert_eq!(got.workload.input_len, n);
         assert!(got.workload.delegate_vector_len > 0);
         assert!(got.workload.num_subranges > 1);
+        assert!(!got.workload.fell_back);
     }
 
     #[test]
@@ -484,9 +620,62 @@ mod tests {
         assert!(dr_topk(&dev, &data, 0, &DrTopKConfig::default())
             .values
             .is_empty());
-        assert!(dr_topk(&dev, &[], 5, &DrTopKConfig::default())
+        assert!(dr_topk::<u32>(&dev, &[], 5, &DrTopKConfig::default())
             .values
             .is_empty());
+    }
+
+    #[test]
+    fn fallback_stats_are_honest() {
+        // Regression: the fallback path used to report
+        // `concatenated_len = |V|` with `delegate_vector_len = 0`, making
+        // `workload_fraction()` 1.0 while also claiming `num_subranges: 1`
+        // against a resolved α that implies many subranges.
+        let dev = device();
+        let data: Vec<u32> = (0..100u32).collect();
+        let got = dr_topk(&dev, &data, 50, &DrTopKConfig::default());
+        let w = got.workload;
+        assert!(w.fell_back, "k = |V|/2 on a tiny input must fall back");
+        assert!(
+            w.workload_fraction() <= 1.0,
+            "fallback workload fraction {} must stay ≤ 1.0",
+            w.workload_fraction()
+        );
+        assert_eq!(w.delegate_vector_len, 0, "no delegate vector was built");
+        assert_eq!(w.concatenated_len, 0, "no concatenation happened");
+        assert_eq!(w.num_subranges, 1);
+        assert_eq!(w.fully_taken_subranges, 0);
+        assert_eq!(w.input_len, data.len());
+        // the non-fallback path keeps reporting real workloads
+        let big = topk_datagen::uniform(1 << 15, 3);
+        let got = dr_topk(&dev, &big, 64, &DrTopKConfig::default());
+        assert!(!got.workload.fell_back);
+        assert!(got.workload.delegate_vector_len > 0);
+    }
+
+    #[test]
+    fn auto_config_pins_the_rule4_alpha() {
+        // `auto(n, k)` must wire n and k into an eagerly resolved Rule 4 α
+        // identical to what the lazy default would compute.
+        let n = 1 << 20;
+        let k = 1 << 7;
+        let auto = DrTopKConfig::auto(n, k);
+        let lazy = DrTopKConfig::default();
+        assert_eq!(auto.alpha, Some(lazy.resolve_alpha(n, k)));
+        assert_eq!(auto.resolve_alpha(n, k), lazy.resolve_alpha(n, k));
+        // the pinned α is used even if the input later differs in size
+        assert_eq!(auto.resolve_alpha(1 << 10, 1), auto.alpha.unwrap());
+        // everything else matches the recommended defaults
+        assert_eq!(auto.beta, lazy.beta);
+        assert!(auto.filtering);
+        // degenerate sizes are clamped, not panicking
+        let tiny = DrTopKConfig::auto(0, 0);
+        assert!(tiny.alpha.is_some());
+        let dev = device();
+        let data = topk_datagen::uniform(n, 41);
+        let got = dr_topk(&dev, &data, k, &auto);
+        assert_eq!(got.alpha, auto.alpha.unwrap());
+        assert_eq!(got.values, reference_topk(&data, k));
     }
 
     #[test]

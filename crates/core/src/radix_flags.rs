@@ -9,9 +9,14 @@
 //! selection passes. Figure 12 reports this optimization is on average 10.7×
 //! faster than the GGKS in-place radix top-k.
 //!
+//! Every entry point is generic over [`TopKKey`]: the flag arithmetic runs
+//! in the key's order-preserving radix space ([`TopKKey::Bits`]), so signed
+//! and float keys work unchanged. A 32-bit key runs 4 selection passes at
+//! the default 8 bits per digit; a 64-bit key runs 8.
+//!
 //! Two entry points are provided:
 //!
-//! * [`flag_radix_select_kth`] / [`flag_radix_topk`] over plain `u32` values
+//! * [`flag_radix_select_kth`] / [`flag_radix_topk`] over plain key values
 //!   (used as the second top-k and as the standalone optimized algorithm of
 //!   Figure 12), and
 //! * [`flag_radix_select_by_key`] over a *key array* that is paired with a
@@ -19,7 +24,7 @@
 //!   value and the payload is the subrange id).
 
 use gpu_sim::{AtomicBuffer, Device, KernelStats};
-use topk_baselines::{gather_topk, TopKResult};
+use topk_baselines::{gather_topk, KeyBits, TopKKey, TopKResult};
 
 /// Elements assigned to each simulated warp in scan kernels.
 pub const ELEMS_PER_WARP: usize = 8192;
@@ -29,12 +34,16 @@ pub const BITS_PER_PASS: u32 = 8;
 
 /// Result of a flag-based radix selection.
 #[derive(Debug, Clone)]
-pub struct FlagSelectOutcome {
+pub struct FlagSelectOutcome<K: TopKKey = u32> {
     /// Lower bound for qualification: with all passes executed this is the
     /// exact k-th largest key; with [`skip_last_pass`](FlagSelectConfig::skip_last_pass)
-    /// it is the lower edge of the final radix bucket (≤ the exact value),
-    /// which is still a safe filter threshold (Rule 2).
-    pub threshold: u32,
+    /// it is the lower edge of the final radix bucket (≤ the exact value in
+    /// the key's total order), which is still a safe filter threshold
+    /// (Rule 2). For float keys a relaxed threshold is the bucket edge
+    /// mapped back through the bijection and need not be a value present in
+    /// the input; comparisons against it must use the key order (it may
+    /// even be a NaN, which the key order handles).
+    pub threshold: K,
     /// True when the threshold is exact (no pass was skipped).
     pub exact: bool,
     /// Number of selection passes executed.
@@ -68,41 +77,43 @@ impl Default for FlagSelectConfig {
 
 /// Flag-based radix k-selection over `keys[i] = key_of(data[i])`.
 ///
-/// Generic over a key extractor so the same kernel serves plain `u32` vectors
-/// (`|x| x`) and the delegate vector's value column. `name_prefix` labels the
-/// kernels in the device log (`<prefix>_pass<i>`), which the figure
+/// Generic over a key extractor so the same kernel serves plain key vectors
+/// (`|&x| x`) and the delegate vector's value column. `name_prefix` labels
+/// the kernels in the device log (`<prefix>_pass<i>`), which the figure
 /// harnesses use to attribute time to pipeline phases.
-pub fn flag_radix_select_by_key<T, F>(
+pub fn flag_radix_select_by_key<T, K, F>(
     device: &Device,
     data: &[T],
     key_of: F,
     k: usize,
     config: &FlagSelectConfig,
     name_prefix: &str,
-) -> FlagSelectOutcome
+) -> FlagSelectOutcome<K>
 where
     T: Sync + Copy,
-    F: Fn(&T) -> u32 + Sync,
+    K: TopKKey,
+    F: Fn(&T) -> K + Sync,
 {
     assert!(k >= 1 && k <= data.len(), "k must be in 1..=|V|");
     let mut stats = KernelStats::default();
     let mut time_ms = 0.0;
 
     let digits = 1usize << BITS_PER_PASS;
-    let total_passes = 32 / BITS_PER_PASS;
+    let digit_mask = K::Bits::from_u64(digits as u64 - 1);
+    let total_passes = K::Bits::BITS / BITS_PER_PASS;
     let run_passes = if config.skip_last_pass {
         total_passes - 1
     } else {
         total_passes
     };
 
-    let mut flag_value: u32 = 0; // radix prefix of the k-th largest element
-    let mut flag_mask: u32 = 0; // which bits of the prefix are pinned
+    let mut flag_value = K::Bits::ZERO; // radix prefix of the k-th largest element
+    let mut flag_mask = K::Bits::ZERO; // which bits of the prefix are pinned
     let mut k_remaining = k;
     let num_warps = data.len().div_ceil(config.elems_per_warp).max(1);
 
     for pass in 0..run_passes {
-        let shift = 32 - BITS_PER_PASS * (pass + 1);
+        let shift = K::Bits::BITS - BITS_PER_PASS * (pass + 1);
         let hist_buf = AtomicBuffer::zeroed(digits);
         let key_of = &key_of;
         let launch = device.launch(&format!("{name_prefix}_pass{pass}"), num_warps, |ctx| {
@@ -110,11 +121,11 @@ where
             let slice = ctx.read_coalesced(&data[chunk]);
             let mut local = vec![0u32; digits];
             for item in slice {
-                let key = key_of(item);
+                let key = key_of(item).to_bits();
                 // the flag check: only elements whose pinned radixes match
                 // remain candidates — no element is ever modified.
                 if key & flag_mask == flag_value {
-                    local[((key >> shift) as usize) & (digits - 1)] += 1;
+                    local[((key >> shift) & digit_mask).as_digit()] += 1;
                 }
                 ctx.record_alu(2);
             }
@@ -139,12 +150,12 @@ where
             above += count;
         }
         k_remaining -= above;
-        flag_value |= (chosen as u32) << shift;
-        flag_mask |= ((digits - 1) as u32) << shift;
+        flag_value |= K::Bits::from_u64(chosen as u64) << shift;
+        flag_mask |= digit_mask << shift;
     }
 
     FlagSelectOutcome {
-        threshold: flag_value,
+        threshold: K::from_bits(flag_value),
         exact: !config.skip_last_pass,
         passes: run_passes,
         stats,
@@ -152,19 +163,19 @@ where
     }
 }
 
-/// Flag-based radix k-selection over plain `u32` values.
-pub fn flag_radix_select_kth(
+/// Flag-based radix k-selection over plain key values.
+pub fn flag_radix_select_kth<K: TopKKey>(
     device: &Device,
-    data: &[u32],
+    data: &[K],
     k: usize,
     config: &FlagSelectConfig,
-) -> FlagSelectOutcome {
+) -> FlagSelectOutcome<K> {
     flag_radix_select_by_key(device, data, |&x| x, k, config, "flag_radix_select")
 }
 
-/// Full flag-based radix **top-k** over plain `u32` values: selection (all
+/// Full flag-based radix **top-k** over plain key values: selection (all
 /// passes, exact threshold) followed by the shared gather pass.
-pub fn flag_radix_topk(device: &Device, data: &[u32], k: usize) -> TopKResult {
+pub fn flag_radix_topk<K: TopKKey>(device: &Device, data: &[K], k: usize) -> TopKResult<K> {
     let k = k.min(data.len());
     if k == 0 {
         return TopKResult::from_values(Vec::new(), KernelStats::default(), 0.0);
@@ -217,7 +228,28 @@ mod tests {
             );
         }
         assert!(flag_radix_topk(&dev, &data, 0).is_empty());
-        assert_eq!(flag_radix_topk(&dev, &[5, 5, 5], 2).values, vec![5, 5]);
+        assert_eq!(flag_radix_topk(&dev, &[5u32, 5, 5], 2).values, vec![5, 5]);
+    }
+
+    #[test]
+    fn generic_keys_run_the_right_pass_count() {
+        let dev = device();
+        let wide: Vec<u64> = (0..4096u64)
+            .map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let got = flag_radix_select_kth(&dev, &wide, 33, &FlagSelectConfig::default());
+        assert_eq!(got.passes, 8, "64-bit keys take 8 digit passes");
+        assert_eq!(got.threshold, reference_kth(&wide, 33));
+        let signed: Vec<i64> = wide.iter().map(|&x| x as i64).collect();
+        assert_eq!(
+            flag_radix_topk(&dev, &signed, 12).values,
+            reference_topk(&signed, 12)
+        );
+        let floats: Vec<f32> = (0..2048).map(|i| (i as f32 - 1024.0) * 0.5).collect();
+        assert_eq!(
+            flag_radix_topk(&dev, &floats, 9).values,
+            reference_topk(&floats, 9)
+        );
     }
 
     #[test]

@@ -20,8 +20,10 @@ pub mod realworld;
 pub mod rng;
 pub mod synthetic;
 
-pub use realworld::{ann_sift_distances, twitter_fear_scores, web_degrees};
-pub use synthetic::{customized, normal, uniform};
+pub use realworld::{
+    ann_sift_distances, ann_sift_distances_f32, bm25_scores, twitter_fear_scores, web_degrees,
+};
+pub use synthetic::{customized, normal, uniform, uniform_f32};
 
 use rng::Xoshiro256StarStar;
 
@@ -126,12 +128,14 @@ const CHUNK_ELEMS: usize = 1 << 18;
 /// Fill a vector of `n` elements in parallel. `fill` receives a
 /// chunk-specific RNG and the chunk slice; chunk seeds are derived from
 /// `seed` and the chunk index, so the output is independent of the number of
-/// worker threads.
-pub(crate) fn parallel_fill<F>(n: usize, seed: u64, fill: F) -> Vec<u32>
+/// worker threads. Generic over the element type so the same machinery
+/// produces `u32` datasets and the `f32` distance/score datasets.
+pub(crate) fn parallel_fill<T, F>(n: usize, seed: u64, fill: F) -> Vec<T>
 where
-    F: Fn(&mut Xoshiro256StarStar, &mut [u32]) + Sync,
+    T: Default + Copy + Send,
+    F: Fn(&mut Xoshiro256StarStar, &mut [T]) + Sync,
 {
-    let mut out = vec![0u32; n];
+    let mut out = vec![T::default(); n];
     if n == 0 {
         return out;
     }
@@ -147,9 +151,9 @@ where
         .min(num_chunks);
     std::thread::scope(|scope| {
         let fill = &fill;
-        let chunks: Vec<(usize, &mut [u32])> = out.chunks_mut(CHUNK_ELEMS).enumerate().collect();
+        let chunks: Vec<(usize, &mut [T])> = out.chunks_mut(CHUNK_ELEMS).enumerate().collect();
         // round-robin chunks over workers
-        let mut per_worker: Vec<Vec<(usize, &mut [u32])>> =
+        let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
             (0..workers).map(|_| Vec::new()).collect();
         for (i, chunk) in chunks {
             per_worker[i % workers].push((i, chunk));

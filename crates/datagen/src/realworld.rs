@@ -62,6 +62,58 @@ pub fn ann_sift_distances(n: usize, seed: u64) -> Vec<u32> {
     })
 }
 
+/// Euclidean (non-squared) L2 distances between a fixed query descriptor and
+/// `n` random 128-dimensional byte descriptors, as native `f32` values.
+///
+/// This is the float-keyed counterpart of [`ann_sift_distances`], feeding
+/// `dr_topk_min` directly: real ANN pipelines keep distances in `f32` and a
+/// generic-key top-k has no reason to quantize them. The descriptor stream
+/// is identical to the `u32` generator's (same per-chunk RNG draws), so the
+/// two datasets rank vectors identically.
+pub fn ann_sift_distances_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut qrng = Xoshiro256StarStar::seed_from_u64(seed ^ 0xA11C_E500);
+    let query: Vec<u8> = (0..SIFT_DIMS)
+        .map(|_| (qrng.next_u32() >> 24) as u8)
+        .collect();
+    let query_ref = &query;
+    parallel_fill(n, seed, move |rng, out| {
+        let mut descriptor = [0u8; SIFT_DIMS];
+        for v in out.iter_mut() {
+            for chunk in 0..SIFT_DIMS / 8 {
+                let word = rng.next_u64();
+                for b in 0..8 {
+                    descriptor[chunk * 8 + b] = (word >> (8 * b)) as u8;
+                }
+            }
+            let mut dist: u64 = 0;
+            for d in 0..SIFT_DIMS {
+                let diff = descriptor[d] as i64 - query_ref[d] as i64;
+                dist += (diff * diff) as u64;
+            }
+            *v = (dist as f32).sqrt();
+        }
+    })
+}
+
+/// BM25-like retrieval scores as native `f32` values — the float score
+/// stream a Block-Max WAND index ranks (the Figure 24 use case with real
+/// scoring instead of integer proxies).
+///
+/// Scores follow the classic shape `idf · tf·(k1+1)/(tf+k1)`: an
+/// exponential idf tail (few rare, high-weight terms) saturated by the
+/// BM25 `k1 = 1.2` term-frequency curve. All scores are positive and
+/// finite, with a long right tail.
+pub fn bm25_scores(n: usize, seed: u64) -> Vec<f32> {
+    const K1: f64 = 1.2;
+    parallel_fill(n, seed, |rng, out| {
+        for v in out.iter_mut() {
+            let idf = -rng.next_f64().max(1e-12).ln();
+            let tf = -rng.next_f64().max(1e-12).ln() * 4.0;
+            *v = (idf * (tf * (K1 + 1.0)) / (tf + K1)) as f32;
+        }
+    })
+}
+
 /// Heavy-tailed web-page degree samples (the `CW` proxy).
 ///
 /// Degrees follow a power law with density exponent
@@ -134,6 +186,31 @@ mod tests {
         let max = *a.iter().max().unwrap() as f64;
         let min = *a.iter().min().unwrap() as f64;
         assert!(max / min.max(1.0) < 3.0, "spread too large: {min}..{max}");
+    }
+
+    #[test]
+    fn f32_distances_track_the_u32_generator() {
+        let sq = ann_sift_distances(2048, 3);
+        let eu = ann_sift_distances_f32(2048, 3);
+        assert_eq!(sq.len(), eu.len());
+        // identical descriptor streams: the float distance is the square
+        // root of the integer squared distance, element for element.
+        for (&s, &e) in sq.iter().zip(&eu) {
+            assert!((e - (s as f32).sqrt()).abs() < 1e-3, "{s} vs {e}");
+        }
+        assert_eq!(eu, ann_sift_distances_f32(2048, 3), "deterministic");
+        assert_ne!(eu, ann_sift_distances_f32(2048, 4));
+    }
+
+    #[test]
+    fn bm25_scores_are_positive_finite_and_skewed() {
+        let s = bm25_scores(1 << 14, 9);
+        assert_eq!(s, bm25_scores(1 << 14, 9), "deterministic");
+        assert!(s.iter().all(|&x| x.is_finite() && x >= 0.0));
+        let mean = s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64;
+        let max = s.iter().cloned().fold(0.0f32, f32::max) as f64;
+        // long right tail: the max is far above the mean
+        assert!(max > 4.0 * mean, "mean {mean}, max {max}");
     }
 
     #[test]

@@ -40,6 +40,20 @@ pub fn uniform(n: usize, seed: u64) -> Vec<u32> {
     })
 }
 
+/// Uniformly distributed `f32` values in `[0, 1)` — the float counterpart of
+/// [`uniform`], for exercising the generic-key pipeline on native floats.
+///
+/// Built from 24 high mantissa bits directly (`m / 2^24` is exact in `f32`),
+/// so the half-open bound is strict: a wider draw cast down to `f32` could
+/// round up to exactly `1.0`.
+pub fn uniform_f32(n: usize, seed: u64) -> Vec<f32> {
+    parallel_fill(n, seed, |rng, out| {
+        for v in out.iter_mut() {
+            *v = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        }
+    })
+}
+
 /// Normally distributed values, `N(10^8, 10)`, clamped to `u32` (the ND
 /// dataset).
 pub fn normal(n: usize, seed: u64) -> Vec<u32> {
@@ -155,6 +169,17 @@ mod tests {
         assert!(uniform(0, 3).is_empty());
         assert!(normal(0, 3).is_empty());
         assert!(customized(0, 3).is_empty());
+        assert!(uniform_f32(0, 3).is_empty());
+    }
+
+    #[test]
+    fn uniform_f32_is_deterministic_and_in_unit_interval() {
+        let a = uniform_f32(1 << 14, 5);
+        assert_eq!(a, uniform_f32(1 << 14, 5));
+        assert_ne!(a, uniform_f32(1 << 14, 6));
+        assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = a.iter().map(|&x| x as f64).sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 
     #[test]

@@ -147,14 +147,15 @@ impl<'a> WarpCtx<'a> {
 
     /// Full-warp maximum reduction over up to 32 lane values via shuffles.
     /// Returns the maximum and accounts 31 shuffle instructions, matching the
-    /// paper's per-subrange accounting. Panics on an empty slice.
-    pub fn warp_reduce_max(&mut self, lane_value: u32) -> u32 {
+    /// paper's per-subrange accounting. Generic over any totally ordered
+    /// word (`u32` values, or the radix-space bits of a wider key type).
+    pub fn warp_reduce_max<T: Copy + Ord>(&mut self, lane_value: T) -> T {
         self.record_shuffles(SHUFFLES_PER_WARP_REDUCTION);
         lane_value
     }
 
     /// Full-warp maximum reduction over explicit lane values (≤ 32 lanes).
-    pub fn warp_reduce_max_lanes(&mut self, lane_values: &[u32]) -> u32 {
+    pub fn warp_reduce_max_lanes<T: Copy + Ord>(&mut self, lane_values: &[T]) -> T {
         assert!(!lane_values.is_empty(), "warp reduction over zero lanes");
         assert!(lane_values.len() <= WARP_SIZE);
         self.record_shuffles(SHUFFLES_PER_WARP_REDUCTION);
@@ -162,7 +163,7 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// Full-warp minimum reduction over explicit lane values (≤ 32 lanes).
-    pub fn warp_reduce_min_lanes(&mut self, lane_values: &[u32]) -> u32 {
+    pub fn warp_reduce_min_lanes<T: Copy + Ord>(&mut self, lane_values: &[T]) -> T {
         assert!(!lane_values.is_empty(), "warp reduction over zero lanes");
         assert!(lane_values.len() <= WARP_SIZE);
         self.record_shuffles(SHUFFLES_PER_WARP_REDUCTION);
@@ -349,7 +350,7 @@ mod tests {
     fn empty_reduction_panics() {
         let spec = DeviceSpec::v100s();
         let mut ctx = ctx_with_spec(&spec);
-        ctx.warp_reduce_max_lanes(&[]);
+        ctx.warp_reduce_max_lanes::<u32>(&[]);
     }
 
     #[test]

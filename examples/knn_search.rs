@@ -2,8 +2,11 @@
 //! distances between a query descriptor and a database of 128-dimensional
 //! descriptors, then use Dr. Top-k to find the k *closest* vectors.
 //!
-//! Top-k-smallest is answered by flipping the key (`u32::MAX − distance`),
-//! running the top-k-largest machinery, and flipping back.
+//! Distances stay native `f32` end to end: `dr_topk_min` answers
+//! top-k-smallest directly through the generic-key pipeline, so no
+//! caller-side bit flipping (the old `u32::MAX − d` hack) is needed. NaN
+//! distances, if a computation ever produced one, would rank *after* every
+//! real distance (see the NaN policy in `topk_baselines::key`).
 //!
 //! Run with: `cargo run --release --example knn_search [n_exp] [k]`
 
@@ -16,26 +19,23 @@ fn main() {
     let n = 1usize << n_exp;
 
     println!("computing L2 distances from the query to {n} SIFT-like descriptors...");
-    let distances = topk_datagen::ann_sift_distances(n, 7);
-
-    // smallest distances == largest flipped keys
-    let flipped: Vec<u32> = distances.iter().map(|&d| u32::MAX - d).collect();
+    let distances = topk_datagen::ann_sift_distances_f32(n, 7);
 
     let device = Device::new(DeviceSpec::v100s());
-    let result = dr_topk(&device, &flipped, k, &DrTopKConfig::auto(n, k));
+    let result = dr_topk_min(&device, &distances, k, &DrTopKConfig::auto(n, k));
 
-    let mut nearest: Vec<u32> = result.values.iter().map(|&v| u32::MAX - v).collect();
-    nearest.sort_unstable();
+    // `dr_topk_min` returns the k smallest distances, closest first.
+    let nearest = &result.values;
 
     // verify against the CPU reference
     let mut expected = distances.clone();
-    expected.sort_unstable();
+    expected.sort_unstable_by(f32::total_cmp);
     expected.truncate(k);
-    assert_eq!(nearest, expected);
+    assert_eq!(nearest, &expected);
 
-    println!("\n{k} nearest neighbours (squared L2 distances, closest first):");
+    println!("\n{k} nearest neighbours (L2 distances, closest first):");
     for (rank, d) in nearest.iter().take(10).enumerate() {
-        println!("  #{:<3} distance² = {d}", rank + 1);
+        println!("  #{:<3} distance = {d:.3}", rank + 1);
     }
     if k > 10 {
         println!("  ... ({} more)", k - 10);

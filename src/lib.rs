@@ -48,11 +48,12 @@ pub use topk_datagen as datagen;
 pub mod prelude {
     pub use bmw_baseline::{BmwIndex, BmwStats};
     pub use drtopk_core::{
-        dr_topk, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
+        dr_topk, dr_topk_min, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
     };
     pub use gpu_sim::{Device, DeviceSpec, KernelStats};
     pub use topk_baselines::{
-        bitonic_topk, bucket_topk, priority_queue_topk, radix_topk, sort_and_choose_topk,
+        bitonic_topk, bucket_topk, priority_queue_topk, radix_topk, sort_and_choose_topk, Desc,
+        TopKKey,
     };
     pub use topk_datagen::{self, Distribution};
 }

@@ -171,7 +171,7 @@ fn bucket_select_kth_panics_on_k_zero() {
 #[test]
 #[should_panic(expected = "k out of range")]
 fn reference_kth_panics_on_empty_input() {
-    reference_kth(&[], 1);
+    reference_kth::<u32>(&[], 1);
 }
 
 #[test]

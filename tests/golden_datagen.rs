@@ -134,6 +134,78 @@ fn every_distribution_has_a_golden_entry() {
     }
 }
 
+/// Freeze the f32 generators the same way the u32 table does: the sum of
+/// the raw IEEE bit patterns (exact, no float accumulation error) plus the
+/// leading elements and the value extremes. Shortest-round-trip float
+/// literals are exact, so `==` comparisons are well-defined.
+#[test]
+fn golden_values_for_f32_generators() {
+    struct GoldenF32 {
+        name: &'static str,
+        data: Vec<f32>,
+        bit_sum: u64,
+        first4: [f32; 4],
+        top2: [f32; 2],
+        bottom2: [f32; 2],
+    }
+    let n = 1 << 14;
+    let seed = 0x5eed;
+    let golden = [
+        GoldenF32 {
+            name: "ann_sift_distances_f32",
+            data: topk_datagen::ann_sift_distances_f32(n, seed),
+            bit_sum: 18_852_323_550_790,
+            first4: [1215.8055, 1229.0284, 1166.1707, 1188.2441],
+            top2: [1418.3699, 1397.1017],
+            bottom2: [946.5252, 970.4015],
+        },
+        GoldenF32 {
+            name: "bm25_scores",
+            data: topk_datagen::bm25_scores(n, seed),
+            bit_sum: 17_371_223_988_974,
+            first4: [0.87684166, 0.9937564, 0.27444315, 0.19203827],
+            top2: [15.561915, 15.128056],
+            bottom2: [1.5006526e-5, 7.306921e-5],
+        },
+        GoldenF32 {
+            name: "uniform_f32",
+            data: topk_datagen::uniform_f32(n, seed),
+            bit_sum: 17_250_265_303_168,
+            first4: [0.5470755, 0.55744356, 0.60146374, 0.09155959],
+            top2: [0.9999268, 0.9996759],
+            bottom2: [0.00019031763, 0.00026118755],
+        },
+    ];
+    for g in golden {
+        assert_eq!(g.data.len(), n, "{}: wrong length", g.name);
+        let bit_sum: u64 = g.data.iter().map(|x| x.to_bits() as u64).sum();
+        assert_eq!(
+            bit_sum, g.bit_sum,
+            "{}: bit sum drifted at n={n} seed={seed} — the RNG stream or \
+             distribution shape changed",
+            g.name
+        );
+        assert_eq!(
+            &g.data[..4],
+            &g.first4,
+            "{}: leading values drifted",
+            g.name
+        );
+        assert_eq!(
+            topk_baselines::reference_topk(&g.data, 2),
+            g.top2,
+            "{}: top-2 drifted",
+            g.name
+        );
+        assert_eq!(
+            topk_baselines::reference_topk_min(&g.data, 2),
+            g.bottom2,
+            "{}: bottom-2 drifted",
+            g.name
+        );
+    }
+}
+
 #[test]
 fn generation_spans_chunk_boundaries_deterministically() {
     // The parallel fill derives one RNG stream per 2^18-element chunk; a

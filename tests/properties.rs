@@ -135,3 +135,152 @@ proptest! {
         prop_assert_eq!(bitonic.values, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Generic-key properties: every TopKKey impl must drive dr_topk, every
+// baseline and the flag-based select to the same answer as the CPU
+// reference, including float specials (NaN / ±0 / ±∞), i64 negatives and
+// u64 values with high bits set.
+// ---------------------------------------------------------------------------
+
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+use topk_baselines::{
+    bitonic_topk as generic_bitonic, bucket_topk as generic_bucket, priority_queue_topk,
+    radix_topk as generic_radix, reference_topk_min, sort_and_choose_topk, BitonicConfig,
+    BucketConfig, RadixConfig, TopKKey,
+};
+
+/// Compare key vectors through their order-preserving bit images, so NaN
+/// (which is `!=` itself as a float) still compares as a concrete multiset
+/// element.
+fn bits_of<K: TopKKey>(v: &[K]) -> Vec<K::Bits> {
+    v.iter().map(|x| TopKKey::to_bits(*x)).collect()
+}
+
+/// f32 values with a heavy dose of the IEEE specials: NaN (both signs,
+/// varied payloads), ±∞, ±0 and subnormals, on top of ordinary finite
+/// values.
+fn f32_with_specials() -> impl proptest::strategy::Strategy<Value = f32> {
+    FnStrategy(|rng: &mut TestRng| match rng.next_below(12) {
+        0 => f32::NAN,
+        1 => -f32::NAN,
+        2 => f32::from_bits(0x7FC0_0000 | (rng.next_u64() as u32 & 0x3F_FFFF)),
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        5 => 0.0,
+        6 => -0.0,
+        7 => f32::from_bits(rng.next_u64() as u32 & 0x007F_FFFF), // subnormal
+        _ => (rng.next_unit_f64() as f32 - 0.5) * 2.0e6,
+    })
+}
+
+/// Check one key type end to end: dr_topk, all four baselines, the CPU
+/// priority queue and the flag-radix top-k against the reference.
+fn assert_all_agree<K: TopKKey>(device: &Device, data: &[K], k: usize) -> Result<(), String> {
+    let expected = bits_of(&reference_topk(data, k));
+    let mut got: Vec<(&str, Vec<K::Bits>)> = vec![
+        (
+            "dr_topk",
+            bits_of(&dr_topk(device, data, k, &DrTopKConfig::default()).values),
+        ),
+        (
+            "flag_radix",
+            bits_of(&flag_radix_topk(device, data, k).values),
+        ),
+        (
+            "radix",
+            bits_of(&generic_radix(device, data, k, &RadixConfig::default()).values),
+        ),
+        (
+            "radix_in_place",
+            bits_of(&generic_radix(device, data, k, &RadixConfig::in_place()).values),
+        ),
+        (
+            "bucket",
+            bits_of(&generic_bucket(device, data, k, &BucketConfig::default()).values),
+        ),
+        (
+            "bitonic",
+            bits_of(&generic_bitonic(device, data, k, &BitonicConfig::default()).values),
+        ),
+        (
+            "sort_and_choose",
+            bits_of(&sort_and_choose_topk(device, data, k).values),
+        ),
+        (
+            "priority_queue",
+            bits_of(&priority_queue_topk(data, k).values),
+        ),
+    ];
+    for (name, bits) in got.drain(..) {
+        if bits != expected {
+            return Err(format!("{name} disagrees with the reference for k={k}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// f32 keys (with NaN / ±0 / ±∞ / subnormals): every algorithm agrees
+    /// with the total_cmp-ordered reference.
+    #[test]
+    fn f32_keys_agree_everywhere(
+        data in proptest::collection::vec(f32_with_specials(), 1..1500),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let device = device();
+        if let Err(msg) = assert_all_agree(&device, &data, k) {
+            prop_assert!(false, "{}", msg);
+        }
+        // min-queries rank positive NaNs last
+        let min = dr_topk_min(&device, &data, k, &DrTopKConfig::default());
+        prop_assert_eq!(bits_of(&min.values), bits_of(&reference_topk_min(&data, k)));
+    }
+
+    /// i64 keys: negatives sort below positives through the sign-flip
+    /// transform.
+    #[test]
+    fn i64_keys_agree_everywhere(
+        data in proptest::collection::vec(any::<i64>(), 1..1500),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let device = device();
+        if let Err(msg) = assert_all_agree(&device, &data, k) {
+            prop_assert!(false, "{}", msg);
+        }
+        prop_assert!(
+            reference_topk_min(&data, 1)[0] <= reference_topk(&data, 1)[0]
+        );
+    }
+
+    /// u64 keys: the full 64-bit radix space (8 selection passes) works,
+    /// including values with high bits set.
+    #[test]
+    fn u64_keys_agree_everywhere(
+        data in proptest::collection::vec(any::<u64>(), 1..1500),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let device = device();
+        if let Err(msg) = assert_all_agree(&device, &data, k) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// The f32 ↔ bits bijection round-trips bit-exactly and preserves the
+    /// total_cmp order on arbitrary values (including NaN payloads).
+    #[test]
+    fn f32_bijection_is_order_preserving(
+        a in f32_with_specials(),
+        b in f32_with_specials(),
+    ) {
+        let (ab, bb) = (TopKKey::to_bits(a), TopKKey::to_bits(b));
+        prop_assert_eq!(<f32 as TopKKey>::from_bits(ab).to_bits(), a.to_bits());
+        prop_assert_eq!(ab.cmp(&bb), a.total_cmp(&b));
+    }
+}
