@@ -1,0 +1,149 @@
+//! Engine throughput: modeled queries/second of the batched multi-query
+//! engine, swept over batch size × query mix on a 4-device cluster.
+//!
+//! Each cell runs the same batch twice — a cold pass (caches empty) and a
+//! warm pass (tuning plans + delegate vectors cached) — reporting modeled
+//! throughput, batch occupancy and the warm pass's cache hit rates. Beyond
+//! the CSV every harness writes, this target also records
+//! `bench_results/engine_throughput.json`; the committed
+//! `engine_throughput_baseline.json` is the reference point for future
+//! trajectory tracking.
+
+use std::io::Write as _;
+
+use drtopk_bench_harness::*;
+use drtopk_core::InnerAlgorithm;
+use drtopk_engine::{Direction, Query, QueryBatch, TopKEngine};
+use gpu_sim::{DeviceSpec, GpuCluster};
+use topk_datagen::{multi_query_workload, CorpusMix};
+
+const DEVICES: usize = 4;
+
+struct Cell {
+    batch: usize,
+    mix: &'static str,
+    cold_qps: f64,
+    warm_qps: f64,
+    occupancy: f64,
+    warm_plan_hit: f64,
+    warm_delegate_hit: f64,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+fn main() {
+    // Corpora are deliberately smaller than the single-query harness
+    // default: serving batches multiply the work by the batch size.
+    let n = (default_n() >> 4).max(1 << 16);
+    let k_max = 1 << 10;
+    let mixes: [(&str, CorpusMix); 3] = [
+        ("shared", CorpusMix::Shared),
+        ("clustered4", CorpusMix::Clustered { corpora: 4 }),
+        ("disjoint", CorpusMix::Disjoint),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for batch_size in [4usize, 16, 64] {
+        for (mix_name, mix) in mixes {
+            let num_corpora = mix.num_corpora(batch_size);
+            let corpora: Vec<Vec<u32>> = (0..num_corpora)
+                .map(|i| topk_datagen::uniform(n, seed() ^ (i as u64) << 8))
+                .collect();
+            let specs = multi_query_workload(batch_size, mix, k_max, 1.0, 0.25, seed());
+            let engine = TopKEngine::new(GpuCluster::homogeneous(DEVICES, DeviceSpec::v100s()));
+
+            let run = || {
+                let mut batch = QueryBatch::new();
+                let ids: Vec<usize> = corpora
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| batch.add_corpus(i as u64, d))
+                    .collect();
+                for spec in &specs {
+                    batch.push(Query {
+                        corpus: ids[spec.corpus],
+                        k: spec.k,
+                        direction: if spec.largest {
+                            Direction::Largest
+                        } else {
+                            Direction::Smallest
+                        },
+                        inner: InnerAlgorithm::FlagRadix,
+                    });
+                }
+                engine.run_batch(&batch).expect("batch must execute")
+            };
+            let cold = run();
+            let warm = run();
+            cells.push(Cell {
+                batch: batch_size,
+                mix: mix_name,
+                cold_qps: cold.report.throughput_qps,
+                warm_qps: warm.report.throughput_qps,
+                occupancy: cold.report.batch_occupancy,
+                warm_plan_hit: warm.report.plan_cache.hit_rate(),
+                warm_delegate_hit: warm.report.delegate_cache.hit_rate(),
+                cold_ms: cold.report.total_ms,
+                warm_ms: warm.report.total_ms,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.batch.to_string(),
+                c.mix.to_string(),
+                fmt(c.cold_qps),
+                fmt(c.warm_qps),
+                fmt(c.occupancy),
+                fmt(c.warm_plan_hit),
+                fmt(c.warm_delegate_hit),
+                fmt(c.cold_ms),
+                fmt(c.warm_ms),
+            ]
+        })
+        .collect();
+    emit(
+        "engine_throughput",
+        &[
+            "batch_size",
+            "mix",
+            "cold_qps",
+            "warm_qps",
+            "occupancy",
+            "warm_plan_hit_rate",
+            "warm_delegate_hit_rate",
+            "cold_total_ms",
+            "warm_total_ms",
+        ],
+        &rows,
+    );
+
+    // Baseline JSON for trajectory tracking (hand-rolled: no serde in the
+    // offline workspace).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"n\": {n},\n  \"devices\": {DEVICES},\n  \"k_max\": {k_max},\n  \"seed\": {},\n  \"cells\": [\n",
+        seed()
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch_size\": {}, \"mix\": \"{}\", \"cold_qps\": {:.1}, \"warm_qps\": {:.1}, \"occupancy\": {:.2}, \"warm_plan_hit_rate\": {:.3}, \"warm_delegate_hit_rate\": {:.3}}}{}\n",
+            c.batch,
+            c.mix,
+            c.cold_qps,
+            c.warm_qps,
+            c.occupancy,
+            c.warm_plan_hit,
+            c.warm_delegate_hit,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = results_dir().join("engine_throughput.json");
+    let mut file = std::fs::File::create(&path).expect("cannot create JSON file");
+    file.write_all(json.as_bytes()).unwrap();
+    println!("[written to {}]", path.display());
+}

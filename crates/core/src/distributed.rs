@@ -8,20 +8,25 @@
 //! send their k winners to the primary device with asynchronous messages,
 //! and the primary computes the final top-k over the `#devices × k`
 //! candidates.
+//!
+//! Everything here is generic over [`TopKKey`], like the rest of the
+//! pipeline; the `u32` monomorphization is the historical behaviour.
 
 use gpu_sim::{GpuCluster, KernelStats, TransferDirection};
-use topk_baselines::reference_topk;
+use topk_baselines::{reference_topk, Desc, TopKKey};
 
 use crate::pipeline::{dr_topk_with_stats, DrTopKConfig};
 use crate::radix_flags::flag_radix_topk;
 
-/// Result of a distributed Dr. Top-k run.
+/// Result of a distributed Dr. Top-k run, generic over the key type (the
+/// `u32` default keeps the historical monomorphization spelled
+/// `DistributedResult`).
 #[derive(Debug, Clone)]
-pub struct DistributedResult {
+pub struct DistributedResult<K: TopKKey = u32> {
     /// The k largest values across the whole input, descending.
-    pub values: Vec<u32>,
+    pub values: Vec<K>,
     /// The k-th largest value.
-    pub kth_value: u32,
+    pub kth_value: K,
     /// Per-device local compute time (Dr. Top-k over its sub-vectors), ms.
     pub per_device_compute_ms: Vec<f64>,
     /// Per-device host→device reload time for sub-vectors beyond the first
@@ -41,6 +46,32 @@ pub struct DistributedResult {
     pub stats: KernelStats,
 }
 
+impl<K: TopKKey> DistributedResult<Desc<K>> {
+    /// Unwrap a result computed in [`Desc`] space back to native keys
+    /// (ascending order for the caller's smallest-direction query).
+    pub fn into_native(self) -> DistributedResult<K> {
+        DistributedResult {
+            values: self.values.into_iter().map(|d| d.0).collect(),
+            kth_value: self.kth_value.0,
+            per_device_compute_ms: self.per_device_compute_ms,
+            per_device_reload_ms: self.per_device_reload_ms,
+            communication_ms: self.communication_ms,
+            final_topk_ms: self.final_topk_ms,
+            total_ms: self.total_ms,
+            reload_overhead_ms: self.reload_overhead_ms,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Convert a device capacity expressed in `u32` elements (the unit of
+/// [`gpu_sim::Device::capacity_elems`]) into a capacity in `K`-typed keys:
+/// an 8-byte key occupies two `u32` words, so half as many fit.
+pub fn capacity_in_keys<K>(capacity_u32_elems: usize) -> usize {
+    let words = (std::mem::size_of::<K>() / std::mem::size_of::<u32>()).max(1);
+    capacity_u32_elems / words
+}
+
 /// Partition `n` elements into sub-vectors of at most `capacity` elements,
 /// returned as index ranges. Sub-vectors are equally sized (within one
 /// element) as the paper prescribes.
@@ -56,18 +87,18 @@ pub fn partition_subvectors(n: usize, capacity: usize) -> Vec<std::ops::Range<us
 }
 
 /// Run Dr. Top-k on `data` distributed over the devices of `cluster`.
-pub fn distributed_dr_topk(
+pub fn distributed_dr_topk<K: TopKKey>(
     cluster: &GpuCluster,
-    data: &[u32],
+    data: &[K],
     k: usize,
     config: &DrTopKConfig,
-) -> DistributedResult {
+) -> DistributedResult<K> {
     let k = k.min(data.len());
     let num_devices = cluster.num_devices();
     if k == 0 || data.is_empty() {
         return DistributedResult {
             values: Vec::new(),
-            kth_value: 0,
+            kth_value: K::default(),
             per_device_compute_ms: vec![0.0; num_devices],
             per_device_reload_ms: vec![0.0; num_devices],
             communication_ms: 0.0,
@@ -80,18 +111,23 @@ pub fn distributed_dr_topk(
 
     // Partition into sub-vectors that fit device memory, then deal them
     // round-robin over devices (device d owns sub-vectors d, d+#dev, ...).
-    let capacity = cluster
-        .devices()
-        .iter()
-        .map(|d| d.capacity_elems())
-        .min()
-        .expect("cluster has devices");
+    // `capacity_elems` is expressed in u32 elements; 8-byte keys fit half
+    // as many per device.
+    let capacity = capacity_in_keys::<K>(
+        cluster
+            .devices()
+            .iter()
+            .map(|d| d.capacity_elems())
+            .min()
+            .expect("cluster has devices"),
+    )
+    .max(1);
     let subvectors = partition_subvectors(data.len(), capacity);
 
     // Each device processes its sub-vectors and reports (local top-k values,
     // compute ms, reload ms, stats).
     let per_device = cluster.run_on_all(|device_idx, device| {
-        let mut local_candidates: Vec<u32> = Vec::new();
+        let mut local_candidates: Vec<K> = Vec::new();
         let mut compute_ms = 0.0;
         let mut reload_ms = 0.0;
         let mut stats = KernelStats::default();
@@ -103,7 +139,7 @@ pub fn distributed_dr_topk(
             // Sub-vectors beyond the first resident one must be streamed in
             // from the host: that is the reload overhead of Table 2.
             if owned > 0 {
-                let bytes = (range.len() * std::mem::size_of::<u32>()) as u64;
+                let bytes = (range.len() * std::mem::size_of::<K>()) as u64;
                 let t = cluster
                     .transfer_time_ms(TransferDirection::HostToDevice { dst: device_idx }, bytes);
                 device.record_external("reload_subvector", KernelStats::default(), t);
@@ -126,7 +162,7 @@ pub fn distributed_dr_topk(
         (local_candidates, compute_ms, reload_ms, stats)
     });
 
-    let mut all_candidates: Vec<u32> = Vec::new();
+    let mut all_candidates: Vec<K> = Vec::new();
     let mut per_device_compute_ms = Vec::with_capacity(num_devices);
     let mut per_device_reload_ms = Vec::with_capacity(num_devices);
     let mut stats = KernelStats::default();
@@ -139,7 +175,7 @@ pub fn distributed_dr_topk(
 
     // Asynchronous gather of each secondary device's k values to the primary.
     let communication_ms = if num_devices > 1 {
-        cluster.async_gather_time_ms(0, (k * std::mem::size_of::<u32>()) as u64)
+        cluster.async_gather_time_ms(0, (k * std::mem::size_of::<K>()) as u64)
     } else {
         0.0
     };
@@ -164,7 +200,7 @@ pub fn distributed_dr_topk(
         .map(|(c, r)| c + r)
         .fold(0.0f64, f64::max);
     let reload_overhead_ms: f64 = per_device_reload_ms.iter().sum();
-    let kth_value = values.last().copied().unwrap_or(0);
+    let kth_value = values.last().copied().unwrap_or_default();
 
     DistributedResult {
         kth_value,
@@ -270,12 +306,57 @@ mod tests {
     #[test]
     fn empty_and_zero_k_inputs() {
         let c = cluster(2, 1 << 20);
-        assert!(distributed_dr_topk(&c, &[], 5, &DrTopKConfig::default())
-            .values
-            .is_empty());
+        assert!(
+            distributed_dr_topk::<u32>(&c, &[], 5, &DrTopKConfig::default())
+                .values
+                .is_empty()
+        );
         let data = topk_datagen::uniform(1 << 12, 1);
         assert!(distributed_dr_topk(&c, &data, 0, &DrTopKConfig::default())
             .values
             .is_empty());
+    }
+
+    #[test]
+    fn eight_byte_keys_halve_the_per_device_capacity() {
+        // capacity_elems is in u32 units: 2^13 u32 elements hold only 2^12
+        // u64 keys, so the same-length u64 input must split into twice the
+        // sub-vectors and show reload overhead where the u32 run shows none.
+        assert_eq!(capacity_in_keys::<u32>(1 << 13), 1 << 13);
+        assert_eq!(capacity_in_keys::<u64>(1 << 13), 1 << 12);
+        assert_eq!(capacity_in_keys::<f64>(10), 5);
+        let n = 1 << 13;
+        let base = topk_datagen::uniform(n, 3);
+        let wide: Vec<u64> = base.iter().map(|&x| (x as u64) << 8).collect();
+        let k = 32;
+        let c = cluster(1, n); // exactly |V| u32 elements of memory
+        let narrow_run = distributed_dr_topk(&c, &base, k, &DrTopKConfig::default());
+        assert_eq!(narrow_run.reload_overhead_ms, 0.0, "u32 input fits");
+        let wide_run = distributed_dr_topk(&c, &wide, k, &DrTopKConfig::default());
+        assert_eq!(wide_run.values, reference_topk(&wide, k));
+        assert!(
+            wide_run.reload_overhead_ms > 0.0,
+            "u64 input at u32 capacity must stream a second sub-vector"
+        );
+    }
+
+    #[test]
+    fn generic_keys_distribute_correctly() {
+        // f32 and i64 keys through the sharded path, including the reload
+        // regime — the last non-generic surface of PR 2 is now generic.
+        let base = topk_datagen::uniform(1 << 14, 77);
+        let floats: Vec<f32> = base
+            .iter()
+            .map(|&x| (x as f32 / u32::MAX as f32) * 2.0e4 - 1.0e4)
+            .collect();
+        let signed: Vec<i64> = base.iter().map(|&x| x as i64 - (1 << 31)).collect();
+        let k = 73;
+        let c = cluster(3, 1 << 12); // forces reloads on every device
+        let got = distributed_dr_topk(&c, &floats, k, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&floats, k));
+        assert_eq!(got.kth_value, *got.values.last().unwrap());
+        assert!(got.reload_overhead_ms > 0.0);
+        let got = distributed_dr_topk(&c, &signed, k, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&signed, k));
     }
 }

@@ -50,11 +50,13 @@ pub mod tuning;
 
 pub use concat::{concatenate, Concatenated};
 pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
-pub use distributed::{distributed_dr_topk, partition_subvectors, DistributedResult};
+pub use distributed::{
+    capacity_in_keys, distributed_dr_topk, partition_subvectors, DistributedResult,
+};
 pub use first_topk::{first_topk, FirstTopK};
 pub use pipeline::{
-    dr_topk, dr_topk_min, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
-    PhaseBreakdown, WorkloadStats,
+    as_desc, dr_topk, dr_topk_min, dr_topk_planned, dr_topk_with_stats, DrTopKConfig, DrTopKResult,
+    InnerAlgorithm, PhaseBreakdown, PlannedQuery, WorkloadStats,
 };
 pub use radix_flags::{
     flag_radix_select_by_key, flag_radix_select_kth, flag_radix_topk, FlagSelectConfig,

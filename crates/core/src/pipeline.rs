@@ -17,7 +17,7 @@ use topk_baselines::{
 };
 
 use crate::concat::concatenate;
-use crate::delegate::{build_delegate_vector, ConstructionMethod};
+use crate::delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 use crate::first_topk::first_topk;
 use crate::radix_flags::flag_radix_topk;
 use crate::tuning::{auto_alpha, PAPER_RULE4_CONST};
@@ -254,6 +254,64 @@ pub struct DrTopKResult<K: TopKKey = u32> {
     pub time_ms: f64,
 }
 
+/// A query bound to a fully resolved execution plan: `k` clamped to the
+/// input length, α pinned, and the delegate-vs-fallback decision already
+/// made.
+///
+/// [`dr_topk_with_stats`] is exactly [`PlannedQuery::plan`] followed by
+/// [`dr_topk_planned`]; the two halves are public so a batching engine can
+/// plan many queries against the same corpus up front and then execute them
+/// against **one shared delegate vector** (built once with
+/// [`build_delegate_vector`], or recalled from a cache) instead of paying a
+/// full `|V|`-scan delegate construction per query.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The query's k, clamped to the input length the plan was made for.
+    pub k: usize,
+    /// Resolved subrange exponent (Rule 4 or the caller's explicit α).
+    pub alpha: u32,
+    /// Whether the delegate machinery applies. `false` means the inner
+    /// algorithm runs directly on the input: the input is tiny, `k` is not
+    /// smaller than the input, or `k` is not smaller than the delegate
+    /// vector itself (Rule 2's threshold would not exist).
+    pub use_delegates: bool,
+    /// The configuration the plan was resolved from, with α pinned so
+    /// re-planning the same query is free.
+    pub config: DrTopKConfig,
+}
+
+impl PlannedQuery {
+    /// Resolve the execution plan of one query (`k` over an `n`-element
+    /// input) under `config`. This performs the α resolution and the
+    /// degenerate-split analysis of [`dr_topk_with_stats`] without touching
+    /// any data.
+    pub fn plan(n: usize, k: usize, config: &DrTopKConfig) -> PlannedQuery {
+        assert!(config.beta >= 1, "beta must be at least 1");
+        let k = k.min(n);
+        let alpha = config.resolve_alpha(n, k);
+        // Degenerate split: if the subrange count would be 1, the input is
+        // tiny, or k is not smaller than the delegate vector itself (in
+        // which case Rule 2's threshold — the k-th delegate — does not
+        // exist and pruning is impossible anyway), the delegate machinery
+        // cannot help — fall back to the inner algorithm directly, which is
+        // what a production library should do.
+        let subrange_size = 1usize << alpha;
+        let num_subranges = n.div_ceil(subrange_size);
+        let delegate_capacity =
+            num_subranges.saturating_sub(1) * config.beta.min(subrange_size) + 1;
+        let use_delegates = k > 0 && n > subrange_size && n > k && k < delegate_capacity;
+        PlannedQuery {
+            k,
+            alpha,
+            use_delegates,
+            config: DrTopKConfig {
+                alpha: Some(alpha),
+                ..config.clone()
+            },
+        }
+    }
+}
+
 /// Run Dr. Top-k on `data`, returning the full result with breakdowns.
 pub fn dr_topk_with_stats<K: TopKKey>(
     device: &Device,
@@ -261,7 +319,31 @@ pub fn dr_topk_with_stats<K: TopKKey>(
     k: usize,
     config: &DrTopKConfig,
 ) -> DrTopKResult<K> {
-    let k = k.min(data.len());
+    let planned = PlannedQuery::plan(data.len(), k, config);
+    dr_topk_planned(device, data, None, &planned)
+}
+
+/// Execute a [`PlannedQuery`] on `data`, optionally against a shared,
+/// already-built delegate vector.
+///
+/// When `shared_delegates` is `Some`, phase 1 (delegate construction) is
+/// skipped entirely: the query charges **zero** delegate time and delegate
+/// kernel counters to its own result — the provider of the shared vector
+/// accounts for that one-time cost (this is how the batching engine
+/// amortizes one delegate pass over a whole same-corpus batch, and how a
+/// delegate cache makes repeat traffic on an unchanged corpus skip the
+/// `|V|` scan altogether). The shared vector's α, β and subrange count are
+/// asserted against the plan; that it was built from *this* `data` is an
+/// unchecked caller contract — delegates of different same-length data
+/// pass the asserts and silently select over the wrong corpus.
+pub fn dr_topk_planned<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    shared_delegates: Option<&DelegateVector<K>>,
+    planned: &PlannedQuery,
+) -> DrTopKResult<K> {
+    let config = &planned.config;
+    let k = planned.k.min(data.len());
     if k == 0 || data.is_empty() {
         return DrTopKResult {
             values: Vec::new(),
@@ -274,20 +356,12 @@ pub fn dr_topk_with_stats<K: TopKKey>(
         };
     }
     assert!(config.beta >= 1, "beta must be at least 1");
+    let alpha = planned.alpha;
 
-    let alpha = config.resolve_alpha(data.len(), k);
-
-    // Degenerate split: if the subrange count would be 1, the input is tiny,
-    // or k is not smaller than the delegate vector itself (in which case
-    // Rule 2's threshold — the k-th delegate — does not exist and pruning is
-    // impossible anyway), the delegate machinery cannot help — fall back to
-    // the inner algorithm directly, which is what a production library
-    // should do. The workload statistics report the fallback honestly: no
-    // delegate vector, no concatenation, one effective subrange.
-    let subrange_size = 1usize << alpha;
-    let num_subranges = data.len().div_ceil(subrange_size);
-    let delegate_capacity = num_subranges.saturating_sub(1) * config.beta.min(subrange_size) + 1;
-    if data.len() <= subrange_size || data.len() <= k || k >= delegate_capacity {
+    if !planned.use_delegates {
+        // Fallback: the inner algorithm runs directly on the input. The
+        // workload statistics report the fallback honestly: no delegate
+        // vector, no concatenation, one effective subrange.
         let inner = config.inner.run(device, data, k);
         let breakdown = PhaseBreakdown {
             second_topk_ms: inner.time_ms,
@@ -312,11 +386,37 @@ pub fn dr_topk_with_stats<K: TopKKey>(
         };
     }
 
-    // Phase 1: delegate vector construction.
-    let delegates = build_delegate_vector(device, data, alpha, config.beta, config.construction);
+    // Phase 1: delegate vector construction — skipped when the caller
+    // supplies a shared vector (its construction cost is accounted by the
+    // caller, once, not per query).
+    let built;
+    let (delegates, delegate_ms, delegate_stats) = match shared_delegates {
+        Some(shared) => {
+            assert_eq!(
+                shared.subrange_size,
+                1usize << alpha,
+                "shared delegate vector was built with a different alpha"
+            );
+            assert_eq!(
+                shared.beta, config.beta,
+                "shared delegate vector was built with a different beta"
+            );
+            assert_eq!(
+                shared.num_subranges,
+                data.len().div_ceil(shared.subrange_size),
+                "shared delegate vector does not cover this input"
+            );
+            (shared, 0.0, KernelStats::default())
+        }
+        None => {
+            built = build_delegate_vector(device, data, alpha, config.beta, config.construction);
+            let (ms, stats) = (built.time_ms, built.stats);
+            (&built, ms, stats)
+        }
+    };
 
     // Phase 2: first top-k on the delegate vector.
-    let first = first_topk(device, &delegates, k, config.resolve_skip_last());
+    let first = first_topk(device, delegates, k, config.resolve_skip_last());
 
     // Phase 3: concatenation (Rule 1/3 subrange selection + Rule 2 filter).
     let concatenated = concatenate(
@@ -346,7 +446,7 @@ pub fn dr_topk_with_stats<K: TopKKey>(
     };
 
     let breakdown = PhaseBreakdown {
-        delegate_ms: delegates.time_ms,
+        delegate_ms,
         first_topk_ms: first.time_ms,
         concat_ms: concatenated.time_ms,
         second_topk_ms: second_ms,
@@ -360,7 +460,7 @@ pub fn dr_topk_with_stats<K: TopKKey>(
         second_topk_skipped: second_skipped,
         fell_back: false,
     };
-    let mut stats = delegates.stats;
+    let mut stats = delegate_stats;
     stats += first.stats;
     stats += concatenated.stats;
     stats += second_stats;
@@ -405,19 +505,33 @@ pub fn dr_topk_min<K: TopKKey>(
     k: usize,
     config: &DrTopKConfig,
 ) -> DrTopKResult<K> {
+    dr_topk_with_stats(device, as_desc(data), k, config).into_native()
+}
+
+/// Reinterpret a key slice through the order-reversing [`Desc`] adapter,
+/// without copying: running any max-machinery over the result answers the
+/// corresponding *min* query. This is the one place that relies on the
+/// `#[repr(transparent)]` layout of `Desc<K>`; every min-direction path
+/// ([`dr_topk_min`], the batching engine) goes through it.
+pub fn as_desc<K: TopKKey>(data: &[K]) -> &[Desc<K>] {
     // SAFETY: `Desc<K>` is `#[repr(transparent)]` over `K`, so the slice
     // layouts are identical and the reinterpretation is sound.
-    let flipped: &[Desc<K>] =
-        unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<Desc<K>>(), data.len()) };
-    let res = dr_topk_with_stats(device, flipped, k, config);
-    DrTopKResult {
-        values: res.values.into_iter().map(|d| d.0).collect(),
-        kth_value: res.kth_value.0,
-        alpha: res.alpha,
-        breakdown: res.breakdown,
-        workload: res.workload,
-        stats: res.stats,
-        time_ms: res.time_ms,
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<Desc<K>>(), data.len()) }
+}
+
+impl<K: TopKKey> DrTopKResult<Desc<K>> {
+    /// Unwrap a result computed in [`Desc`] space back to native keys
+    /// (ascending order for the caller's smallest-direction query).
+    pub fn into_native(self) -> DrTopKResult<K> {
+        DrTopKResult {
+            values: self.values.into_iter().map(|d| d.0).collect(),
+            kth_value: self.kth_value.0,
+            alpha: self.alpha,
+            breakdown: self.breakdown,
+            workload: self.workload,
+            stats: self.stats,
+            time_ms: self.time_ms,
+        }
     }
 }
 
@@ -699,6 +813,88 @@ mod tests {
         assert!(b.first_topk_ms > 0.0);
         assert!((b.total_ms() - got.time_ms).abs() < 1e-9);
         assert!(got.stats.global_load_transactions > 0);
+    }
+
+    #[test]
+    fn planned_query_splits_dr_topk_exactly() {
+        // dr_topk_with_stats == plan + execute: same values, same breakdown,
+        // same counters — the seam adds nothing and loses nothing.
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 15, 17);
+        for k in [1usize, 64, 1 << 10] {
+            let cfg = DrTopKConfig::default();
+            let planned = PlannedQuery::plan(data.len(), k, &cfg);
+            let via_seam = dr_topk_planned(&dev, &data, None, &planned);
+            let direct = dr_topk_with_stats(&dev, &data, k, &cfg);
+            assert_eq!(via_seam.values, direct.values, "k={k}");
+            assert_eq!(via_seam.alpha, direct.alpha);
+            assert_eq!(via_seam.stats, direct.stats);
+            assert_eq!(via_seam.workload, direct.workload);
+            assert!((via_seam.time_ms - direct.time_ms).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn planned_query_decides_fallback_like_the_pipeline() {
+        let cfg = DrTopKConfig::default();
+        // tiny input → fallback
+        assert!(!PlannedQuery::plan(100, 50, &cfg).use_delegates);
+        // k == n → fallback
+        assert!(!PlannedQuery::plan(1 << 14, 1 << 14, &cfg).use_delegates);
+        // k == 0 → fallback (degenerate, returns empty anyway)
+        assert!(!PlannedQuery::plan(1 << 14, 0, &cfg).use_delegates);
+        // ordinary query → delegates
+        let p = PlannedQuery::plan(1 << 20, 128, &cfg);
+        assert!(p.use_delegates);
+        // α is pinned into the returned config, so re-planning is free
+        assert_eq!(p.config.alpha, Some(p.alpha));
+        assert_eq!(p.k, 128);
+    }
+
+    #[test]
+    fn shared_delegates_produce_identical_values_with_zero_delegate_cost() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 15, 23);
+        let cfg = DrTopKConfig::default();
+        // one shared delegate pass, sized by the largest k of the "batch"
+        let ks = [16usize, 128, 1000];
+        let k_max = 1000;
+        let group = PlannedQuery::plan(data.len(), k_max, &cfg);
+        let delegates = build_delegate_vector(&dev, &data, group.alpha, cfg.beta, cfg.construction);
+        for k in ks {
+            // per-query plan under the group's pinned α
+            let planned = PlannedQuery::plan(data.len(), k, &group.config);
+            let shared = dr_topk_planned(&dev, &data, Some(&delegates), &planned);
+            assert_eq!(shared.values, reference_topk(&data, k), "k={k}");
+            // the shared pass charges no delegate time/bytes to the query
+            assert_eq!(shared.breakdown.delegate_ms, 0.0);
+            // but the first-top-k workload is still reported
+            assert_eq!(shared.workload.delegate_vector_len, delegates.len());
+            // and the query's own counters exclude the |V|-scan construction
+            let independent = dr_topk_with_stats(&dev, &data, k, &group.config);
+            assert_eq!(shared.values, independent.values);
+            assert!(
+                shared.stats.global_loaded_bytes < independent.stats.global_loaded_bytes,
+                "shared-delegate query must not re-pay the |V| construction scan"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn shared_delegates_with_wrong_alpha_panic() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 12, 3);
+        let delegates = build_delegate_vector(&dev, &data, 6, 2, ConstructionMethod::Auto);
+        let planned = PlannedQuery::plan(
+            data.len(),
+            32,
+            &DrTopKConfig {
+                alpha: Some(7),
+                ..DrTopKConfig::default()
+            },
+        );
+        dr_topk_planned(&dev, &data, Some(&delegates), &planned);
     }
 
     #[test]

@@ -19,11 +19,13 @@
 pub mod realworld;
 pub mod rng;
 pub mod synthetic;
+pub mod workload;
 
 pub use realworld::{
     ann_sift_distances, ann_sift_distances_f32, bm25_scores, twitter_fear_scores, web_degrees,
 };
 pub use synthetic::{customized, normal, uniform, uniform_f32};
+pub use workload::{multi_query_workload, zipf_ks, CorpusMix, QuerySpec};
 
 use rng::Xoshiro256StarStar;
 

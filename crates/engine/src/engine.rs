@@ -1,0 +1,443 @@
+//! The engine facade: configuration, the cluster, and the cache behind a
+//! `Mutex`, with `run_batch` tying planner → scheduler → report together.
+
+use drtopk_core::DrTopKConfig;
+use gpu_sim::{DeviceSpec, GpuCluster};
+use parking_lot::Mutex;
+use topk_baselines::TopKKey;
+
+use crate::exec::execute_plan;
+use crate::plan::{plan_batch, PlanCache};
+use crate::query::QueryBatch;
+use crate::report::{BatchOutput, CacheReport, EngineReport};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The Dr. Top-k configuration template every query starts from. Its
+    /// `alpha` is ignored (the planner resolves α per fused group through
+    /// the tuning-plan cache) unless explicitly set, in which case that α
+    /// is pinned for all traffic.
+    pub base: DrTopKConfig,
+    /// Maximum number of delegate vectors the cache retains (FIFO
+    /// eviction). `0` disables delegate caching.
+    pub delegate_cache_capacity: usize,
+    /// Corpora holding more than this many **keys** are routed through the
+    /// sharded whole-cluster path. `None` uses the smallest device capacity
+    /// of the cluster, converted from its native `u32`-element unit to keys
+    /// of the batch's type (8-byte keys fit half as many per device).
+    pub shard_capacity: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            base: DrTopKConfig::default(),
+            delegate_cache_capacity: 32,
+            shard_capacity: None,
+        }
+    }
+}
+
+/// A batch-related failure surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// One device's worker failed; the rest of the pool completed.
+    Device {
+        /// Index of the failing device in the cluster.
+        device: usize,
+        /// What went wrong on it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Device { device, message } => {
+                write!(f, "engine worker on device {device} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The multi-query top-k serving engine: a [`GpuCluster`] worker pool plus
+/// the memoized planning state.
+///
+/// The engine is `Sync`: batches may be submitted from multiple host
+/// threads; the plan/delegate caches are shared behind a mutex and only
+/// locked around lookups/inserts, never across kernel execution.
+pub struct TopKEngine {
+    cluster: GpuCluster,
+    config: EngineConfig,
+    cache: Mutex<PlanCache>,
+}
+
+impl TopKEngine {
+    /// An engine over `cluster` with the default configuration.
+    pub fn new(cluster: GpuCluster) -> Self {
+        TopKEngine::with_config(cluster, EngineConfig::default())
+    }
+
+    /// An engine over `cluster` with an explicit configuration.
+    pub fn with_config(cluster: GpuCluster, config: EngineConfig) -> Self {
+        let cache = Mutex::new(PlanCache::with_delegate_capacity(
+            config.delegate_cache_capacity,
+        ));
+        TopKEngine {
+            cluster,
+            config,
+            cache,
+        }
+    }
+
+    /// Convenience: a single-device engine.
+    pub fn single_device(spec: DeviceSpec) -> Self {
+        TopKEngine::new(GpuCluster::homogeneous(1, spec))
+    }
+
+    /// The device cluster backing the worker pool.
+    pub fn cluster(&self) -> &GpuCluster {
+        &self.cluster
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative tuning-plan cache counters since engine creation.
+    pub fn plan_cache_report(&self) -> CacheReport {
+        self.cache.lock().plan_report()
+    }
+
+    /// Cumulative delegate cache counters since engine creation.
+    pub fn delegate_cache_report(&self) -> CacheReport {
+        self.cache.lock().delegate_report()
+    }
+
+    /// Plan and execute one batch, returning per-query results (in query
+    /// order) plus the engine-level report.
+    pub fn run_batch<K: TopKKey>(
+        &self,
+        batch: &QueryBatch<'_, K>,
+    ) -> Result<BatchOutput<K>, EngineError> {
+        if batch.is_empty() {
+            return Ok(BatchOutput {
+                results: Vec::new(),
+                report: EngineReport::default(),
+            });
+        }
+        let shard_capacity = self.config.shard_capacity.unwrap_or_else(|| {
+            drtopk_core::capacity_in_keys::<K>(
+                self.cluster
+                    .devices()
+                    .iter()
+                    .map(|d| d.capacity_elems())
+                    .min()
+                    .expect("cluster has devices"),
+            )
+        });
+        let device_label = self.cluster.device(0).spec().name.clone();
+
+        let plan = plan_batch(
+            batch,
+            &self.config.base,
+            shard_capacity,
+            &device_label,
+            &mut self.cache.lock(),
+        );
+
+        let exec = execute_plan(&self.cluster, batch, &plan, &self.config.base, &self.cache)?;
+
+        let num_queries = batch.len();
+        let num_units = plan.units.len();
+        let total_ms = exec.pool_ms + exec.sharded_ms;
+        let report = EngineReport {
+            num_queries,
+            num_units,
+            fused_units: plan.fused_units(),
+            sharded_queries: plan.sharded_queries(),
+            batch_occupancy: if num_units == 0 {
+                0.0
+            } else {
+                num_queries as f64 / num_units as f64
+            },
+            plan_cache: CacheReport {
+                hits: plan.plan_hits,
+                misses: plan.plan_misses,
+            },
+            delegate_cache: exec.delegate_cache,
+            delegate_passes_run: exec.delegate_passes_run,
+            delegate_passes_saved: exec.delegate_passes_saved,
+            phase_ms: exec.phase_ms,
+            sharded_ms: exec.sharded_ms,
+            total_ms,
+            throughput_qps: if total_ms > 0.0 {
+                num_queries as f64 / (total_ms / 1e3)
+            } else {
+                0.0
+            },
+            stats: exec.stats,
+        };
+        Ok(BatchOutput {
+            results: exec.results,
+            report,
+        })
+    }
+}
+
+impl std::fmt::Debug for TopKEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKEngine")
+            .field("cluster", &self.cluster)
+            .field(
+                "delegate_cache_capacity",
+                &self.config.delegate_cache_capacity,
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ExecPath;
+    use topk_baselines::{reference_topk, reference_topk_min};
+
+    fn engine(devices: usize) -> TopKEngine {
+        TopKEngine::new(GpuCluster::homogeneous(devices, DeviceSpec::v100s()))
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let eng = engine(2);
+        let out = eng.run_batch(&QueryBatch::<u32>::new()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.num_queries, 0);
+        assert_eq!(out.report.total_ms, 0.0);
+        assert_eq!(out.report.throughput_qps, 0.0);
+    }
+
+    #[test]
+    fn shared_corpus_batch_fuses_and_matches_reference() {
+        let eng = engine(2);
+        let data = topk_datagen::uniform(1 << 15, 11);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(42, &data);
+        let ks = [5usize, 100, 1000, 100]; // duplicate query on purpose
+        for &k in &ks {
+            batch.push_topk(c, k);
+        }
+        batch.push_topk_min(c, 17);
+        let out = eng.run_batch(&batch).unwrap();
+        for (i, &k) in ks.iter().enumerate() {
+            assert_eq!(out.results[i].values, reference_topk(&data, k), "query {i}");
+            assert_eq!(
+                out.results[i].kth_value,
+                *out.results[i].values.last().unwrap()
+            );
+            assert!(matches!(out.results[i].path, ExecPath::Fused { .. }));
+        }
+        assert_eq!(out.results[4].values, reference_topk_min(&data, 17));
+        // 4 largest fuse into one unit, the smallest query is its own unit
+        assert_eq!(out.report.num_units, 2);
+        assert_eq!(out.report.fused_units, 2);
+        assert!((out.report.batch_occupancy - 2.5).abs() < 1e-12);
+        // one delegate pass per unit; 3 of the 4+1 delegate-using queries
+        // were served without their own pass
+        assert_eq!(out.report.delegate_passes_run, 2);
+        assert!(out.report.delegate_passes_saved >= 3);
+        assert!(out.report.total_ms > 0.0);
+        assert!(out.report.throughput_qps > 0.0);
+        assert!(out.report.stats.global_load_transactions > 0);
+        assert!(out.report.phase_ms.delegate_ms > 0.0);
+        assert!(out.report.phase_ms.second_topk_ms > 0.0);
+    }
+
+    #[test]
+    fn repeat_traffic_hits_both_caches() {
+        let eng = engine(1);
+        let data = topk_datagen::uniform(1 << 14, 5);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(7, &data);
+        batch.push_topk(c, 64);
+        let cold = eng.run_batch(&batch).unwrap();
+        assert_eq!(cold.report.plan_cache.hits, 0);
+        assert_eq!(cold.report.delegate_cache.hits, 0);
+        assert_eq!(cold.report.delegate_passes_run, 1);
+        let warm = eng.run_batch(&batch).unwrap();
+        assert_eq!(warm.report.plan_cache.hits, 1);
+        assert_eq!(warm.report.plan_cache.misses, 0);
+        assert_eq!(warm.report.delegate_cache.hits, 1);
+        assert_eq!(warm.report.delegate_passes_run, 0);
+        assert_eq!(warm.report.delegate_passes_saved, 1);
+        assert_eq!(warm.results[0].values, cold.results[0].values);
+        // the warm run never re-read the corpus at full length
+        assert!(
+            warm.report.stats.global_loaded_bytes < cold.report.stats.global_loaded_bytes,
+            "warm {} vs cold {}",
+            warm.report.stats.global_loaded_bytes,
+            cold.report.stats.global_loaded_bytes
+        );
+        // cumulative reports agree
+        assert_eq!(eng.plan_cache_report().hits, 1);
+        assert_eq!(eng.delegate_cache_report().hits, 1);
+    }
+
+    #[test]
+    fn uncached_corpora_rebuild_every_time() {
+        let eng = engine(1);
+        let data = topk_datagen::uniform(1 << 13, 9);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus_uncached(&data);
+        batch.push_topk(c, 32);
+        let a = eng.run_batch(&batch).unwrap();
+        let b = eng.run_batch(&batch).unwrap();
+        assert_eq!(a.report.delegate_passes_run, 1);
+        assert_eq!(b.report.delegate_passes_run, 1);
+        assert_eq!(b.report.delegate_cache.hits, 0);
+        // the tuning plan is shape-keyed, so it still hits
+        assert_eq!(b.report.plan_cache.hits, 1);
+    }
+
+    #[test]
+    fn over_capacity_corpus_takes_the_sharded_path() {
+        let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+        for d in cluster.devices() {
+            d.set_capacity_elems(1 << 12);
+        }
+        let eng = TopKEngine::new(cluster);
+        let data = topk_datagen::uniform(1 << 14, 13);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_topk(c, 50);
+        batch.push_topk_min(c, 20);
+        let out = eng.run_batch(&batch).unwrap();
+        assert_eq!(out.report.sharded_queries, 2);
+        assert_eq!(out.report.fused_units, 0);
+        assert!(out.report.sharded_ms > 0.0);
+        assert_eq!(out.results[0].values, reference_topk(&data, 50));
+        assert_eq!(out.results[1].values, reference_topk_min(&data, 20));
+        assert!(matches!(
+            out.results[0].path,
+            ExecPath::Sharded { devices: 2 }
+        ));
+    }
+
+    #[test]
+    fn eight_byte_keys_shard_at_half_the_element_count() {
+        // capacity_elems is u32-denominated: a u64 corpus of exactly that
+        // element count occupies twice the memory and must shard, while the
+        // same-length u32 corpus fuses.
+        let make = || {
+            let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+            for d in cluster.devices() {
+                d.set_capacity_elems(1 << 13);
+            }
+            TopKEngine::new(cluster)
+        };
+        let narrow = topk_datagen::uniform(1 << 13, 7);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &narrow);
+        batch.push_topk(c, 32);
+        let out = make().run_batch(&batch).unwrap();
+        assert_eq!(out.report.sharded_queries, 0, "u32 corpus fits resident");
+
+        let wide: Vec<u64> = narrow.iter().map(|&x| (x as u64) << 4).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(2, &wide);
+        batch.push_topk(c, 32);
+        let out = make().run_batch(&batch).unwrap();
+        assert_eq!(
+            out.report.sharded_queries, 1,
+            "u64 corpus at u32 capacity must shard"
+        );
+        assert_eq!(out.results[0].values, reference_topk(&wide, 32));
+    }
+
+    #[test]
+    fn duplicate_sharded_queries_are_answered_once() {
+        let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+        for d in cluster.devices() {
+            d.set_capacity_elems(1 << 11);
+        }
+        let eng = TopKEngine::new(cluster);
+        let data = topk_datagen::uniform(1 << 13, 21);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_topk(c, 40);
+        batch.push_topk(c, 40); // identical → deduplicated
+        batch.push_topk(c, 41); // distinct → its own run
+        let out = eng.run_batch(&batch).unwrap();
+        assert_eq!(out.results[0].values, out.results[1].values);
+        assert_eq!(out.results[2].values, reference_topk(&data, 41));
+        // engine totals charge the duplicate nothing: the batch's sharded
+        // time equals two distinct runs, not three query attributions
+        let attributed: f64 = out.results.iter().map(|r| r.time_ms).sum();
+        assert!(out.report.sharded_ms < attributed);
+        assert_eq!(
+            out.report.sharded_ms,
+            out.results[0].time_ms + out.results[2].time_ms
+        );
+    }
+
+    #[test]
+    fn worker_capacity_violation_surfaces_the_device_id() {
+        // Overriding the shard threshold above the device capacity forces a
+        // fused unit onto a device that cannot hold the corpus: the worker
+        // reports the failure instead of poisoning the batch.
+        let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+        for d in cluster.devices() {
+            d.set_capacity_elems(1 << 10);
+        }
+        let eng = TopKEngine::with_config(
+            cluster,
+            EngineConfig {
+                shard_capacity: Some(usize::MAX),
+                ..EngineConfig::default()
+            },
+        );
+        let data = topk_datagen::uniform(1 << 13, 3);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_topk(c, 16);
+        let err = eng.run_batch(&batch).expect_err("capacity violation");
+        let EngineError::Device { device, message } = err;
+        assert!(device < 2);
+        assert!(message.contains("exceeds"), "got: {message}");
+    }
+
+    #[test]
+    fn results_keep_query_order_across_many_units_and_devices() {
+        let eng = engine(4);
+        let corpora: Vec<Vec<u32>> = (0..6u64)
+            .map(|i| topk_datagen::uniform(1 << 12, 100 + i))
+            .collect();
+        let mut batch = QueryBatch::new();
+        let ids: Vec<usize> = corpora
+            .iter()
+            .enumerate()
+            .map(|(i, d)| batch.add_corpus(i as u64, d))
+            .collect();
+        // interleave queries over corpora so unit order ≠ query order
+        let mut expected = Vec::new();
+        for round in 0..3usize {
+            for (ci, &c) in ids.iter().enumerate() {
+                let k = 10 + round * 7 + ci;
+                batch.push_topk(c, k);
+                expected.push(reference_topk(&corpora[ci], k));
+            }
+        }
+        let out = eng.run_batch(&batch).unwrap();
+        assert_eq!(out.results.len(), expected.len());
+        for (i, exp) in expected.iter().enumerate() {
+            assert_eq!(&out.results[i].values, exp, "query {i}");
+        }
+        // 6 corpora → 6 fused units, 3 queries each
+        assert_eq!(out.report.fused_units, 6);
+        assert!((out.report.batch_occupancy - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,337 @@
+//! Plan execution: a worker pool with one [`Device`] per worker for fused
+//! units, and the whole-cluster distributed path for sharded queries.
+//!
+//! Fused units are pulled from a shared atomic queue (dynamic load
+//! balancing: a worker that drew a cheap unit immediately takes the next
+//! one), each unit executing wholly on its worker's device: one delegate
+//! pass — built, or recalled from the delegate cache — then every member
+//! query's first top-k, concatenation and second top-k against it. Worker
+//! failures are surfaced per device through
+//! [`GpuCluster::try_run_on_all`] instead of poisoning the batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use drtopk_core::{
+    as_desc, build_delegate_vector, capacity_in_keys, distributed_dr_topk, dr_topk_planned,
+    DelegateVector, DrTopKConfig, DrTopKResult, PhaseBreakdown,
+};
+use gpu_sim::{Device, GpuCluster, KernelStats};
+use parking_lot::Mutex;
+use topk_baselines::{Desc, TopKKey};
+
+use crate::engine::EngineError;
+use crate::plan::{ExecutionPlan, FusedUnit, PlanCache, PlanUnit};
+use crate::query::{Direction, QueryBatch};
+use crate::report::{CacheReport, ExecPath, QueryResult};
+
+/// What executing one fused unit produced.
+struct FusedOutcome<K: TopKKey> {
+    unit: usize,
+    results: Vec<(usize, DrTopKResult<K>)>,
+    delegate_ms: f64,
+    delegate_stats: KernelStats,
+    delegate_pass_run: bool,
+    delegate_from_cache: bool,
+}
+
+/// Everything `run_batch` needs back from execution; cache counters are
+/// snapshotted by the caller around this call.
+pub(crate) struct ExecOutput<K: TopKKey> {
+    pub results: Vec<QueryResult<K>>,
+    pub phase_ms: PhaseBreakdown,
+    pub stats: KernelStats,
+    pub delegate_passes_run: usize,
+    pub delegate_passes_saved: usize,
+    /// This batch's delegate-cache activity, derived from the unit
+    /// outcomes themselves (not from differencing the cache's cumulative
+    /// counters, which concurrent batches would pollute).
+    pub delegate_cache: CacheReport,
+    /// Makespan of the fused worker-pool portion (slowest worker).
+    pub pool_ms: f64,
+    /// Modeled time of the sharded whole-cluster portion.
+    pub sharded_ms: f64,
+}
+
+/// Run one fused unit's typed half: resolve the shared delegate vector
+/// (cache or fresh build), then execute every member query against it.
+fn run_fused_typed<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    corpus_id: Option<u64>,
+    unit: &FusedUnit,
+    base: &DrTopKConfig,
+    cache: &Mutex<PlanCache>,
+) -> (
+    Vec<DrTopKResult<K>>,
+    f64,
+    KernelStats,
+    /* pass_run */ bool,
+    /* from_cache */ bool,
+) {
+    let beta = base.beta;
+    let (delegates, delegate_ms, delegate_stats, pass_run, from_cache): (
+        Option<Arc<DelegateVector<K>>>,
+        f64,
+        KernelStats,
+        bool,
+        bool,
+    ) = if unit.needs_delegates {
+        let cached = cache
+            .lock()
+            .get_delegates::<K>(corpus_id, data.len(), unit.alpha, beta);
+        match cached {
+            Some(shared) => (Some(shared), 0.0, KernelStats::default(), false, true),
+            None => {
+                let built = Arc::new(build_delegate_vector(
+                    device,
+                    data,
+                    unit.alpha,
+                    beta,
+                    base.construction,
+                ));
+                if let Some(id) = corpus_id {
+                    cache.lock().put_delegates(
+                        id,
+                        data.len(),
+                        unit.alpha,
+                        beta,
+                        Arc::clone(&built),
+                    );
+                }
+                let (ms, stats) = (built.time_ms, built.stats);
+                (Some(built), ms, stats, true, false)
+            }
+        }
+    } else {
+        (None, 0.0, KernelStats::default(), false, false)
+    };
+
+    let results = unit
+        .planned
+        .iter()
+        .map(|planned| dr_topk_planned(device, data, delegates.as_deref(), planned))
+        .collect();
+    (results, delegate_ms, delegate_stats, pass_run, from_cache)
+}
+
+/// Direction dispatch around [`run_fused_typed`].
+fn run_fused_unit<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    corpus_id: Option<u64>,
+    unit_idx: usize,
+    unit: &FusedUnit,
+    base: &DrTopKConfig,
+    cache: &Mutex<PlanCache>,
+) -> FusedOutcome<K> {
+    let (results, delegate_ms, delegate_stats, pass_run, from_cache) = match unit.direction {
+        Direction::Largest => run_fused_typed::<K>(device, data, corpus_id, unit, base, cache),
+        Direction::Smallest => {
+            let (res, ms, stats, run, cached) =
+                run_fused_typed::<Desc<K>>(device, as_desc(data), corpus_id, unit, base, cache);
+            (
+                res.into_iter()
+                    .map(DrTopKResult::into_native)
+                    .collect::<Vec<_>>(),
+                ms,
+                stats,
+                run,
+                cached,
+            )
+        }
+    };
+    FusedOutcome {
+        unit: unit_idx,
+        results: unit.queries.iter().copied().zip(results).collect(),
+        delegate_ms,
+        delegate_stats,
+        delegate_pass_run: pass_run,
+        delegate_from_cache: from_cache,
+    }
+}
+
+/// Execute a plan over the cluster.
+pub(crate) fn execute_plan<K: TopKKey>(
+    cluster: &GpuCluster,
+    batch: &QueryBatch<'_, K>,
+    plan: &ExecutionPlan,
+    base: &DrTopKConfig,
+    cache: &Mutex<PlanCache>,
+) -> Result<ExecOutput<K>, EngineError> {
+    let fused_indices: Vec<usize> = plan
+        .units
+        .iter()
+        .enumerate()
+        .filter_map(|(i, u)| matches!(u, PlanUnit::Fused(_)).then_some(i))
+        .collect();
+
+    // Fused worker pool: one worker per device, pulling units from a
+    // shared queue (dynamic load balance in host wall-clock). The *modeled*
+    // makespan is computed afterwards by deterministic list scheduling, so
+    // reports do not vary with host-thread timing.
+    let next_unit = AtomicUsize::new(0);
+    let per_device = cluster
+        .try_run_on_all(|_device_idx, device| {
+            let mut outcomes: Vec<FusedOutcome<K>> = Vec::new();
+            loop {
+                let slot = next_unit.fetch_add(1, Ordering::Relaxed);
+                let Some(&unit_idx) = fused_indices.get(slot) else {
+                    break;
+                };
+                let PlanUnit::Fused(unit) = &plan.units[unit_idx] else {
+                    unreachable!("fused_indices only holds fused units");
+                };
+                let corpus = &batch.corpora()[unit.corpus];
+                // Heterogeneous clusters (or an overridden shard
+                // threshold) can hand a worker a corpus its device cannot
+                // hold; that is a per-device error, not a batch panic.
+                // `capacity_elems` is in u32 units, the corpus in keys.
+                let device_keys = capacity_in_keys::<K>(device.capacity_elems());
+                if corpus.data.len() > device_keys {
+                    return Err(format!(
+                        "corpus {} ({} keys) exceeds this device's capacity of {} keys",
+                        unit.corpus,
+                        corpus.data.len(),
+                        device_keys
+                    ));
+                }
+                let outcome =
+                    run_fused_unit(device, corpus.data, corpus.id, unit_idx, unit, base, cache);
+                outcomes.push(outcome);
+            }
+            Ok(outcomes)
+        })
+        .map_err(|e| EngineError::Device {
+            device: e.device,
+            message: e.error,
+        })?;
+
+    let num_queries = batch.len();
+    let mut results: Vec<Option<QueryResult<K>>> = (0..num_queries).map(|_| None).collect();
+    let mut phase_ms = PhaseBreakdown::default();
+    let mut stats = KernelStats::default();
+    let mut delegate_passes_run = 0usize;
+    let mut delegate_passes_saved = 0usize;
+    let mut delegate_cache = CacheReport::default();
+    // Modeled cost of each fused unit, in unit order, for the deterministic
+    // makespan computation below.
+    let mut unit_costs: Vec<(usize, f64)> = Vec::new();
+
+    for outcomes in per_device {
+        for outcome in outcomes {
+            let PlanUnit::Fused(unit) = &plan.units[outcome.unit] else {
+                unreachable!()
+            };
+            // Shared-pass accounting: the one delegate pass of the unit.
+            phase_ms.delegate_ms += outcome.delegate_ms;
+            stats += outcome.delegate_stats;
+            let delegate_users = unit.planned.iter().filter(|p| p.use_delegates).count();
+            let cacheable = batch.corpora()[unit.corpus].id.is_some();
+            if outcome.delegate_pass_run {
+                delegate_passes_run += 1;
+                delegate_passes_saved += delegate_users.saturating_sub(1);
+                if cacheable {
+                    delegate_cache.misses += 1;
+                }
+            } else if outcome.delegate_from_cache {
+                delegate_passes_saved += delegate_users;
+                delegate_cache.hits += 1;
+            }
+            let unit_cost =
+                outcome.delegate_ms + outcome.results.iter().map(|(_, r)| r.time_ms).sum::<f64>();
+            unit_costs.push((outcome.unit, unit_cost));
+            for (query_idx, r) in outcome.results {
+                phase_ms.first_topk_ms += r.breakdown.first_topk_ms;
+                phase_ms.concat_ms += r.breakdown.concat_ms;
+                phase_ms.second_topk_ms += r.breakdown.second_topk_ms;
+                stats += r.stats;
+                results[query_idx] = Some(QueryResult {
+                    values: r.values,
+                    kth_value: r.kth_value,
+                    time_ms: r.time_ms,
+                    stats: r.stats,
+                    breakdown: r.breakdown,
+                    path: ExecPath::Fused { unit: outcome.unit },
+                });
+            }
+        }
+    }
+
+    // Deterministic modeled makespan of the pool phase: list-schedule the
+    // fused units in plan order onto the workers, each unit going to the
+    // earliest-available (least-loaded) worker — exactly what the shared
+    // queue does in modeled time, but independent of host-thread timing.
+    unit_costs.sort_unstable_by_key(|&(unit, _)| unit);
+    let mut worker_loads = vec![0.0f64; cluster.num_devices()];
+    for &(_, cost) in &unit_costs {
+        let earliest = worker_loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .map(|(i, _)| i)
+            .expect("cluster has devices");
+        worker_loads[earliest] += cost;
+    }
+    let pool_ms = worker_loads.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    // Sharded queries: each takes the whole cluster, so they run after the
+    // pool phase, serially. Sharded execution cannot yet share a delegate
+    // pass between *different* queries (the distributed pipeline has no
+    // planned-query seam — see the crate docs), but *identical* queries
+    // are answered once and the result is reused; engine-level time and
+    // counters charge each distinct selection exactly once.
+    type ShardKey = (usize, Direction, usize, drtopk_core::InnerAlgorithm);
+    let mut answered: std::collections::HashMap<ShardKey, (Vec<K>, K, f64, KernelStats)> =
+        std::collections::HashMap::new();
+    let mut sharded_ms = 0.0f64;
+    for unit in &plan.units {
+        let PlanUnit::Sharded(sharded) = unit else {
+            continue;
+        };
+        let q = batch.queries()[sharded.query];
+        let key: ShardKey = (q.corpus, q.direction, q.k, q.inner);
+        if let std::collections::hash_map::Entry::Vacant(slot) = answered.entry(key) {
+            let corpus = &batch.corpora()[q.corpus];
+            let cfg = DrTopKConfig {
+                inner: q.inner,
+                ..base.clone()
+            };
+            let d = match q.direction {
+                Direction::Largest => distributed_dr_topk(cluster, corpus.data, q.k, &cfg),
+                Direction::Smallest => {
+                    distributed_dr_topk(cluster, as_desc(corpus.data), q.k, &cfg).into_native()
+                }
+            };
+            let computed = (d.values, d.kth_value, d.total_ms, d.stats);
+            sharded_ms += computed.2;
+            stats += computed.3;
+            slot.insert(computed);
+        }
+        let (values, kth_value, total_ms, qstats) = answered.get(&key).expect("answered above");
+        results[sharded.query] = Some(QueryResult {
+            values: values.clone(),
+            kth_value: *kth_value,
+            time_ms: *total_ms,
+            stats: *qstats,
+            breakdown: PhaseBreakdown::default(),
+            path: ExecPath::Sharded {
+                devices: cluster.num_devices(),
+            },
+        });
+    }
+
+    Ok(ExecOutput {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every query is covered by exactly one plan unit"))
+            .collect(),
+        phase_ms,
+        stats,
+        delegate_passes_run,
+        delegate_passes_saved,
+        delegate_cache,
+        pool_ms,
+        sharded_ms,
+    })
+}

@@ -1,0 +1,87 @@
+//! # drtopk-engine — batched multi-query top-k serving over the device cluster
+//!
+//! The Dr. Top-k pipeline answers *one* query on *one* vector. This crate
+//! turns the reproduction into a server-shaped system: a [`TopKEngine`]
+//! accepts a [`QueryBatch`] of heterogeneous queries — each with its own
+//! corpus, `k`, [`Direction`] and inner algorithm — plans them, executes
+//! the plan over a [`gpu_sim::GpuCluster`] worker pool, and returns
+//! per-query results plus an engine-level [`EngineReport`] (throughput,
+//! batch occupancy, cache hit rates, per-phase times).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   QueryBatch ──▶ planner ──▶ ExecutionPlan ──▶ scheduler ──▶ results
+//!                    │  ▲                          │
+//!                    ▼  │ memoized α               │ one Device per worker
+//!              tuning-plan cache             delegate cache
+//!              (n, k, key type, device)      (corpus id, α, β, key type)
+//! ```
+//!
+//! * **Planner** ([`plan`]) — groups same-corpus, same-direction queries
+//!   into *fused units* that share one delegate pass sized by the group's
+//!   `k_max`. This is the batched row-wise idea behind **RTop-K**: the
+//!   dominant cost of GPU top-k at serving scale is launching and scanning
+//!   per query, so amortize the full-vector scan across every query that
+//!   can legally share it (here: the `|V|`-read delegate construction,
+//!   after which each query runs only the cheap delegate-sized phases).
+//!   Corpora that exceed a device's memory are routed to *sharded units*
+//!   instead, which take the whole cluster through
+//!   [`drtopk_core::distributed_dr_topk`]. Sharded queries are deduplicated
+//!   (identical queries are answered once) but distinct sharded queries do
+//!   not yet share a delegate pass — the distributed pipeline has no
+//!   planned-query seam; that is the natural next extension.
+//! * **Scheduler** ([`TopKEngine::run_batch`]) — a worker pool with one
+//!   simulated [`gpu_sim::Device`] per worker; fused units are pulled from
+//!   a shared queue for dynamic load balance. This is the scheduling idea
+//!   behind **RadiK**: many independent selections of wildly different
+//!   cost coexist on a device pool, so assign work greedily rather than
+//!   statically. Worker failures surface per device
+//!   ([`gpu_sim::GpuCluster::try_run_on_all`]) instead of poisoning the
+//!   batch.
+//! * **Plan cache** ([`PlanCache`]) — two memoizations keyed for repeat
+//!   traffic: `(n, k, key type, device) → α` skips `auto_alpha`
+//!   re-derivation, and `(corpus id, length, α, β, key type) →`
+//!   [`drtopk_core::DelegateVector`] skips delegate reconstruction for
+//!   unchanged corpora entirely, so a warm engine answers a repeated query
+//!   without ever re-reading the corpus at full length.
+//!
+//! Correctness is anchored by construction: fused members run the ordinary
+//! planned pipeline ([`drtopk_core::dr_topk_planned`]) against the shared
+//! delegate vector, so every result is bit-identical to an independent
+//! [`drtopk_core::dr_topk`] / [`drtopk_core::dr_topk_min`] call — the
+//! workspace property tests pin this for all six key types, mixed
+//! directions, duplicate queries and degenerate `k`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use drtopk_engine::{QueryBatch, TopKEngine};
+//! use gpu_sim::{DeviceSpec, GpuCluster};
+//!
+//! let engine = TopKEngine::new(GpuCluster::homogeneous(2, DeviceSpec::v100s()));
+//! let corpus: Vec<u32> = (0..100_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
+//!
+//! let mut batch = QueryBatch::new();
+//! let c = batch.add_corpus(1, &corpus); // stable id → delegate cache works
+//! batch.push_topk(c, 10);
+//! batch.push_topk(c, 500);
+//! batch.push_topk_min(c, 3);
+//!
+//! let out = engine.run_batch(&batch).unwrap();
+//! assert_eq!(out.results[0].values, topk_baselines::reference_topk(&corpus, 10));
+//! assert_eq!(out.results[2].values, topk_baselines::reference_topk_min(&corpus, 3));
+//! // the two largest-direction queries shared one delegate pass
+//! assert!(out.report.batch_occupancy > 1.0);
+//! ```
+
+pub mod engine;
+pub mod exec;
+pub mod plan;
+pub mod query;
+pub mod report;
+
+pub use engine::{EngineConfig, EngineError, TopKEngine};
+pub use plan::{ExecutionPlan, FusedUnit, PlanCache, PlanUnit, ShardedUnit, TuningPlan};
+pub use query::{Corpus, Direction, Query, QueryBatch};
+pub use report::{BatchOutput, CacheReport, EngineReport, ExecPath, QueryResult};

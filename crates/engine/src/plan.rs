@@ -1,0 +1,499 @@
+//! The planner and the tuning-plan / delegate caches.
+//!
+//! Planning turns a heterogeneous [`QueryBatch`](crate::QueryBatch) into an
+//! [`ExecutionPlan`] of independent units:
+//!
+//! * **Fused units** — all same-corpus, same-direction queries share one
+//!   delegate pass (the RTop-K-style batched row: the pass is sized by the
+//!   group's `k_max`, then each query runs its own first top-k /
+//!   concatenation / second top-k against the shared delegate vector).
+//! * **Sharded units** — queries whose corpus exceeds a device's memory
+//!   capacity run over the *whole* cluster through the distributed
+//!   machinery instead (RadiK-style: many independent selections are
+//!   scheduled, but an over-capacity one takes every device).
+//!
+//! Two memoizations make repeat traffic cheap:
+//!
+//! * the **tuning-plan cache** maps `(n, k, key type, device)` to the
+//!   resolved Rule-4 α, so a repeated query shape skips `auto_alpha`;
+//! * the **delegate cache** maps `(corpus id, length, α, β, key type)` to
+//!   the built [`DelegateVector`], so an unchanged corpus skips delegate
+//!   reconstruction altogether.
+
+use std::any::{Any, TypeId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use drtopk_core::{DelegateVector, DrTopKConfig, PlannedQuery};
+use topk_baselines::{Desc, TopKKey};
+
+use crate::query::{Direction, QueryBatch};
+use crate::report::CacheReport;
+
+/// Key of the tuning-plan cache: one resolved α per problem shape per
+/// device model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    n: usize,
+    k: usize,
+    key_type: TypeId,
+    device: String,
+}
+
+/// A memoized tuning decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningPlan {
+    /// Resolved subrange exponent.
+    pub alpha: u32,
+    /// Delegates per subrange the plan assumes.
+    pub beta: usize,
+}
+
+/// Key of the delegate cache. The key type distinguishes direction too:
+/// a smallest-direction pass is built over `Desc<K>` and gets
+/// `TypeId::of::<Desc<K>>()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct DelegateKey {
+    corpus_id: u64,
+    len: usize,
+    alpha: u32,
+    beta: usize,
+    key_type: TypeId,
+}
+
+/// The engine's memoization state: tuning plans plus cached delegate
+/// vectors, with hit/miss counters for both.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<PlanKey, TuningPlan>,
+    delegates: HashMap<DelegateKey, Arc<dyn Any + Send + Sync>>,
+    delegate_order: VecDeque<DelegateKey>,
+    delegate_capacity: usize,
+    plan_hits: u64,
+    plan_misses: u64,
+    delegate_hits: u64,
+    delegate_misses: u64,
+}
+
+impl PlanCache {
+    /// A cache that keeps at most `delegate_capacity` delegate vectors
+    /// (tuning plans are tiny and unbounded).
+    pub fn with_delegate_capacity(delegate_capacity: usize) -> Self {
+        PlanCache {
+            delegate_capacity,
+            ..PlanCache::default()
+        }
+    }
+
+    /// Resolve the α for `(n, k)` under `base`, through the memo: a hit
+    /// skips `auto_alpha` entirely.
+    pub(crate) fn resolve_tuning(
+        &mut self,
+        n: usize,
+        k: usize,
+        key_type: TypeId,
+        device: &str,
+        base: &DrTopKConfig,
+    ) -> (TuningPlan, bool) {
+        let key = PlanKey {
+            n,
+            k,
+            key_type,
+            device: device.to_string(),
+        };
+        if let Some(&plan) = self.plans.get(&key) {
+            self.plan_hits += 1;
+            return (plan, true);
+        }
+        self.plan_misses += 1;
+        let plan = TuningPlan {
+            alpha: base.resolve_alpha(n.max(2), k.max(1)),
+            beta: base.beta,
+        };
+        self.plans.insert(key, plan);
+        (plan, false)
+    }
+
+    /// Look up a cached delegate vector. Counts a hit/miss only when the
+    /// corpus is cacheable (`corpus_id` is `Some`).
+    pub(crate) fn get_delegates<K: TopKKey>(
+        &mut self,
+        corpus_id: Option<u64>,
+        len: usize,
+        alpha: u32,
+        beta: usize,
+    ) -> Option<Arc<DelegateVector<K>>> {
+        let id = corpus_id?;
+        let key = DelegateKey {
+            corpus_id: id,
+            len,
+            alpha,
+            beta,
+            key_type: TypeId::of::<K>(),
+        };
+        match self.delegates.get(&key) {
+            Some(any) => {
+                self.delegate_hits += 1;
+                // The TypeId in the key makes the downcast infallible.
+                Some(
+                    Arc::clone(any)
+                        .downcast::<DelegateVector<K>>()
+                        .expect("delegate cache entry type is pinned by its key"),
+                )
+            }
+            None => {
+                self.delegate_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built delegate vector, evicting the oldest entry
+    /// when over capacity.
+    pub(crate) fn put_delegates<K: TopKKey>(
+        &mut self,
+        corpus_id: u64,
+        len: usize,
+        alpha: u32,
+        beta: usize,
+        delegates: Arc<DelegateVector<K>>,
+    ) {
+        if self.delegate_capacity == 0 {
+            return;
+        }
+        let key = DelegateKey {
+            corpus_id,
+            len,
+            alpha,
+            beta,
+            key_type: TypeId::of::<K>(),
+        };
+        if self.delegates.insert(key, delegates).is_none() {
+            self.delegate_order.push_back(key);
+        }
+        while self.delegates.len() > self.delegate_capacity {
+            let Some(oldest) = self.delegate_order.pop_front() else {
+                break;
+            };
+            self.delegates.remove(&oldest);
+        }
+    }
+
+    /// Cumulative tuning-plan cache counters.
+    pub fn plan_report(&self) -> CacheReport {
+        CacheReport {
+            hits: self.plan_hits,
+            misses: self.plan_misses,
+        }
+    }
+
+    /// Cumulative delegate cache counters.
+    pub fn delegate_report(&self) -> CacheReport {
+        CacheReport {
+            hits: self.delegate_hits,
+            misses: self.delegate_misses,
+        }
+    }
+
+    /// Number of cached delegate vectors currently held.
+    pub fn cached_delegate_vectors(&self) -> usize {
+        self.delegates.len()
+    }
+
+    /// Number of memoized tuning plans.
+    pub fn cached_tuning_plans(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// The `TypeId` a `(K, direction)` pair executes under: smallest-direction
+/// work runs over the order-reversing [`Desc`] adapter.
+pub(crate) fn effective_type_id<K: TopKKey>(direction: Direction) -> TypeId {
+    match direction {
+        Direction::Largest => TypeId::of::<K>(),
+        Direction::Smallest => TypeId::of::<Desc<K>>(),
+    }
+}
+
+/// A group of same-corpus, same-direction queries fused behind one
+/// delegate pass.
+#[derive(Debug, Clone)]
+pub struct FusedUnit {
+    /// Corpus index within the batch.
+    pub corpus: usize,
+    /// Direction shared by every query of the unit.
+    pub direction: Direction,
+    /// Indices (into the batch's query list) of the member queries.
+    pub queries: Vec<usize>,
+    /// The largest clamped k in the group — the delegate pass is sized
+    /// for it.
+    pub k_max: usize,
+    /// The group's resolved subrange exponent.
+    pub alpha: u32,
+    /// Whether the α came from the tuning-plan cache.
+    pub tuning_cached: bool,
+    /// Per-member execution plans, parallel to `queries`.
+    pub planned: Vec<PlannedQuery>,
+    /// True when at least one member actually uses the delegate machinery
+    /// (otherwise no delegate pass is built at all).
+    pub needs_delegates: bool,
+}
+
+/// A single over-capacity query that takes the whole cluster through the
+/// distributed path.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedUnit {
+    /// Index (into the batch's query list) of the query.
+    pub query: usize,
+}
+
+/// One independently schedulable piece of a batch.
+#[derive(Debug, Clone)]
+pub enum PlanUnit {
+    /// Fused same-corpus group: runs on one device of the worker pool.
+    Fused(FusedUnit),
+    /// Over-capacity query: runs across the whole cluster.
+    Sharded(ShardedUnit),
+}
+
+/// The planner's output for one batch.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    /// All units: fused first, in `(corpus index, direction)` order
+    /// (deterministic, independent of query submission order), then
+    /// sharded units in query order.
+    pub units: Vec<PlanUnit>,
+    /// Tuning-plan cache hits during this planning pass.
+    pub plan_hits: u64,
+    /// Tuning-plan cache misses during this planning pass.
+    pub plan_misses: u64,
+}
+
+impl ExecutionPlan {
+    /// Number of fused units.
+    pub fn fused_units(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u, PlanUnit::Fused(_)))
+            .count()
+    }
+
+    /// Number of sharded queries.
+    pub fn sharded_queries(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u, PlanUnit::Sharded(_)))
+            .count()
+    }
+}
+
+/// Plan a batch: group fusible queries, shard over-capacity ones, and
+/// resolve every group's α through the tuning-plan cache.
+pub(crate) fn plan_batch<K: TopKKey>(
+    batch: &QueryBatch<'_, K>,
+    base: &DrTopKConfig,
+    shard_capacity: usize,
+    device_label: &str,
+    cache: &mut PlanCache,
+) -> ExecutionPlan {
+    let hits_before = cache.plan_hits;
+    let misses_before = cache.plan_misses;
+
+    // Group fusible queries by (corpus, direction); BTreeMap keeps the
+    // plan deterministic.
+    let mut groups: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
+    let mut sharded: Vec<ShardedUnit> = Vec::new();
+    for (idx, q) in batch.queries.iter().enumerate() {
+        let n = batch.corpora[q.corpus].data.len();
+        if n > shard_capacity {
+            sharded.push(ShardedUnit { query: idx });
+        } else {
+            groups
+                .entry((q.corpus, q.direction == Direction::Smallest))
+                .or_default()
+                .push(idx);
+        }
+    }
+
+    let mut units: Vec<PlanUnit> = Vec::with_capacity(groups.len() + sharded.len());
+    for ((corpus, smallest), queries) in groups {
+        let direction = if smallest {
+            Direction::Smallest
+        } else {
+            Direction::Largest
+        };
+        let n = batch.corpora[corpus].data.len();
+        let k_max = queries
+            .iter()
+            .map(|&qi| batch.queries[qi].k.min(n))
+            .max()
+            .unwrap_or(0);
+        let (tuning, tuning_cached) = cache.resolve_tuning(
+            n,
+            k_max,
+            effective_type_id::<K>(direction),
+            device_label,
+            base,
+        );
+        let planned: Vec<PlannedQuery> = queries
+            .iter()
+            .map(|&qi| {
+                let q = &batch.queries[qi];
+                let member_config = DrTopKConfig {
+                    alpha: Some(tuning.alpha),
+                    inner: q.inner,
+                    ..base.clone()
+                };
+                PlannedQuery::plan(n, q.k, &member_config)
+            })
+            .collect();
+        let needs_delegates = planned.iter().any(|p| p.use_delegates);
+        units.push(PlanUnit::Fused(FusedUnit {
+            corpus,
+            direction,
+            queries,
+            k_max,
+            alpha: tuning.alpha,
+            tuning_cached,
+            planned,
+            needs_delegates,
+        }));
+    }
+    units.extend(sharded.into_iter().map(PlanUnit::Sharded));
+
+    ExecutionPlan {
+        units,
+        plan_hits: cache.plan_hits - hits_before,
+        plan_misses: cache.plan_misses - misses_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use drtopk_core::InnerAlgorithm;
+
+    fn base() -> DrTopKConfig {
+        DrTopKConfig::default()
+    }
+
+    #[test]
+    fn same_corpus_same_direction_queries_fuse() {
+        let data: Vec<u32> = (0..1 << 14).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(7, &data);
+        for k in [4usize, 64, 256] {
+            batch.push_topk(c, k);
+        }
+        batch.push_topk_min(c, 16);
+        let mut cache = PlanCache::with_delegate_capacity(8);
+        let plan = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        // three largest queries fuse; the smallest query is its own unit
+        assert_eq!(plan.fused_units(), 2);
+        assert_eq!(plan.sharded_queries(), 0);
+        let PlanUnit::Fused(first) = &plan.units[0] else {
+            panic!("expected fused unit")
+        };
+        assert_eq!(first.queries, vec![0, 1, 2]);
+        assert_eq!(first.k_max, 256);
+        assert_eq!(first.planned.len(), 3);
+        assert!(first.needs_delegates);
+        // every member shares the group α
+        assert!(first.planned.iter().all(|p| p.alpha == first.alpha));
+    }
+
+    #[test]
+    fn over_capacity_corpora_are_sharded() {
+        let data: Vec<u32> = (0..1 << 12).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_topk(c, 8);
+        batch.push_topk(c, 9);
+        let mut cache = PlanCache::default();
+        let plan = plan_batch(&batch, &base(), 1 << 10, "V100S", &mut cache);
+        assert_eq!(plan.fused_units(), 0);
+        assert_eq!(plan.sharded_queries(), 2);
+    }
+
+    #[test]
+    fn tuning_plans_are_memoized_per_shape_and_direction() {
+        let data: Vec<u32> = (0..1 << 14).collect();
+        let mut cache = PlanCache::default();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_topk(c, 100);
+        let p1 = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        assert_eq!((p1.plan_hits, p1.plan_misses), (0, 1));
+        // identical shape: pure hit
+        let p2 = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        assert_eq!((p2.plan_hits, p2.plan_misses), (1, 0));
+        // the opposite direction is a different plan key
+        let mut batch_min = QueryBatch::new();
+        let c = batch_min.add_corpus(1, &data);
+        batch_min.push_topk_min(c, 100);
+        let p3 = plan_batch(&batch_min, &base(), usize::MAX, "V100S", &mut cache);
+        assert_eq!((p3.plan_hits, p3.plan_misses), (0, 1));
+        // a different device label is a different plan key
+        let p4 = plan_batch(&batch, &base(), usize::MAX, "TitanXp", &mut cache);
+        assert_eq!((p4.plan_hits, p4.plan_misses), (0, 1));
+        assert_eq!(cache.cached_tuning_plans(), 3);
+    }
+
+    #[test]
+    fn degenerate_members_do_not_force_a_delegate_pass() {
+        // k = 0 members and k > |V| members plan cleanly; a group of only
+        // degenerate queries needs no delegates.
+        let data: Vec<u32> = (0..100).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push(Query {
+            corpus: c,
+            k: 0,
+            direction: Direction::Largest,
+            inner: InnerAlgorithm::FlagRadix,
+        });
+        batch.push_topk(c, 1000); // clamps to |V| = 100 → fallback
+        let mut cache = PlanCache::default();
+        let plan = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        let PlanUnit::Fused(unit) = &plan.units[0] else {
+            panic!("expected fused unit")
+        };
+        assert!(!unit.needs_delegates);
+        assert_eq!(unit.k_max, 100);
+    }
+
+    #[test]
+    fn delegate_cache_evicts_in_insertion_order() {
+        let dev = gpu_sim::Device::with_host_threads(gpu_sim::DeviceSpec::v100s(), 2);
+        let data: Vec<u32> = (0..4096).collect();
+        let mut cache = PlanCache::with_delegate_capacity(2);
+        for id in 0..3u64 {
+            let dv = drtopk_core::build_delegate_vector(
+                &dev,
+                &data,
+                6,
+                2,
+                drtopk_core::ConstructionMethod::Auto,
+            );
+            cache.put_delegates(id, data.len(), 6, 2, Arc::new(dv));
+        }
+        assert_eq!(cache.cached_delegate_vectors(), 2);
+        // entry 0 was evicted; 1 and 2 survive
+        assert!(cache
+            .get_delegates::<u32>(Some(0), data.len(), 6, 2)
+            .is_none());
+        assert!(cache
+            .get_delegates::<u32>(Some(1), data.len(), 6, 2)
+            .is_some());
+        assert!(cache
+            .get_delegates::<u32>(Some(2), data.len(), 6, 2)
+            .is_some());
+        let rep = cache.delegate_report();
+        assert_eq!((rep.hits, rep.misses), (2, 1));
+        // uncacheable corpora never count
+        assert!(cache.get_delegates::<u32>(None, data.len(), 6, 2).is_none());
+        let rep = cache.delegate_report();
+        assert_eq!((rep.hits, rep.misses), (2, 1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Query and batch types: the engine's input surface.
+//!
+//! A [`QueryBatch`] is a set of *corpora* (the vectors to select over) plus
+//! a set of *queries*, each naming a corpus by index and carrying its own
+//! `k`, [`Direction`] and inner algorithm. Heterogeneity is the point: one
+//! batch may mix top-k-largest and top-k-smallest queries, tiny and huge
+//! `k`, and different second-phase algorithms — the planner sorts out what
+//! can be fused and what cannot.
+
+use drtopk_core::InnerAlgorithm;
+use topk_baselines::TopKKey;
+
+/// Which end of the key order a query selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Top-k **largest**, descending (the classic Dr. Top-k query).
+    Largest,
+    /// Top-k **smallest**, ascending (k-NN distances and friends).
+    Smallest,
+}
+
+/// One top-k query of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Index of the corpus this query selects over (see
+    /// [`QueryBatch::add_corpus`]).
+    pub corpus: usize,
+    /// Number of winners requested. `0` yields an empty result; values
+    /// larger than the corpus are clamped, exactly like [`drtopk_core::dr_topk`].
+    pub k: usize,
+    /// Largest or smallest.
+    pub direction: Direction,
+    /// The algorithm that runs the second top-k for this query.
+    pub inner: InnerAlgorithm,
+}
+
+/// A corpus registered with a batch: a borrowed key slice plus a
+/// caller-provided stable identity used by the engine's delegate cache.
+///
+/// The `id` is the cache key for reusing work across batches: two batches
+/// presenting the same `(id, len)` are assumed to present the **same
+/// data** — bump the id whenever the underlying vector changes, or use
+/// [`QueryBatch::add_corpus_uncached`] for one-shot data.
+#[derive(Debug, Clone, Copy)]
+pub struct Corpus<'a, K: TopKKey> {
+    /// Caller-assigned stable identity (`None` opts out of delegate
+    /// caching).
+    pub id: Option<u64>,
+    /// The keys to select over.
+    pub data: &'a [K],
+}
+
+/// A batch of heterogeneous top-k queries over a set of corpora.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch<'a, K: TopKKey> {
+    pub(crate) corpora: Vec<Corpus<'a, K>>,
+    pub(crate) queries: Vec<Query>,
+}
+
+impl<'a, K: TopKKey> QueryBatch<'a, K> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        QueryBatch {
+            corpora: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    /// Register a corpus with a stable identity and return its index.
+    /// Presenting the same `id` with the same length in a later batch lets
+    /// the engine reuse the cached delegate vector instead of rebuilding it.
+    pub fn add_corpus(&mut self, id: u64, data: &'a [K]) -> usize {
+        self.corpora.push(Corpus { id: Some(id), data });
+        self.corpora.len() - 1
+    }
+
+    /// Register a one-shot corpus that must never be delegate-cached.
+    pub fn add_corpus_uncached(&mut self, data: &'a [K]) -> usize {
+        self.corpora.push(Corpus { id: None, data });
+        self.corpora.len() - 1
+    }
+
+    /// Append a query; returns its index, which is also the index of its
+    /// result in [`crate::BatchOutput::results`].
+    pub fn push(&mut self, query: Query) -> usize {
+        assert!(
+            query.corpus < self.corpora.len(),
+            "query references corpus {} but only {} corpora are registered",
+            query.corpus,
+            self.corpora.len()
+        );
+        self.queries.push(query);
+        self.queries.len() - 1
+    }
+
+    /// Convenience: append a top-k-largest query with the default
+    /// flag-radix inner algorithm.
+    pub fn push_topk(&mut self, corpus: usize, k: usize) -> usize {
+        self.push(Query {
+            corpus,
+            k,
+            direction: Direction::Largest,
+            inner: InnerAlgorithm::FlagRadix,
+        })
+    }
+
+    /// Convenience: append a top-k-smallest query with the default
+    /// flag-radix inner algorithm.
+    pub fn push_topk_min(&mut self, corpus: usize, k: usize) -> usize {
+        self.push(Query {
+            corpus,
+            k,
+            direction: Direction::Smallest,
+            inner: InnerAlgorithm::FlagRadix,
+        })
+    }
+
+    /// The registered corpora.
+    pub fn corpora(&self) -> &[Corpus<'a, K>] {
+        &self.corpora
+    }
+
+    /// The queued queries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builder_assigns_indices() {
+        let data: Vec<u32> = (0..128).collect();
+        let other: Vec<u32> = (0..64).collect();
+        let mut batch = QueryBatch::new();
+        let c0 = batch.add_corpus(1, &data);
+        let c1 = batch.add_corpus_uncached(&other);
+        assert_eq!((c0, c1), (0, 1));
+        assert_eq!(batch.push_topk(c0, 10), 0);
+        assert_eq!(batch.push_topk_min(c1, 5), 1);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.queries()[0].direction, Direction::Largest);
+        assert_eq!(batch.queries()[1].direction, Direction::Smallest);
+        assert_eq!(batch.corpora()[0].id, Some(1));
+        assert_eq!(batch.corpora()[1].id, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "references corpus")]
+    fn out_of_range_corpus_panics_at_push() {
+        let mut batch = QueryBatch::<u32>::new();
+        batch.push_topk(0, 10);
+    }
+}

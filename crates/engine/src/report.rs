@@ -1,0 +1,125 @@
+//! Per-query results and the engine-level statistics report.
+
+use drtopk_core::PhaseBreakdown;
+use gpu_sim::KernelStats;
+use topk_baselines::TopKKey;
+
+/// Hit/miss counters of one cache (or one batch's slice of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populate the cache).
+    pub misses: u64,
+}
+
+impl CacheReport {
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// How one query was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Member of a fused same-corpus group, run on one pool device.
+    Fused {
+        /// Index of the unit in the batch's execution plan.
+        unit: usize,
+    },
+    /// Over-capacity corpus, run across the whole cluster.
+    Sharded {
+        /// Number of devices the query was sharded over.
+        devices: usize,
+    },
+}
+
+/// Result of one query of a batch.
+#[derive(Debug, Clone)]
+pub struct QueryResult<K: TopKKey> {
+    /// The selected values: descending for largest-direction queries,
+    /// ascending for smallest-direction ones (matching
+    /// [`drtopk_core::dr_topk`] / [`drtopk_core::dr_topk_min`]).
+    pub values: Vec<K>,
+    /// The k-th selected value (`K::default()` for empty results).
+    pub kth_value: K,
+    /// Modeled time attributed to this query (shared delegate passes are
+    /// accounted at the engine level, not per query).
+    pub time_ms: f64,
+    /// Kernel counters attributed to this query.
+    pub stats: KernelStats,
+    /// Per-phase modeled times (zeroed for sharded queries, whose
+    /// breakdown lives in the distributed result shape).
+    pub breakdown: PhaseBreakdown,
+    /// How the query was executed.
+    pub path: ExecPath,
+}
+
+/// Engine-level statistics for one batch.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Queries in the batch.
+    pub num_queries: usize,
+    /// Schedulable units the planner produced.
+    pub num_units: usize,
+    /// Fused same-corpus groups among the units.
+    pub fused_units: usize,
+    /// Queries routed through the sharded (whole-cluster) path.
+    pub sharded_queries: usize,
+    /// Average queries per unit — how much fusion the batch admitted
+    /// (a 32-query shared-corpus batch scores 32.0; fully disjoint
+    /// traffic scores 1.0).
+    pub batch_occupancy: f64,
+    /// Tuning-plan cache activity during this batch.
+    pub plan_cache: CacheReport,
+    /// Delegate cache activity during this batch.
+    pub delegate_cache: CacheReport,
+    /// Delegate construction passes actually executed.
+    pub delegate_passes_run: usize,
+    /// Delegate passes that fusion + caching avoided (delegate-using
+    /// queries served without their own construction pass).
+    pub delegate_passes_saved: usize,
+    /// Summed per-phase modeled times across every query, with shared
+    /// delegate passes counted once under `delegate_ms`.
+    pub phase_ms: PhaseBreakdown,
+    /// Modeled time of the sharded (whole-cluster) portion of the batch.
+    pub sharded_ms: f64,
+    /// Modeled batch makespan: the slowest pool worker under deterministic
+    /// list scheduling of the fused units (each unit to the
+    /// earliest-available worker, in plan order), plus the sharded portion
+    /// (which uses every device). Independent of host-thread timing.
+    pub total_ms: f64,
+    /// Modeled throughput, queries per second.
+    pub throughput_qps: f64,
+    /// Kernel counters summed across the whole batch (shared passes
+    /// included once).
+    pub stats: KernelStats,
+}
+
+/// Per-query results (indexed like the batch's queries) plus the
+/// engine-level report.
+#[derive(Debug, Clone)]
+pub struct BatchOutput<K: TopKKey> {
+    /// One result per query, in query order.
+    pub results: Vec<QueryResult<K>>,
+    /// Engine-level statistics for the batch.
+    pub report: EngineReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_is_safe_and_correct() {
+        assert_eq!(CacheReport::default().hit_rate(), 0.0);
+        let r = CacheReport { hits: 3, misses: 1 };
+        assert!((r.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

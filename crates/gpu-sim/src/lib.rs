@@ -60,7 +60,7 @@ pub mod warp;
 
 pub use device::{Device, LaunchResult};
 pub use memory::{pack_kv, unpack_kv, AtomicBuffer, AtomicBuffer64, AtomicCounter};
-pub use multi::{GpuCluster, InterconnectSpec, TransferDirection};
+pub use multi::{DeviceError, GpuCluster, InterconnectSpec, TransferDirection};
 pub use spec::DeviceSpec;
 pub use stats::{DeviceStats, KernelRecord, KernelStats};
 pub use timing::{estimate_time_ms, host_transfer_time_ms};

@@ -17,6 +17,26 @@ use crate::device::Device;
 use crate::spec::DeviceSpec;
 use crate::timing::host_transfer_time_ms;
 
+/// A failure reported by one device's worker during
+/// [`GpuCluster::try_run_on_all`], carrying the id of the device whose
+/// closure failed so callers can retry, exclude or report that device
+/// without losing the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceError<E> {
+    /// Index of the failing device within the cluster.
+    pub device: usize,
+    /// The error the worker closure returned.
+    pub error: E,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for DeviceError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "device {}: {}", self.device, self.error)
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for DeviceError<E> {}
+
 /// Link characteristics of the simulated cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InterconnectSpec {
@@ -179,30 +199,70 @@ impl GpuCluster {
 
     /// Run `work` once per device, in parallel on host threads, and return
     /// the per-device results in device order.
+    ///
+    /// The closure is infallible; use [`GpuCluster::try_run_on_all`] when a
+    /// worker can fail and the failing device id matters.
     pub fn run_on_all<R, F>(&self, work: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize, &Device) -> R + Sync,
     {
-        let n = self.num_devices();
-        if n == 1 {
-            return vec![work(0, &self.devices[0])];
+        match self.try_run_on_all(|idx, dev| Ok::<R, std::convert::Infallible>(work(idx, dev))) {
+            Ok(results) => results,
+            Err(err) => match err.error {},
         }
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let work = &work;
-            let handles: Vec<_> = self
-                .devices
-                .iter()
-                .enumerate()
-                .map(|(idx, dev)| scope.spawn(move || (idx, work(idx, dev))))
-                .collect();
-            for h in handles {
-                let (idx, r) = h.join().expect("device worker panicked");
-                results[idx] = Some(r);
+    }
+
+    /// Run `work` once per device, in parallel on host threads. Every
+    /// worker runs to completion even when another device's worker fails;
+    /// the results are returned in device order, or the error of the
+    /// lowest-indexed failing device is surfaced as a [`DeviceError`] so the
+    /// caller knows *which* device to blame (and can retry elsewhere)
+    /// instead of the whole run being poisoned.
+    pub fn try_run_on_all<R, E, F>(&self, work: F) -> Result<Vec<R>, DeviceError<E>>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize, &Device) -> Result<R, E> + Sync,
+    {
+        let n = self.num_devices();
+        let mut results: Vec<Option<Result<R, E>>> = if n == 1 {
+            vec![Some(work(0, &self.devices[0]))]
+        } else {
+            let mut slots: Vec<Option<Result<R, E>>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let work = &work;
+                let handles: Vec<_> = self
+                    .devices
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, dev)| (idx, scope.spawn(move || work(idx, dev))))
+                    .collect();
+                for (idx, h) in handles {
+                    let r = h
+                        .join()
+                        .unwrap_or_else(|_| panic!("worker of device {idx} panicked"));
+                    slots[idx] = Some(r);
+                }
+            });
+            slots
+        };
+        // Surface the lowest-indexed failure deterministically.
+        for (device, slot) in results.iter_mut().enumerate() {
+            if let Some(Err(_)) = slot {
+                let Some(Err(error)) = slot.take() else {
+                    unreachable!()
+                };
+                return Err(DeviceError { device, error });
             }
-        });
-        results.into_iter().map(|r| r.unwrap()).collect()
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| {
+                r.expect("every device produced a result")
+                    .unwrap_or_else(|_| unreachable!())
+            })
+            .collect())
     }
 }
 
@@ -274,6 +334,62 @@ mod tests {
         assert!(t_large > t_small);
         // Paper Table 2 reports ≤ 1.43 ms even at 16 GPUs with k = 128.
         assert!(t_large < 2.0, "gather time {t_large} too large");
+    }
+
+    #[test]
+    fn try_run_on_all_surfaces_the_failing_device_id() {
+        let cluster = GpuCluster::homogeneous(5, DeviceSpec::v100s());
+        // device 3 fails; everything else succeeds — the error names device 3
+        let got = cluster.try_run_on_all(|idx, _dev| {
+            if idx == 3 {
+                Err(format!("simulated ECC fault on {idx}"))
+            } else {
+                Ok(idx * 10)
+            }
+        });
+        let err = got.expect_err("device 3 must fail the run");
+        assert_eq!(err.device, 3);
+        assert!(err.error.contains("ECC fault"));
+        assert_eq!(format!("{err}"), "device 3: simulated ECC fault on 3");
+
+        // several failures: the lowest device id wins deterministically
+        let got = cluster.try_run_on_all(|idx, _dev| if idx % 2 == 0 { Err(idx) } else { Ok(()) });
+        assert_eq!(got.expect_err("even devices fail").device, 0);
+
+        // all-success path returns device-ordered results
+        let got: Result<Vec<usize>, DeviceError<String>> =
+            cluster.try_run_on_all(|idx, _dev| Ok(idx));
+        assert_eq!(got.unwrap(), vec![0, 1, 2, 3, 4]);
+
+        // single-device clusters take the inline path
+        let single = GpuCluster::homogeneous(1, DeviceSpec::v100s());
+        let err = single
+            .try_run_on_all(|idx, _dev| Err::<(), _>(idx + 100))
+            .expect_err("sole device fails");
+        assert_eq!(err.device, 0);
+        assert_eq!(err.error, 100);
+    }
+
+    #[test]
+    fn try_run_on_all_failure_does_not_lose_other_devices_work() {
+        // A failing worker must not prevent the other devices from running
+        // to completion (their kernel logs prove they did the work).
+        let cluster = GpuCluster::homogeneous(4, DeviceSpec::v100s());
+        let data = vec![1u32; 1024];
+        let got = cluster.try_run_on_all(|idx, dev| {
+            dev.launch("probe", 2, |ctx| {
+                ctx.read_coalesced(&data[ctx.chunk_of(data.len())]);
+            });
+            if idx == 1 {
+                Err("late failure")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(got.expect_err("device 1 fails").device, 1);
+        for d in cluster.devices() {
+            assert_eq!(d.stats().kernels.len(), 1, "every device ran its kernel");
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   used by the paper's evaluation ([`topk_datagen`]).
 //! * [`bmw`] — the Block-Max WAND information-retrieval baseline used in
 //!   Figure 24 ([`bmw_baseline`]).
+//! * [`engine`] — the batched multi-query serving engine
+//!   ([`drtopk_engine`]): planner, scheduler and plan cache that fuse
+//!   same-corpus queries into shared delegate passes and shard
+//!   over-capacity corpora across the cluster.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 
 pub use bmw_baseline as bmw;
 pub use drtopk_core as core;
+pub use drtopk_engine as engine;
 pub use gpu_sim as sim;
 pub use topk_baselines as baselines;
 pub use topk_datagen as datagen;
@@ -50,6 +55,7 @@ pub mod prelude {
     pub use drtopk_core::{
         dr_topk, dr_topk_min, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
     };
+    pub use drtopk_engine::{QueryBatch, TopKEngine};
     pub use gpu_sim::{Device, DeviceSpec, KernelStats};
     pub use topk_baselines::{
         bitonic_topk, bucket_topk, priority_queue_topk, radix_topk, sort_and_choose_topk, Desc,

@@ -138,7 +138,7 @@ fn distributed_edges_match_single_device() {
     assert!(distributed_dr_topk(&cluster, &data, 0, &config)
         .values
         .is_empty());
-    assert!(distributed_dr_topk(&cluster, &[], 8, &config)
+    assert!(distributed_dr_topk::<u32>(&cluster, &[], 8, &config)
         .values
         .is_empty());
     let full = distributed_dr_topk(&cluster, &data, data.len() + 5, &config);

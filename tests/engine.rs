@@ -1,0 +1,259 @@
+//! Integration tests of the batched multi-query engine: fused batches must
+//! be bit-identical to independent `dr_topk` / `dr_topk_min` calls for
+//! every key type, repeat traffic must hit the plan cache, and fusion must
+//! be observably cheaper than per-query loops in global-memory
+//! transactions.
+
+use drtopk::core::{dr_topk, dr_topk_min, DrTopKConfig};
+use drtopk::engine::{Direction, EngineConfig, Query, QueryBatch, TopKEngine};
+use drtopk::prelude::*;
+use drtopk::sim::GpuCluster;
+use proptest::prelude::*;
+
+fn engine(devices: usize) -> TopKEngine {
+    TopKEngine::new(GpuCluster::homogeneous(devices, DeviceSpec::v100s()))
+}
+
+/// Run `specs` (k, largest?) through one fused batch and through N
+/// independent single-query calls, comparing bit patterns (so float NaNs
+/// compare identically).
+fn assert_batch_matches_independent<K: TopKKey>(data: &[K], specs: &[(usize, bool)]) {
+    let eng = engine(2);
+    let mut batch = QueryBatch::new();
+    let c = batch.add_corpus(1, data);
+    for &(k, largest) in specs {
+        batch.push(Query {
+            corpus: c,
+            k,
+            direction: if largest {
+                Direction::Largest
+            } else {
+                Direction::Smallest
+            },
+            inner: drtopk::core::InnerAlgorithm::FlagRadix,
+        });
+    }
+    let out = eng.run_batch(&batch).expect("batch must execute");
+    assert_eq!(out.results.len(), specs.len());
+
+    let device = Device::with_host_threads(DeviceSpec::v100s(), 2);
+    let config = DrTopKConfig::default();
+    for (i, &(k, largest)) in specs.iter().enumerate() {
+        let independent = if largest {
+            dr_topk(&device, data, k, &config).values
+        } else {
+            dr_topk_min(&device, data, k, &config).values
+        };
+        let got: Vec<_> = out.results[i].values.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<_> = independent.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "query {i} (k={k}, largest={largest})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A fused shared-corpus batch is bit-identical to N independent calls
+    /// for every key type — with mixed directions, duplicate queries and
+    /// degenerate k = 0 / k > |V| members forced into every batch.
+    #[test]
+    fn fused_batch_equals_independent_calls_for_all_key_types(
+        raw in proptest::collection::vec(any::<u32>(), 64..3000),
+        ks in proptest::collection::vec(0usize..4000, 2..7),
+        dirs in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let mut specs: Vec<(usize, bool)> = ks
+            .iter()
+            .zip(dirs.iter().cycle())
+            .map(|(&k, &largest)| (k, largest))
+            .collect();
+        // duplicates and degenerate members, always present
+        specs.push(specs[0]);
+        specs.push((0, true));
+        specs.push((raw.len() + 17, false)); // k > |V|, clamped
+
+        assert_batch_matches_independent::<u32>(&raw, &specs);
+        let as_u64: Vec<u64> = raw.iter().map(|&x| (x as u64) << 13 | 0x5).collect();
+        assert_batch_matches_independent::<u64>(&as_u64, &specs);
+        let as_i32: Vec<i32> = raw.iter().map(|&x| x as i32).collect();
+        assert_batch_matches_independent::<i32>(&as_i32, &specs);
+        let as_i64: Vec<i64> = raw.iter().map(|&x| x as i64 - (1 << 31)).collect();
+        assert_batch_matches_independent::<i64>(&as_i64, &specs);
+        // raw bit reinterpretation: exercises NaN/∞/subnormal float keys
+        let as_f32: Vec<f32> = raw.iter().map(|&x| f32::from_bits(x)).collect();
+        assert_batch_matches_independent::<f32>(&as_f32, &specs);
+        let as_f64: Vec<f64> = raw
+            .iter()
+            .map(|&x| f64::from_bits(((x as u64) << 32) | x as u64))
+            .collect();
+        assert_batch_matches_independent::<f64>(&as_f64, &specs);
+    }
+}
+
+#[test]
+fn mixed_direction_batch_on_one_corpus_is_exact() {
+    // Deterministic spot check of the property above, with both directions
+    // interleaved on the same corpus in one batch.
+    let data = topk_datagen::normal(1 << 14, 3);
+    let specs = [
+        (1usize, true),
+        (500, false),
+        (500, true),
+        (1, false),
+        (0, false),
+        (1 << 15, true),
+        (500, true), // duplicate
+    ];
+    assert_batch_matches_independent::<u32>(&data, &specs);
+}
+
+#[test]
+fn fused_batch_moves_fewer_transactions_than_independent_runs() {
+    // Acceptance criterion: a 32-query shared-corpus batch must show fewer
+    // total global-memory transactions than 32 independent dr_topk runs,
+    // because 31 of the 32 |V|-scan delegate passes are fused away.
+    let n = 1 << 16;
+    let data = topk_datagen::uniform(n, 42);
+    let ks = topk_datagen::zipf_ks(32, 1 << 12, 1.0, 7);
+
+    let eng = engine(1);
+    let mut batch = QueryBatch::new();
+    let c = batch.add_corpus(1, &data);
+    for &k in &ks {
+        batch.push_topk(c, k);
+    }
+    let out = eng.run_batch(&batch).unwrap();
+
+    let device = Device::new(DeviceSpec::v100s());
+    let config = DrTopKConfig::default();
+    let mut independent = KernelStats::default();
+    for &k in &ks {
+        let r = dr_topk(&device, &data, k, &config);
+        assert_eq!(
+            r.values,
+            out.results[ks.iter().position(|&x| x == k).unwrap()].values
+        );
+        independent += r.stats;
+    }
+
+    let fused = out.report.stats;
+    assert!(
+        fused.total_transactions() < independent.total_transactions(),
+        "fused batch must move fewer transactions: {} vs {}",
+        fused.total_transactions(),
+        independent.total_transactions()
+    );
+    // the saving is structural, not marginal: at least 15 of the 32
+    // delegate passes' worth of |V| reads are gone (the fused group's α is
+    // sized for the batch's k_max, so each member pays slightly more in the
+    // delegate-sized phases than a per-query-tuned independent run — the
+    // 31 fused-away |V| scans dwarf that)
+    let one_pass_loads = (n * 4) as u64 / 128;
+    assert!(
+        independent.global_load_transactions - fused.global_load_transactions > 15 * one_pass_loads,
+        "expected ≥15 fused-away delegate passes, saved only {}",
+        independent.global_load_transactions - fused.global_load_transactions
+    );
+    assert_eq!(out.report.delegate_passes_run, 1);
+    assert_eq!(out.report.fused_units, 1);
+    assert!((out.report.batch_occupancy - 32.0).abs() < 1e-12);
+}
+
+#[test]
+fn repeated_traffic_hits_the_plan_cache_and_skips_retuning() {
+    // Acceptance criterion: the plan cache reports a > 0 hit rate on
+    // repeated traffic, and a repeated (n, k) shape skips re-tuning.
+    let data = topk_datagen::uniform(1 << 15, 9);
+    let eng = engine(2);
+    let mut batch = QueryBatch::new();
+    let c = batch.add_corpus(5, &data);
+    batch.push_topk(c, 128);
+    batch.push_topk_min(c, 128);
+
+    let cold = eng.run_batch(&batch).unwrap();
+    assert_eq!(cold.report.plan_cache.hits, 0);
+    assert_eq!(cold.report.plan_cache.misses, 2); // one α per direction
+    assert_eq!(cold.report.delegate_passes_run, 2);
+
+    let warm = eng.run_batch(&batch).unwrap();
+    assert!(warm.report.plan_cache.hit_rate() > 0.0);
+    assert_eq!(warm.report.plan_cache.hits, 2);
+    assert_eq!(warm.report.plan_cache.misses, 0, "no re-tuning on repeat");
+    // the delegate cache also removes both construction passes
+    assert_eq!(warm.report.delegate_passes_run, 0);
+    assert!(warm.report.delegate_cache.hit_rate() > 0.0);
+    assert_eq!(warm.results[0].values, cold.results[0].values);
+    assert_eq!(warm.results[1].values, cold.results[1].values);
+    // a different shape on the same corpus re-tunes exactly once
+    let mut grown = QueryBatch::new();
+    let c = grown.add_corpus(5, &data);
+    grown.push_topk(c, 4096);
+    let third = eng.run_batch(&grown).unwrap();
+    assert_eq!(third.report.plan_cache.misses, 1);
+}
+
+#[test]
+fn generated_workloads_run_end_to_end_on_a_cluster() {
+    // The datagen workload generators drive the engine directly: Zipf ks,
+    // clustered corpora, a quarter of the traffic smallest-direction.
+    use topk_datagen::{multi_query_workload, CorpusMix};
+    let corpora: Vec<Vec<u32>> = (0..4u64)
+        .map(|i| topk_datagen::uniform(1 << 13, 50 + i))
+        .collect();
+    let specs = multi_query_workload(48, CorpusMix::Clustered { corpora: 4 }, 512, 1.0, 0.25, 11);
+
+    let eng = engine(4);
+    let mut batch = QueryBatch::new();
+    let ids: Vec<usize> = corpora
+        .iter()
+        .enumerate()
+        .map(|(i, d)| batch.add_corpus(i as u64, d))
+        .collect();
+    for spec in &specs {
+        batch.push(Query {
+            corpus: ids[spec.corpus],
+            k: spec.k,
+            direction: if spec.largest {
+                Direction::Largest
+            } else {
+                Direction::Smallest
+            },
+            inner: drtopk::core::InnerAlgorithm::FlagRadix,
+        });
+    }
+    let out = eng.run_batch(&batch).unwrap();
+    assert_eq!(out.results.len(), specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let expect = if spec.largest {
+            topk_baselines::reference_topk(&corpora[spec.corpus], spec.k)
+        } else {
+            topk_baselines::reference_topk_min(&corpora[spec.corpus], spec.k)
+        };
+        assert_eq!(out.results[i].values, expect, "query {i}: {spec:?}");
+    }
+    // 4 corpora × ≤2 directions → at most 8 units for 48 queries
+    assert!(out.report.num_units <= 8);
+    assert!(out.report.batch_occupancy >= 6.0);
+    assert!(out.report.throughput_qps > 0.0);
+}
+
+#[test]
+fn engine_delegate_cache_capacity_zero_disables_caching() {
+    let data = topk_datagen::uniform(1 << 13, 1);
+    let eng = TopKEngine::with_config(
+        GpuCluster::homogeneous(1, DeviceSpec::v100s()),
+        EngineConfig {
+            delegate_cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    );
+    let mut batch = QueryBatch::new();
+    let c = batch.add_corpus(1, &data);
+    batch.push_topk(c, 64);
+    eng.run_batch(&batch).unwrap();
+    let again = eng.run_batch(&batch).unwrap();
+    assert_eq!(again.report.delegate_cache.hits, 0);
+    assert_eq!(again.report.delegate_passes_run, 1);
+    // tuning plans still memoize — they are shape-keyed, not data-keyed
+    assert_eq!(again.report.plan_cache.hits, 1);
+}
