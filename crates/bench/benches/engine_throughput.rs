@@ -49,7 +49,7 @@ fn main() {
             let corpora: Vec<Vec<u32>> = (0..num_corpora)
                 .map(|i| topk_datagen::uniform(n, seed() ^ (i as u64) << 8))
                 .collect();
-            let specs = multi_query_workload(batch_size, mix, k_max, 1.0, 0.25, seed());
+            let specs = multi_query_workload(batch_size, mix, k_max, 1.0, 0.25, 0.0, seed());
             let engine = TopKEngine::new(GpuCluster::homogeneous(DEVICES, DeviceSpec::v100s()));
 
             let run = || {
@@ -69,6 +69,7 @@ fn main() {
                             Direction::Smallest
                         },
                         inner: InnerAlgorithm::FlagRadix,
+                        mode: drtopk_core::Mode::Exact,
                     });
                 }
                 engine.run_batch(&batch).expect("batch must execute")

@@ -44,6 +44,12 @@ pub struct DistributedResult<K: TopKKey = u32> {
     pub reload_overhead_ms: f64,
     /// Aggregated kernel counters across all devices.
     pub stats: KernelStats,
+    /// What the recall model predicts the run returns: 1.0 for an exact
+    /// config; for a recall-targeted approximate config, the smallest
+    /// per-sub-vector predicted recall (a true top-k element lives in
+    /// exactly one sub-vector and survives with that sub-vector's
+    /// probability, so the minimum bounds the whole run from below).
+    pub predicted_recall: f64,
 }
 
 impl<K: TopKKey> DistributedResult<Desc<K>> {
@@ -60,6 +66,7 @@ impl<K: TopKKey> DistributedResult<Desc<K>> {
             total_ms: self.total_ms,
             reload_overhead_ms: self.reload_overhead_ms,
             stats: self.stats,
+            predicted_recall: self.predicted_recall,
         }
     }
 }
@@ -106,6 +113,7 @@ pub fn distributed_dr_topk<K: TopKKey>(
             total_ms: 0.0,
             reload_overhead_ms: 0.0,
             stats: KernelStats::default(),
+            predicted_recall: 1.0,
         };
     }
 
@@ -123,6 +131,14 @@ pub fn distributed_dr_topk<K: TopKKey>(
     )
     .max(1);
     let subvectors = partition_subvectors(data.len(), capacity);
+
+    // Each sub-vector runs the whole (exact or approximate) pipeline
+    // locally, so the run's predicted recall is bounded below by the worst
+    // sub-vector plan (1.0 throughout for exact configs).
+    let predicted_recall = subvectors
+        .iter()
+        .map(|r| crate::pipeline::PlannedQuery::plan(r.len(), k, config).predicted_recall)
+        .fold(1.0f64, f64::min);
 
     // Each device processes its sub-vectors and reports (local top-k values,
     // compute ms, reload ms, stats).
@@ -212,6 +228,7 @@ pub fn distributed_dr_topk<K: TopKKey>(
         reload_overhead_ms,
         stats,
         values,
+        predicted_recall,
     }
 }
 

@@ -9,7 +9,7 @@
 //!   which subranges can contribute at all (Rules 1 and 3), a filtering
 //!   threshold prunes their elements (Rule 2), and a second top-k on the tiny
 //!   concatenated vector produces the answer ([`pipeline`], [`delegate`],
-//!   [`first_topk`], [`concat`]).
+//!   [`first_topk()`], [`mod@concat`]).
 //! * **α tuning** — the convex cost model of Section 5.2 and the closed-form
 //!   Rule 4 optimum ([`tuning`]).
 //! * **Optimized in-place radix top-k** — flag-based candidate tracking with
@@ -23,6 +23,11 @@
 //!   [`TopKKey`] (`u32`/`u64`/`i32`/`i64`/`f32`/`f64`), and [`dr_topk_min`]
 //!   answers top-k-*smallest* queries (k-NN distances) on native keys with
 //!   no caller-side bit tricks.
+//! * **Recall-targeted approximate selection** — [`dr_topk_approx`] (and
+//!   the [`Mode`] knob on [`DrTopKConfig`]) trades exactness for speed:
+//!   per-bucket candidates sized by an analytic recall model replace the
+//!   concatenation/refill passes entirely ([`approx`], going beyond the
+//!   paper).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +45,9 @@
 //! assert!(result.workload.workload_fraction() < 0.2);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod approx;
 pub mod concat;
 pub mod delegate;
 pub mod distributed;
@@ -48,6 +56,7 @@ pub mod pipeline;
 pub mod radix_flags;
 pub mod tuning;
 
+pub use approx::{expected_recall, measured_recall, required_budget, Mode, RecallTarget};
 pub use concat::{concatenate, Concatenated};
 pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{
@@ -55,8 +64,8 @@ pub use distributed::{
 };
 pub use first_topk::{first_topk, FirstTopK};
 pub use pipeline::{
-    as_desc, dr_topk, dr_topk_min, dr_topk_planned, dr_topk_with_stats, DrTopKConfig, DrTopKResult,
-    InnerAlgorithm, PhaseBreakdown, PlannedQuery, WorkloadStats,
+    as_desc, dr_topk, dr_topk_approx, dr_topk_min, dr_topk_planned, dr_topk_with_stats,
+    DrTopKConfig, DrTopKResult, InnerAlgorithm, PhaseBreakdown, PlannedQuery, WorkloadStats,
 };
 pub use radix_flags::{
     flag_radix_select_by_key, flag_radix_select_kth, flag_radix_topk, FlagSelectConfig,
@@ -64,6 +73,7 @@ pub use radix_flags::{
 };
 pub use topk_baselines::{Desc, KeyBits, TopKKey};
 pub use tuning::{
-    auto_alpha, is_convex_in_alpha, model_optimal_alpha, predicted_cost, rule4_alpha,
-    PredictedCost, PAPER_RULE4_CONST,
+    auto_alpha, is_convex_in_alpha, model_optimal_alpha, optimal_approx_tuning,
+    predicted_approx_cost, predicted_cost, rule4_alpha, ApproxTuning, PredictedCost,
+    PAPER_RULE4_CONST,
 };

@@ -16,11 +16,12 @@ use topk_baselines::{
     TopKResult,
 };
 
+use crate::approx::{dr_topk_approx_planned, expected_recall, required_budget, Mode, RecallTarget};
 use crate::concat::concatenate;
 use crate::delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 use crate::first_topk::first_topk;
 use crate::radix_flags::flag_radix_topk;
-use crate::tuning::{auto_alpha, PAPER_RULE4_CONST};
+use crate::tuning::{auto_alpha, optimal_approx_tuning, PAPER_RULE4_CONST};
 
 /// Which algorithm runs the second top-k (and, for the baselines-assisted
 /// variants of Figures 17–19, represents the algorithm family Dr. Top-k is
@@ -56,7 +57,7 @@ impl InnerAlgorithm {
         }
     }
 
-    fn run<K: TopKKey>(&self, device: &Device, data: &[K], k: usize) -> TopKResult<K> {
+    pub(crate) fn run<K: TopKKey>(&self, device: &Device, data: &[K], k: usize) -> TopKResult<K> {
         match self {
             InnerAlgorithm::FlagRadix => flag_radix_topk(device, data, k),
             InnerAlgorithm::Radix => radix_topk(device, data, k, &RadixConfig::default()),
@@ -96,6 +97,12 @@ pub struct DrTopKConfig {
     pub skip_last_first_pass: Option<bool>,
     /// Rule 4 constant used when `alpha` is `None`.
     pub rule4_const: f64,
+    /// Exact selection (the paper's pipeline, default) or recall-targeted
+    /// approximate selection (see [`crate::approx`]). In the approximate
+    /// mode the planner derives `alpha` and `beta` from the recall model
+    /// (unless `alpha` is pinned, in which case only the per-bucket budget
+    /// is derived), and the concatenation/refill phases are skipped.
+    pub mode: Mode,
 }
 
 impl Default for DrTopKConfig {
@@ -108,6 +115,7 @@ impl Default for DrTopKConfig {
             inner: InnerAlgorithm::FlagRadix,
             skip_last_first_pass: None,
             rule4_const: PAPER_RULE4_CONST,
+            mode: Mode::Exact,
         }
     }
 }
@@ -130,6 +138,21 @@ impl DrTopKConfig {
         DrTopKConfig {
             alpha: Some(alpha),
             ..base
+        }
+    }
+
+    /// The recommended recall-targeted approximate configuration: like
+    /// [`Default`], but with [`mode`](DrTopKConfig::mode) set to
+    /// `Mode::Approx` at the given expected-recall floor (a fraction in
+    /// `(0, 1]`; 1.0 runs the exact pipeline). The planner derives the
+    /// bucketing and per-bucket candidate budget from the recall model per
+    /// query shape.
+    pub fn approx(target_recall: f64) -> Self {
+        DrTopKConfig {
+            mode: Mode::Approx {
+                target_recall: RecallTarget::from_fraction(target_recall),
+            },
+            ..DrTopKConfig::default()
         }
     }
 
@@ -275,8 +298,16 @@ pub struct PlannedQuery {
     /// smaller than the input, or `k` is not smaller than the delegate
     /// vector itself (Rule 2's threshold would not exist).
     pub use_delegates: bool,
+    /// What the recall model predicts this plan returns: 1.0 for every
+    /// exact plan (including approximate queries that fell back to the
+    /// exact machinery), the modeled expected recall for a bucket-based
+    /// approximate plan.
+    pub predicted_recall: f64,
     /// The configuration the plan was resolved from, with α pinned so
-    /// re-planning the same query is free.
+    /// re-planning the same query is free. For approximate plans `beta`
+    /// holds the derived per-bucket candidate budget, and `mode` is
+    /// normalised to [`Mode::Exact`] when the approximate machinery could
+    /// not apply (so execution routing can trust it).
     pub config: DrTopKConfig,
 }
 
@@ -288,6 +319,21 @@ impl PlannedQuery {
     pub fn plan(n: usize, k: usize, config: &DrTopKConfig) -> PlannedQuery {
         assert!(config.beta >= 1, "beta must be at least 1");
         let k = k.min(n);
+        if let Some(target) = config.mode.strict_target() {
+            if let Some(planned) = PlannedQuery::plan_approx(n, k, target, config) {
+                return planned;
+            }
+            // The approximate machinery cannot apply (tiny input, k too
+            // close to n, or no candidate set smaller than the input):
+            // fall back to the exact path, whose recall trivially meets
+            // any target. The mode is normalised so execution follows the
+            // plan, not the original request.
+            let exact_config = DrTopKConfig {
+                mode: Mode::Exact,
+                ..config.clone()
+            };
+            return PlannedQuery::plan(n, k, &exact_config);
+        }
         let alpha = config.resolve_alpha(n, k);
         // Degenerate split: if the subrange count would be 1, the input is
         // tiny, or k is not smaller than the delegate vector itself (in
@@ -304,11 +350,67 @@ impl PlannedQuery {
             k,
             alpha,
             use_delegates,
+            predicted_recall: 1.0,
             config: DrTopKConfig {
                 alpha: Some(alpha),
                 ..config.clone()
             },
         }
+    }
+
+    /// Resolve a bucket-based approximate plan, or `None` when the
+    /// approximate machinery cannot apply to this shape.
+    ///
+    /// With `config.alpha` unpinned the bucketing comes from
+    /// [`optimal_approx_tuning`]; with a pinned α (how the engine holds a
+    /// fused group on one shared candidate vector) only the per-bucket
+    /// budget is derived, from the recall model at that α.
+    fn plan_approx(
+        n: usize,
+        k: usize,
+        target: RecallTarget,
+        config: &DrTopKConfig,
+    ) -> Option<PlannedQuery> {
+        let (alpha, budget, predicted_recall) = match config.alpha {
+            None => {
+                let t = optimal_approx_tuning(n, k, target)?;
+                (t.alpha, t.budget, t.predicted_recall)
+            }
+            Some(alpha) => {
+                let bucket_size = 1usize.checked_shl(alpha)?;
+                if k == 0 || k >= n || bucket_size >= n {
+                    return None;
+                }
+                let num_buckets = n.div_ceil(bucket_size);
+                // Same variance guard as `optimal_approx_tuning`: with
+                // fewer than 2k buckets the recall model constrains only
+                // the mean while the loss concentrates in hot buckets, so
+                // a pinned α that cannot give 2k buckets falls back to
+                // the exact machinery instead of over-promising.
+                if num_buckets < 2 * k {
+                    return None;
+                }
+                let budget = required_budget(k, num_buckets, target.with_planning_headroom());
+                if budget > bucket_size
+                    || num_buckets * budget >= n
+                    || (num_buckets - 1) * budget + 1 < k
+                {
+                    return None;
+                }
+                (alpha, budget, expected_recall(k, num_buckets, budget))
+            }
+        };
+        Some(PlannedQuery {
+            k,
+            alpha,
+            use_delegates: true,
+            predicted_recall,
+            config: DrTopKConfig {
+                alpha: Some(alpha),
+                beta: budget,
+                ..config.clone()
+            },
+        })
     }
 }
 
@@ -357,6 +459,12 @@ pub fn dr_topk_planned<K: TopKKey>(
     }
     assert!(config.beta >= 1, "beta must be at least 1");
     let alpha = planned.alpha;
+
+    if planned.use_delegates && config.mode.strict_target().is_some() {
+        // Recall-targeted approximate path: per-bucket candidates, then the
+        // inner top-k — no first top-k, no concatenation, no refill.
+        return dr_topk_approx_planned(device, data, shared_delegates, planned);
+    }
 
     if !planned.use_delegates {
         // Fallback: the inner algorithm runs directly on the input. The
@@ -478,6 +586,17 @@ pub fn dr_topk_planned<K: TopKKey>(
 
 /// Convenience wrapper around [`dr_topk_with_stats`] (same result type; the
 /// name mirrors the two-function API described in the README quickstart).
+///
+/// ```
+/// use drtopk_core::{dr_topk, DrTopKConfig};
+/// use gpu_sim::{Device, DeviceSpec};
+///
+/// let device = Device::new(DeviceSpec::v100s());
+/// let data: Vec<u32> = (0..50_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
+/// let result = dr_topk(&device, &data, 5, &DrTopKConfig::default());
+/// assert_eq!(result.values, topk_baselines::reference_topk(&data, 5));
+/// assert_eq!(result.kth_value, result.values[4]);
+/// ```
 pub fn dr_topk<K: TopKKey>(
     device: &Device,
     data: &[K],
@@ -485,6 +604,49 @@ pub fn dr_topk<K: TopKKey>(
     config: &DrTopKConfig,
 ) -> DrTopKResult<K> {
     dr_topk_with_stats(device, data, k, config)
+}
+
+/// Recall-targeted approximate top-k: the same signature as [`dr_topk`]
+/// plus an expected-recall floor in `(0, 1]`.
+///
+/// Equivalent to running [`dr_topk`] with
+/// [`DrTopKConfig::approx`]`(target_recall)` layered over `config`: the
+/// input is split into buckets, the top-`k'` candidates of each bucket are
+/// extracted (with `k'` sized by the analytic recall model of
+/// [`crate::approx`]), and the inner algorithm selects the top-k of the
+/// candidates — the exact pipeline's concatenation and refill passes never
+/// run. A target of 1.0 runs the exact pipeline unchanged.
+///
+/// ```
+/// use drtopk_core::{dr_topk_approx, measured_recall, DrTopKConfig};
+/// use gpu_sim::{Device, DeviceSpec};
+///
+/// let device = Device::new(DeviceSpec::v100s());
+/// let data: Vec<u32> = (0..1u32 << 16).map(|x| x.wrapping_mul(2654435761)).collect();
+///
+/// let got = dr_topk_approx(&device, &data, 64, 0.95, &DrTopKConfig::default());
+/// assert_eq!(got.values.len(), 64);
+///
+/// let exact = topk_baselines::reference_topk(&data, 64);
+/// assert!(measured_recall(&got.values, &exact) >= 0.9);
+/// // the second stage ran on a candidate vector, not the input
+/// assert!(got.workload.delegate_vector_len < data.len() / 4);
+/// assert_eq!(got.workload.concatenated_len, 0);
+/// ```
+pub fn dr_topk_approx<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    target_recall: f64,
+    config: &DrTopKConfig,
+) -> DrTopKResult<K> {
+    let cfg = DrTopKConfig {
+        mode: Mode::Approx {
+            target_recall: RecallTarget::from_fraction(target_recall),
+        },
+        ..config.clone()
+    };
+    dr_topk_with_stats(device, data, k, &cfg)
 }
 
 /// Top-k **smallest**: the k minimum elements of `data`, ascending
@@ -499,6 +661,19 @@ pub fn dr_topk<K: TopKKey>(
 /// Float caveat (see the NaN policy in [`topk_baselines::key`]): positive
 /// NaNs are the *largest* keys in the total order, so a min-query ranks
 /// them last — NaN distances can never displace a genuine neighbour.
+///
+/// ```
+/// use drtopk_core::{dr_topk_min, DrTopKConfig};
+/// use gpu_sim::{Device, DeviceSpec};
+///
+/// let device = Device::new(DeviceSpec::v100s());
+/// let distances: Vec<f32> = (0..50_000u32)
+///     .map(|x| (x.wrapping_mul(2654435761) % 100_000) as f32 * 0.125)
+///     .collect();
+/// let nearest = dr_topk_min(&device, &distances, 10, &DrTopKConfig::default());
+/// assert_eq!(nearest.values, topk_baselines::reference_topk_min(&distances, 10));
+/// assert!(nearest.values.windows(2).all(|w| w[0] <= w[1])); // closest first
+/// ```
 pub fn dr_topk_min<K: TopKKey>(
     device: &Device,
     data: &[K],

@@ -17,6 +17,8 @@
 
 use gpu_sim::DeviceSpec;
 
+use crate::approx::{expected_recall, required_budget, RecallTarget};
+
 /// The `const` term of Rule 4 that the paper reports as the tuned value for
 /// its V100S platform.
 pub const PAPER_RULE4_CONST: f64 = 3.0;
@@ -101,6 +103,131 @@ pub fn model_optimal_alpha(n: usize, k: usize, spec: &DeviceSpec) -> u32 {
             ca.partial_cmp(&cb).unwrap()
         })
         .unwrap_or(1)
+}
+
+/// The resolved bucketing of one recall-targeted approximate query: the
+/// subrange exponent, the per-bucket candidate budget, and what the recall
+/// model predicts for that pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxTuning {
+    /// Bucket exponent (bucket size `2^alpha`).
+    pub alpha: u32,
+    /// Per-bucket candidate budget `k'` (the construction β).
+    pub budget: usize,
+    /// Number of buckets `⌈n / 2^alpha⌉`.
+    pub num_buckets: usize,
+    /// Candidate-vector size the second stage selects over (upper bound
+    /// `num_buckets × budget`; short tail buckets may contribute less).
+    pub candidates: usize,
+    /// The recall the analytic model predicts for `(alpha, budget)` — at
+    /// least the target by construction.
+    pub predicted_recall: f64,
+}
+
+/// Pick the `(α, k')` pair for a recall-targeted approximate query: the
+/// bucketing that **minimises the candidate count** subject to
+/// [`expected_recall`] meeting `target`, over bucketings with at least
+/// `2k` buckets.
+///
+/// Unlike Rule 4, the optimum needs no device constants: every candidate
+/// costs one extra construction store plus ~5 candidate-top-k accesses
+/// regardless of the split (both terms scale with `num_buckets × budget`),
+/// so minimising the candidate count minimises every device's cost — see
+/// [`predicted_approx_cost`] for the full model. Ties prefer the larger α
+/// (fewer buckets ⇒ fewer warp reductions during construction).
+///
+/// The `num_buckets ≥ 2k` floor is a variance guard, following the
+/// bucketed approximate-top-k literature: [`expected_recall`] constrains
+/// only the *mean*, and with few buckets the loss is concentrated — a
+/// single hot bucket overflowing its budget drops several winners at
+/// once, so measured recall swings far around the prediction. With ≥ 2k
+/// buckets (mean occupancy ≤ ½) the loss is a sum of many small
+/// independent overflow events and concentrates tightly.
+///
+/// Returns `None` when no bucketing helps: the input is too small to
+/// partition into `2k` buckets, `k` is not smaller than the input, or
+/// every recall-meeting candidate set would be at least as large as the
+/// input itself (the caller should fall back to the exact path, whose
+/// recall trivially meets any target).
+pub fn optimal_approx_tuning(n: usize, k: usize, target: RecallTarget) -> Option<ApproxTuning> {
+    if k == 0 || n < 4 || k >= n {
+        return None;
+    }
+    // Size budgets for the inflated planning target (see
+    // [`RecallTarget::with_planning_headroom`]); the reported
+    // `predicted_recall` is the honest model value for the chosen budget.
+    let planning_target = target.with_planning_headroom();
+    let max_alpha = ((n as f64).log2().floor() as u32).saturating_sub(1).max(1);
+    let mut best: Option<ApproxTuning> = None;
+    for alpha in 1..=max_alpha {
+        let bucket_size = 1usize << alpha;
+        if bucket_size >= n {
+            break;
+        }
+        let num_buckets = n.div_ceil(bucket_size);
+        if num_buckets < 2 || num_buckets < 2 * k {
+            break;
+        }
+        let budget = required_budget(k, num_buckets, planning_target);
+        if budget > bucket_size {
+            // a bucket cannot hold the budget the model demands here
+            continue;
+        }
+        let candidates = num_buckets * budget;
+        // the second stage must still be a real reduction, and it must be
+        // able to produce k winners even with a short tail bucket
+        if candidates >= n || (num_buckets - 1) * budget + 1 < k {
+            continue;
+        }
+        let tuning = ApproxTuning {
+            alpha,
+            budget,
+            num_buckets,
+            candidates,
+            predicted_recall: expected_recall(k, num_buckets, budget),
+        };
+        // strict `<`: on a candidate-count tie the later (larger) α wins,
+        // matching the documented preference for fewer buckets
+        best = match best {
+            Some(b) if b.candidates < candidates => Some(b),
+            _ => Some(tuning),
+        };
+    }
+    best
+}
+
+/// Predicted per-phase cost of the approximate mode in abstract cycles,
+/// mirroring [`predicted_cost`]'s Equations 2–5 shape: the construction
+/// term generalises Equation 2 to β = `budget` delegates per bucket, the
+/// first-top-k and concatenation terms are zero (those phases are skipped),
+/// and the second top-k reads the `(|V|/2^α)·k'` candidate vector five
+/// times (4 digit passes + 1 identification pass) and writes k winners.
+pub fn predicted_approx_cost(
+    alpha: f64,
+    budget: usize,
+    k: usize,
+    n: usize,
+    spec: &DeviceSpec,
+) -> PredictedCost {
+    let c_global = spec.c_global_cycles;
+    let c_shfl = spec.c_shfl_cycles;
+    let v = n as f64;
+    let kf = k as f64;
+    let sub = 2f64.powf(alpha);
+    let candidates = (v / sub) * budget as f64;
+
+    // Equation 2 generalised: read |V|, write budget candidates per bucket,
+    // 31 shuffles per reduction × budget reductions per bucket.
+    let delegate =
+        (1.0 + budget as f64 / sub) * v * c_global + 31.0 * budget as f64 * (v / sub) * c_shfl;
+    let second_topk = 5.0 * candidates * c_global + 2.0 * kf * c_global;
+
+    PredictedCost {
+        delegate,
+        first_topk: 0.0,
+        concat: 0.0,
+        second_topk,
+    }
 }
 
 /// Numerically verify convexity of the model total around the evaluated α
@@ -288,6 +415,86 @@ mod tests {
         let expected = (6.0f64 * 400.0 + 31.0).log2() - (6.0f64 * 400.0).log2();
         assert!((c - expected).abs() < 1e-12);
         assert!((0.0..PAPER_RULE4_CONST).contains(&c));
+    }
+
+    #[test]
+    fn approx_tuning_meets_target_and_minimises_candidates() {
+        let n = 1 << 22;
+        let k = 256;
+        let target = RecallTarget::from_fraction(0.95);
+        let t = optimal_approx_tuning(n, k, target).expect("large input must tune");
+        assert!(t.predicted_recall >= 0.95);
+        assert_eq!(t.num_buckets, n.div_ceil(1 << t.alpha));
+        assert_eq!(t.candidates, t.num_buckets * t.budget);
+        assert!(t.candidates < n / 16, "the second stage must shrink a lot");
+        // every other feasible α needs at least as many candidates (the
+        // planner sizes for the inflated planning target, over bucketings
+        // with at least 2k buckets)
+        for alpha in 1..=21u32 {
+            let b = n.div_ceil(1usize << alpha);
+            if b < 2 || b < 2 * k {
+                continue;
+            }
+            let budget = required_budget(k, b, target.with_planning_headroom());
+            if budget > (1usize << alpha) || b * budget >= n || (b - 1) * budget + 1 < k {
+                continue;
+            }
+            assert!(
+                b * budget >= t.candidates,
+                "α={alpha} gives {} candidates, tuned α={} gives {}",
+                b * budget,
+                t.alpha,
+                t.candidates
+            );
+        }
+    }
+
+    #[test]
+    fn approx_tuning_tightens_with_the_target() {
+        let n = 1 << 20;
+        let k = 128;
+        let loose = optimal_approx_tuning(n, k, RecallTarget::from_fraction(0.9)).unwrap();
+        let tight = optimal_approx_tuning(n, k, RecallTarget::from_fraction(0.99)).unwrap();
+        assert!(
+            tight.candidates >= loose.candidates,
+            "tight {} vs loose {}",
+            tight.candidates,
+            loose.candidates
+        );
+        assert!(loose.predicted_recall >= 0.9);
+        assert!(tight.predicted_recall >= 0.99);
+    }
+
+    #[test]
+    fn approx_tuning_degenerates_to_none() {
+        let target = RecallTarget::from_fraction(0.95);
+        assert!(optimal_approx_tuning(2, 1, target).is_none());
+        assert!(optimal_approx_tuning(1 << 20, 0, target).is_none());
+        assert!(optimal_approx_tuning(100, 100, target).is_none());
+        assert!(optimal_approx_tuning(100, 1 << 20, target).is_none());
+    }
+
+    #[test]
+    fn approx_cost_model_is_cheaper_than_exact_at_serving_shapes() {
+        // The whole point: at n = 2^26, k = 256, the approximate second
+        // stage is far below the exact concat + second top-k.
+        let spec = DeviceSpec::v100s();
+        let n = 1usize << 26;
+        let k = 256;
+        let t = optimal_approx_tuning(n, k, RecallTarget::from_fraction(0.95)).unwrap();
+        let approx = predicted_approx_cost(t.alpha as f64, t.budget, k, n, &spec);
+        let exact_alpha = auto_alpha(n, k, 1, PAPER_RULE4_CONST);
+        let exact = predicted_cost(exact_alpha as f64, k, n, &spec);
+        assert!(approx.total() < exact.total());
+        // the post-construction phases shrink by far more than 25%
+        let approx_tail = approx.second_topk;
+        let exact_tail = exact.first_topk + exact.concat + exact.second_topk;
+        assert!(
+            approx_tail < 0.75 * exact_tail,
+            "approx tail {approx_tail} vs exact tail {exact_tail}"
+        );
+        assert_eq!(approx.first_topk, 0.0);
+        assert_eq!(approx.concat, 0.0);
     }
 
     #[test]

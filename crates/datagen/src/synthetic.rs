@@ -93,6 +93,45 @@ pub fn customized(n: usize, seed: u64) -> Vec<u32> {
     })
 }
 
+/// Default skew of the [`zipf`] generator (the classic web-traffic
+/// exponent).
+pub const ZIPF_EXPONENT: f64 = 1.1;
+
+/// Zipf-distributed `u32` values: value `v ∈ 1..=max_value` is drawn with
+/// probability `∝ 1/v^exponent` (continuous bounded-power-law inverse CDF,
+/// floored to integers), so small values dominate while the large values
+/// that a top-k query hunts are rare and scattered uniformly over the
+/// vector — the value-skewed corpus shape used by the approximate-mode
+/// recall evaluation (positions are i.i.d., so the bucket exchangeability
+/// assumption of the recall model holds by construction).
+///
+/// Sampling is O(1) per draw with no per-support table — `max_value` may
+/// be `u32::MAX` — unlike [`crate::workload::zipf_ks`], whose exact
+/// discrete table is the right tool for small supports (k sweeps).
+///
+/// Like every generator here the output is a pure function of
+/// `(n, max_value, exponent, seed)` and independent of thread count.
+pub fn zipf(n: usize, max_value: u32, exponent: f64, seed: u64) -> Vec<u32> {
+    assert!(max_value >= 1, "max_value must be at least 1");
+    assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+    // Inverse CDF of the density ∝ v^-s on [1, B+1):
+    //   s = 1:  v = (B+1)^u                  (log-uniform)
+    //   s ≠ 1:  v = [1 + u((B+1)^(1-s) − 1)]^(1/(1-s))
+    let top = max_value as f64 + 1.0;
+    parallel_fill(n, seed, move |rng, out| {
+        for slot in out.iter_mut() {
+            let u = rng.next_f64();
+            let v = if (exponent - 1.0).abs() < 1e-12 {
+                top.powf(u)
+            } else {
+                let one_minus_s = 1.0 - exponent;
+                (1.0 + u * (top.powf(one_minus_s) - 1.0)).powf(1.0 / one_minus_s)
+            };
+            *slot = (v as u32).clamp(1, max_value);
+        }
+    })
+}
+
 fn to_u32(x: f64) -> u32 {
     if x <= 0.0 {
         0
@@ -180,6 +219,22 @@ mod tests {
         assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
         let mean = a.iter().map(|&x| x as f64).sum::<f64>() / a.len() as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_skewed_and_in_range() {
+        let n = 1 << 16;
+        let v = zipf(n, 1 << 16, ZIPF_EXPONENT, 5);
+        assert_eq!(v, zipf(n, 1 << 16, ZIPF_EXPONENT, 5));
+        assert_ne!(v, zipf(n, 1 << 16, ZIPF_EXPONENT, 6));
+        assert!(v.iter().all(|&x| (1..=1 << 16).contains(&x)));
+        // mass concentrates on small values, the top-k tail is rare
+        let small = v.iter().filter(|&&x| x <= 32).count();
+        let large = v.iter().filter(|&&x| x > (1 << 15)).count();
+        assert!(small > 10 * large.max(1), "small {small} vs large {large}");
+        // but the tail exists: a top-k query has real work to do
+        assert!(large > 0);
+        assert!(zipf(0, 100, 1.0, 1).is_empty());
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct QuerySpec {
     pub k: usize,
     /// `true` for top-k-largest, `false` for top-k-smallest (k-NN-style).
     pub largest: bool,
+    /// `None` for an exact query; `Some(bp)` for a recall-targeted
+    /// approximate query whose target is `bp` basis points (`9500` = 0.95).
+    /// Kept as an integer so specs stay `Eq`/`Hash`-able; consumers map it
+    /// to their recall-target type.
+    pub approx_recall_bp: Option<u16>,
 }
 
 /// How queries are spread over corpora.
@@ -77,24 +82,41 @@ pub fn zipf_ks(num: usize, k_max: usize, exponent: f64, seed: u64) -> Vec<usize>
         .collect()
 }
 
+/// The recall-target palette (in basis points) that approximate workload
+/// queries draw from: the targets real retrieval stacks quote (99%, 95%,
+/// 90%), matching the targets the `approx_recall` bench sweeps.
+pub const APPROX_RECALL_PALETTE_BP: [u16; 3] = [9900, 9500, 9000];
+
 /// Generate a `num_queries`-query workload: Zipf-distributed `k` over
-/// `1..=k_max`, corpora assigned by `mix`, and a `smallest_fraction` share
-/// of top-k-smallest queries (0.0 = all largest, 1.0 = all smallest).
+/// `1..=k_max`, corpora assigned by `mix`, a `smallest_fraction` share of
+/// top-k-smallest queries (0.0 = all largest, 1.0 = all smallest), and an
+/// `approx_fraction` share of recall-targeted approximate queries whose
+/// targets are drawn from [`APPROX_RECALL_PALETTE_BP`] (0.0 = all exact).
+///
+/// The mode stream is seeded independently of the corpus/direction stream,
+/// so changing `approx_fraction` never reshuffles which corpus or
+/// direction a query gets.
 pub fn multi_query_workload(
     num_queries: usize,
     mix: CorpusMix,
     k_max: usize,
     zipf_exponent: f64,
     smallest_fraction: f64,
+    approx_fraction: f64,
     seed: u64,
 ) -> Vec<QuerySpec> {
     assert!(
         (0.0..=1.0).contains(&smallest_fraction),
         "smallest_fraction must be within [0, 1]"
     );
+    assert!(
+        (0.0..=1.0).contains(&approx_fraction),
+        "approx_fraction must be within [0, 1]"
+    );
     let ks = zipf_ks(num_queries, k_max, zipf_exponent, seed);
     let corpora = mix.num_corpora(num_queries);
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5A1F_0000_0000_0002);
+    let mut mode_rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5A1F_0000_0000_0003);
     ks.into_iter()
         .enumerate()
         .map(|(i, k)| {
@@ -104,7 +126,16 @@ pub fn multi_query_workload(
                 CorpusMix::Clustered { .. } => rng.next_bounded(corpora as u64) as usize,
             };
             let largest = rng.next_f64() >= smallest_fraction;
-            QuerySpec { corpus, k, largest }
+            let approx_recall_bp = (mode_rng.next_f64() < approx_fraction).then(|| {
+                APPROX_RECALL_PALETTE_BP
+                    [mode_rng.next_bounded(APPROX_RECALL_PALETTE_BP.len() as u64) as usize]
+            });
+            QuerySpec {
+                corpus,
+                k,
+                largest,
+                approx_recall_bp,
+            }
         })
         .collect()
 }
@@ -139,16 +170,23 @@ mod tests {
 
     #[test]
     fn corpus_mixes_assign_corpora_as_documented() {
-        let shared = multi_query_workload(64, CorpusMix::Shared, 256, 1.0, 0.0, 3);
+        let shared = multi_query_workload(64, CorpusMix::Shared, 256, 1.0, 0.0, 0.0, 3);
         assert!(shared.iter().all(|q| q.corpus == 0));
         assert!(shared.iter().all(|q| q.largest));
 
-        let disjoint = multi_query_workload(64, CorpusMix::Disjoint, 256, 1.0, 0.0, 3);
+        let disjoint = multi_query_workload(64, CorpusMix::Disjoint, 256, 1.0, 0.0, 0.0, 3);
         let ids: Vec<usize> = disjoint.iter().map(|q| q.corpus).collect();
         assert_eq!(ids, (0..64).collect::<Vec<_>>());
 
-        let clustered =
-            multi_query_workload(256, CorpusMix::Clustered { corpora: 4 }, 256, 1.0, 0.0, 3);
+        let clustered = multi_query_workload(
+            256,
+            CorpusMix::Clustered { corpora: 4 },
+            256,
+            1.0,
+            0.0,
+            0.0,
+            3,
+        );
         assert!(clustered.iter().all(|q| q.corpus < 4));
         // all four corpora get traffic
         for c in 0..4 {
@@ -158,13 +196,52 @@ mod tests {
 
     #[test]
     fn smallest_fraction_controls_direction_mix() {
-        let all_min = multi_query_workload(128, CorpusMix::Shared, 64, 1.0, 1.0, 9);
+        let all_min = multi_query_workload(128, CorpusMix::Shared, 64, 1.0, 1.0, 0.0, 9);
         assert!(all_min.iter().all(|q| !q.largest));
-        let mixed = multi_query_workload(512, CorpusMix::Shared, 64, 1.0, 0.5, 9);
+        let mixed = multi_query_workload(512, CorpusMix::Shared, 64, 1.0, 0.5, 0.0, 9);
         let smallest = mixed.iter().filter(|q| !q.largest).count();
         assert!(
             (150..=350).contains(&smallest),
             "≈ half the queries should be smallest-direction, got {smallest}/512"
+        );
+    }
+
+    #[test]
+    fn approx_fraction_controls_mode_mix_without_reshuffling() {
+        let exact_only = multi_query_workload(256, CorpusMix::Shared, 128, 1.0, 0.25, 0.0, 9);
+        assert!(exact_only.iter().all(|q| q.approx_recall_bp.is_none()));
+
+        let all_approx = multi_query_workload(256, CorpusMix::Shared, 128, 1.0, 0.25, 1.0, 9);
+        assert!(all_approx.iter().all(|q| q.approx_recall_bp.is_some()));
+        // every target comes from the palette, and all three appear
+        for bp in APPROX_RECALL_PALETTE_BP {
+            assert!(
+                all_approx.iter().any(|q| q.approx_recall_bp == Some(bp)),
+                "palette target {bp} unused"
+            );
+        }
+        assert!(all_approx
+            .iter()
+            .all(|q| APPROX_RECALL_PALETTE_BP.contains(&q.approx_recall_bp.unwrap())));
+
+        // the mode stream is independent: ks, corpora and directions match
+        for (e, a) in exact_only.iter().zip(&all_approx) {
+            assert_eq!((e.corpus, e.k, e.largest), (a.corpus, a.k, a.largest));
+        }
+
+        // a mixed fraction lands near its expectation, deterministically
+        let mixed = multi_query_workload(512, CorpusMix::Shared, 128, 1.0, 0.0, 0.5, 9);
+        assert_eq!(
+            mixed,
+            multi_query_workload(512, CorpusMix::Shared, 128, 1.0, 0.0, 0.5, 9)
+        );
+        let approx = mixed
+            .iter()
+            .filter(|q| q.approx_recall_bp.is_some())
+            .count();
+        assert!(
+            (150..=350).contains(&approx),
+            "≈ half the queries should be approximate, got {approx}/512"
         );
     }
 

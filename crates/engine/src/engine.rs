@@ -120,6 +120,26 @@ impl TopKEngine {
 
     /// Plan and execute one batch, returning per-query results (in query
     /// order) plus the engine-level report.
+    ///
+    /// ```
+    /// use drtopk_engine::{QueryBatch, TopKEngine};
+    /// use gpu_sim::{DeviceSpec, GpuCluster};
+    ///
+    /// let engine = TopKEngine::new(GpuCluster::homogeneous(2, DeviceSpec::v100s()));
+    /// let corpus: Vec<u32> = (0..80_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
+    ///
+    /// let mut batch = QueryBatch::new();
+    /// let c = batch.add_corpus(1, &corpus);
+    /// batch.push_topk(c, 8);                  // exact top-8
+    /// batch.push_topk_approx(c, 512, 0.95);   // recall-targeted top-512
+    ///
+    /// let out = engine.run_batch(&batch).unwrap();
+    /// assert_eq!(out.results[0].values, topk_baselines::reference_topk(&corpus, 8));
+    /// assert_eq!(out.results[0].predicted_recall, 1.0);
+    /// assert_eq!(out.results[1].values.len(), 512);
+    /// assert!(out.results[1].predicted_recall >= 0.95);
+    /// assert_eq!(out.report.approx_queries, 1);
+    /// ```
     pub fn run_batch<K: TopKKey>(
         &self,
         batch: &QueryBatch<'_, K>,
@@ -160,6 +180,11 @@ impl TopKEngine {
             num_units,
             fused_units: plan.fused_units(),
             sharded_queries: plan.sharded_queries(),
+            approx_queries: batch
+                .queries()
+                .iter()
+                .filter(|q| q.mode.strict_target().is_some())
+                .count(),
             batch_occupancy: if num_units == 0 {
                 0.0
             } else {

@@ -28,7 +28,8 @@ use crate::report::{CacheReport, ExecPath, QueryResult};
 /// What executing one fused unit produced.
 struct FusedOutcome<K: TopKKey> {
     unit: usize,
-    results: Vec<(usize, DrTopKResult<K>)>,
+    /// `(query index, modeled predicted recall, result)` per member.
+    results: Vec<(usize, f64, DrTopKResult<K>)>,
     delegate_ms: f64,
     delegate_stats: KernelStats,
     delegate_pass_run: bool,
@@ -69,7 +70,7 @@ fn run_fused_typed<K: TopKKey>(
     /* pass_run */ bool,
     /* from_cache */ bool,
 ) {
-    let beta = base.beta;
+    let beta = unit.beta;
     let (delegates, delegate_ms, delegate_stats, pass_run, from_cache): (
         Option<Arc<DelegateVector<K>>>,
         f64,
@@ -110,7 +111,21 @@ fn run_fused_typed<K: TopKKey>(
     let results = unit
         .planned
         .iter()
-        .map(|planned| dr_topk_planned(device, data, delegates.as_deref(), planned))
+        .map(|planned| {
+            // A member may only run against the shared pass when the pass
+            // covers its plan: equal β for exact members, a budget at
+            // least the member's own for approximate ones (more
+            // candidates only raise recall). The rare member that fell
+            // back to an incompatible exact plan builds its own pass.
+            let member_shared = delegates.as_deref().filter(|d| {
+                if planned.config.mode.strict_target().is_some() {
+                    d.beta >= planned.config.beta
+                } else {
+                    d.beta == planned.config.beta
+                }
+            });
+            dr_topk_planned(device, data, member_shared, planned)
+        })
         .collect();
     (results, delegate_ms, delegate_stats, pass_run, from_cache)
 }
@@ -143,7 +158,13 @@ fn run_fused_unit<K: TopKKey>(
     };
     FusedOutcome {
         unit: unit_idx,
-        results: unit.queries.iter().copied().zip(results).collect(),
+        results: unit
+            .queries
+            .iter()
+            .zip(&unit.planned)
+            .zip(results)
+            .map(|((&qi, planned), r)| (qi, planned.predicted_recall, r))
+            .collect(),
         delegate_ms,
         delegate_stats,
         delegate_pass_run: pass_run,
@@ -238,20 +259,29 @@ pub(crate) fn execute_plan<K: TopKKey>(
                 delegate_passes_saved += delegate_users;
                 delegate_cache.hits += 1;
             }
-            let unit_cost =
-                outcome.delegate_ms + outcome.results.iter().map(|(_, r)| r.time_ms).sum::<f64>();
+            let unit_cost = outcome.delegate_ms
+                + outcome
+                    .results
+                    .iter()
+                    .map(|(_, _, r)| r.time_ms)
+                    .sum::<f64>();
             unit_costs.push((outcome.unit, unit_cost));
-            for (query_idx, r) in outcome.results {
+            for (query_idx, predicted_recall, r) in outcome.results {
                 phase_ms.first_topk_ms += r.breakdown.first_topk_ms;
                 phase_ms.concat_ms += r.breakdown.concat_ms;
                 phase_ms.second_topk_ms += r.breakdown.second_topk_ms;
                 stats += r.stats;
+                // A member that had to rebuild its own pass (shared-pass
+                // mismatch after an exact fallback) charges its delegate
+                // time like the unit's own pass would have been.
+                phase_ms.delegate_ms += r.breakdown.delegate_ms;
                 results[query_idx] = Some(QueryResult {
                     values: r.values,
                     kth_value: r.kth_value,
                     time_ms: r.time_ms,
                     stats: r.stats,
                     breakdown: r.breakdown,
+                    predicted_recall,
                     path: ExecPath::Fused { unit: outcome.unit },
                 });
             }
@@ -280,9 +310,17 @@ pub(crate) fn execute_plan<K: TopKKey>(
     // pass between *different* queries (the distributed pipeline has no
     // planned-query seam — see the crate docs), but *identical* queries
     // are answered once and the result is reused; engine-level time and
-    // counters charge each distinct selection exactly once.
-    type ShardKey = (usize, Direction, usize, drtopk_core::InnerAlgorithm);
-    let mut answered: std::collections::HashMap<ShardKey, (Vec<K>, K, f64, KernelStats)> =
+    // counters charge each distinct selection exactly once. Approximate
+    // sharded queries run the approximate pipeline on every sub-vector, so
+    // the recall target is met per shard (and therefore overall).
+    type ShardKey = (
+        usize,
+        Direction,
+        usize,
+        drtopk_core::InnerAlgorithm,
+        drtopk_core::Mode,
+    );
+    let mut answered: std::collections::HashMap<ShardKey, (Vec<K>, K, f64, KernelStats, f64)> =
         std::collections::HashMap::new();
     let mut sharded_ms = 0.0f64;
     for unit in &plan.units {
@@ -290,11 +328,12 @@ pub(crate) fn execute_plan<K: TopKKey>(
             continue;
         };
         let q = batch.queries()[sharded.query];
-        let key: ShardKey = (q.corpus, q.direction, q.k, q.inner);
+        let key: ShardKey = (q.corpus, q.direction, q.k, q.inner, q.mode);
         if let std::collections::hash_map::Entry::Vacant(slot) = answered.entry(key) {
             let corpus = &batch.corpora()[q.corpus];
             let cfg = DrTopKConfig {
                 inner: q.inner,
+                mode: q.mode,
                 ..base.clone()
             };
             let d = match q.direction {
@@ -303,18 +342,26 @@ pub(crate) fn execute_plan<K: TopKKey>(
                     distributed_dr_topk(cluster, as_desc(corpus.data), q.k, &cfg).into_native()
                 }
             };
-            let computed = (d.values, d.kth_value, d.total_ms, d.stats);
+            let computed = (
+                d.values,
+                d.kth_value,
+                d.total_ms,
+                d.stats,
+                d.predicted_recall,
+            );
             sharded_ms += computed.2;
             stats += computed.3;
             slot.insert(computed);
         }
-        let (values, kth_value, total_ms, qstats) = answered.get(&key).expect("answered above");
+        let (values, kth_value, total_ms, qstats, predicted_recall) =
+            answered.get(&key).expect("answered above");
         results[sharded.query] = Some(QueryResult {
             values: values.clone(),
             kth_value: *kth_value,
             time_ms: *total_ms,
             stats: *qstats,
             breakdown: PhaseBreakdown::default(),
+            predicted_recall: *predicted_recall,
             path: ExecPath::Sharded {
                 devices: cluster.num_devices(),
             },

@@ -13,24 +13,33 @@
 //! ```text
 //!   QueryBatch ──▶ planner ──▶ ExecutionPlan ──▶ scheduler ──▶ results
 //!                    │  ▲                          │
-//!                    ▼  │ memoized α               │ one Device per worker
+//!                    ▼  │ memoized α (+ k')        │ one Device per worker
 //!              tuning-plan cache             delegate cache
-//!              (n, k, key type, device)      (corpus id, α, β, key type)
+//!              (n, k, mode, key type,        (corpus id, α, β, key type)
+//!               device)
 //! ```
 //!
-//! * **Planner** ([`plan`]) — groups same-corpus, same-direction queries
-//!   into *fused units* that share one delegate pass sized by the group's
-//!   `k_max`. This is the batched row-wise idea behind **RTop-K**: the
-//!   dominant cost of GPU top-k at serving scale is launching and scanning
-//!   per query, so amortize the full-vector scan across every query that
-//!   can legally share it (here: the `|V|`-read delegate construction,
-//!   after which each query runs only the cheap delegate-sized phases).
-//!   Corpora that exceed a device's memory are routed to *sharded units*
-//!   instead, which take the whole cluster through
-//!   [`drtopk_core::distributed_dr_topk`]. Sharded queries are deduplicated
-//!   (identical queries are answered once) but distinct sharded queries do
-//!   not yet share a delegate pass — the distributed pipeline has no
-//!   planned-query seam; that is the natural next extension.
+//! * **Planner** ([`plan`]) — groups same-corpus, same-direction,
+//!   same-mode queries into *fused units* that share one delegate pass
+//!   sized by the group's `k_max`. This is the batched row-wise idea
+//!   behind **RTop-K**: the dominant cost of GPU top-k at serving scale is
+//!   launching and scanning per query, so amortize the full-vector scan
+//!   across every query that can legally share it (here: the `|V|`-read
+//!   delegate construction, after which each query runs only the cheap
+//!   delegate-sized phases). Recall-targeted approximate queries
+//!   ([`drtopk_core::Mode::Approx`]) fuse separately from exact traffic
+//!   and per distinct target — one pass sized by the loosest target of a
+//!   mixed group would under-serve its tighter members — with the shared
+//!   candidate pass sized by the largest member budget (a larger budget
+//!   only raises recall). Corpora that exceed a device's memory are
+//!   routed to *sharded units* instead, which take the whole cluster
+//!   through [`drtopk_core::distributed_dr_topk`] (approximate sharded
+//!   queries run the approximate pipeline per sub-vector, so the target
+//!   is met shard-wise and therefore overall). Sharded queries are
+//!   deduplicated (identical queries are answered once) but distinct
+//!   sharded queries do not yet share a delegate pass — the distributed
+//!   pipeline has no planned-query seam; that is the natural next
+//!   extension.
 //! * **Scheduler** ([`TopKEngine::run_batch`]) — a worker pool with one
 //!   simulated [`gpu_sim::Device`] per worker; fused units are pulled from
 //!   a shared queue for dynamic load balance. This is the scheduling idea
@@ -74,6 +83,8 @@
 //! // the two largest-direction queries shared one delegate pass
 //! assert!(out.report.batch_occupancy > 1.0);
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod exec;

@@ -1,12 +1,14 @@
 //! The planner and the tuning-plan / delegate caches.
 //!
-//! Planning turns a heterogeneous [`QueryBatch`](crate::QueryBatch) into an
+//! Planning turns a heterogeneous [`QueryBatch`] into an
 //! [`ExecutionPlan`] of independent units:
 //!
-//! * **Fused units** — all same-corpus, same-direction queries share one
-//!   delegate pass (the RTop-K-style batched row: the pass is sized by the
-//!   group's `k_max`, then each query runs its own first top-k /
-//!   concatenation / second top-k against the shared delegate vector).
+//! * **Fused units** — all same-corpus, same-direction, same-mode queries
+//!   share one delegate pass (the RTop-K-style batched row: the pass is
+//!   sized by the group's `k_max`, then each exact query runs its own
+//!   first top-k / concatenation / second top-k against the shared
+//!   delegate vector, while each approximate query selects straight from
+//!   the shared candidate vector).
 //! * **Sharded units** — queries whose corpus exceeds a device's memory
 //!   capacity run over the *whole* cluster through the distributed
 //!   machinery instead (RadiK-style: many independent selections are
@@ -14,8 +16,9 @@
 //!
 //! Two memoizations make repeat traffic cheap:
 //!
-//! * the **tuning-plan cache** maps `(n, k, key type, device)` to the
-//!   resolved Rule-4 α, so a repeated query shape skips `auto_alpha`;
+//! * the **tuning-plan cache** maps `(n, k, mode, key type, device)` to
+//!   the resolved Rule-4 α (exact) or recall-model `(α, k')` (approximate),
+//!   so a repeated query shape skips the derivation;
 //! * the **delegate cache** maps `(corpus id, length, α, β, key type)` to
 //!   the built [`DelegateVector`], so an unchanged corpus skips delegate
 //!   reconstruction altogether.
@@ -24,20 +27,22 @@ use std::any::{Any, TypeId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use drtopk_core::{DelegateVector, DrTopKConfig, PlannedQuery};
+use drtopk_core::{optimal_approx_tuning, DelegateVector, DrTopKConfig, Mode, PlannedQuery};
 use topk_baselines::{Desc, TopKKey};
 
 use crate::query::{Direction, QueryBatch};
 use crate::report::CacheReport;
 
 /// Key of the tuning-plan cache: one resolved α per problem shape per
-/// device model.
+/// device model. The mode is part of the shape: an approximate query's
+/// bucketing comes from the recall model (per target), not from Rule 4.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct PlanKey {
     n: usize,
     k: usize,
     key_type: TypeId,
     device: String,
+    mode: Mode,
 }
 
 /// A memoized tuning decision.
@@ -45,7 +50,8 @@ pub(crate) struct PlanKey {
 pub struct TuningPlan {
     /// Resolved subrange exponent.
     pub alpha: u32,
-    /// Delegates per subrange the plan assumes.
+    /// Delegates per subrange the plan assumes. For an approximate plan
+    /// this is the recall-model candidate budget `k'`.
     pub beta: usize,
 }
 
@@ -85,12 +91,14 @@ impl PlanCache {
         }
     }
 
-    /// Resolve the α for `(n, k)` under `base`, through the memo: a hit
-    /// skips `auto_alpha` entirely.
+    /// Resolve the α (and, for approximate shapes, the candidate budget)
+    /// for `(n, k, mode)` under `base`, through the memo: a hit skips the
+    /// `auto_alpha` / recall-model derivation entirely.
     pub(crate) fn resolve_tuning(
         &mut self,
         n: usize,
         k: usize,
+        mode: Mode,
         key_type: TypeId,
         device: &str,
         base: &DrTopKConfig,
@@ -100,15 +108,30 @@ impl PlanCache {
             k,
             key_type,
             device: device.to_string(),
+            mode,
         };
         if let Some(&plan) = self.plans.get(&key) {
             self.plan_hits += 1;
             return (plan, true);
         }
         self.plan_misses += 1;
-        let plan = TuningPlan {
-            alpha: base.resolve_alpha(n.max(2), k.max(1)),
-            beta: base.beta,
+        let plan = match mode.strict_target() {
+            Some(target) => match optimal_approx_tuning(n, k.max(1), target) {
+                Some(t) => TuningPlan {
+                    alpha: t.alpha,
+                    beta: t.budget,
+                },
+                // infeasible shape: members will fall back to exact plans,
+                // so hold the group on the exact Rule-4 bucketing
+                None => TuningPlan {
+                    alpha: base.resolve_alpha(n.max(2), k.max(1)),
+                    beta: base.beta,
+                },
+            },
+            None => TuningPlan {
+                alpha: base.resolve_alpha(n.max(2), k.max(1)),
+                beta: base.beta,
+            },
         };
         self.plans.insert(key, plan);
         (plan, false)
@@ -215,14 +238,18 @@ pub(crate) fn effective_type_id<K: TopKKey>(direction: Direction) -> TypeId {
     }
 }
 
-/// A group of same-corpus, same-direction queries fused behind one
-/// delegate pass.
+/// A group of same-corpus, same-direction, same-mode queries fused behind
+/// one delegate (or candidate) pass.
 #[derive(Debug, Clone)]
 pub struct FusedUnit {
     /// Corpus index within the batch.
     pub corpus: usize,
     /// Direction shared by every query of the unit.
     pub direction: Direction,
+    /// Mode shared by every query of the unit. Approximate groups fuse per
+    /// distinct recall target — sizing one shared pass by the loosest
+    /// target of a mixed group would under-serve the tighter members.
+    pub mode: Mode,
     /// Indices (into the batch's query list) of the member queries.
     pub queries: Vec<usize>,
     /// The largest clamped k in the group — the delegate pass is sized
@@ -230,6 +257,10 @@ pub struct FusedUnit {
     pub k_max: usize,
     /// The group's resolved subrange exponent.
     pub alpha: u32,
+    /// Delegates per subrange of the shared pass: β for an exact group,
+    /// the largest member candidate budget `k'` for an approximate group
+    /// (a bigger budget only raises every member's recall).
+    pub beta: usize,
     /// Whether the α came from the tuning-plan cache.
     pub tuning_cached: bool,
     /// Per-member execution plans, parallel to `queries`.
@@ -299,9 +330,10 @@ pub(crate) fn plan_batch<K: TopKKey>(
     let hits_before = cache.plan_hits;
     let misses_before = cache.plan_misses;
 
-    // Group fusible queries by (corpus, direction); BTreeMap keeps the
-    // plan deterministic.
-    let mut groups: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
+    // Group fusible queries by (corpus, direction, mode); BTreeMap keeps
+    // the plan deterministic. Exact and approximate traffic never share a
+    // pass, and approximate traffic fuses per distinct recall target.
+    let mut groups: BTreeMap<(usize, bool, Mode), Vec<usize>> = BTreeMap::new();
     let mut sharded: Vec<ShardedUnit> = Vec::new();
     for (idx, q) in batch.queries.iter().enumerate() {
         let n = batch.corpora[q.corpus].data.len();
@@ -309,14 +341,14 @@ pub(crate) fn plan_batch<K: TopKKey>(
             sharded.push(ShardedUnit { query: idx });
         } else {
             groups
-                .entry((q.corpus, q.direction == Direction::Smallest))
+                .entry((q.corpus, q.direction == Direction::Smallest, q.mode))
                 .or_default()
                 .push(idx);
         }
     }
 
     let mut units: Vec<PlanUnit> = Vec::with_capacity(groups.len() + sharded.len());
-    for ((corpus, smallest), queries) in groups {
+    for ((corpus, smallest, mode), queries) in groups {
         let direction = if smallest {
             Direction::Smallest
         } else {
@@ -331,6 +363,7 @@ pub(crate) fn plan_batch<K: TopKKey>(
         let (tuning, tuning_cached) = cache.resolve_tuning(
             n,
             k_max,
+            mode,
             effective_type_id::<K>(direction),
             device_label,
             base,
@@ -342,18 +375,30 @@ pub(crate) fn plan_batch<K: TopKKey>(
                 let member_config = DrTopKConfig {
                     alpha: Some(tuning.alpha),
                     inner: q.inner,
+                    mode: q.mode,
                     ..base.clone()
                 };
                 PlannedQuery::plan(n, q.k, &member_config)
             })
             .collect();
         let needs_delegates = planned.iter().any(|p| p.use_delegates);
+        // The shared pass must cover every member: for an approximate
+        // group that is the largest member budget (each member's own
+        // budget is derived at the group α; a larger shared budget only
+        // raises its recall).
+        let beta = planned
+            .iter()
+            .filter(|p| p.use_delegates && p.config.mode.strict_target().is_some())
+            .map(|p| p.config.beta)
+            .fold(tuning.beta, usize::max);
         units.push(PlanUnit::Fused(FusedUnit {
             corpus,
             direction,
+            mode,
             queries,
             k_max,
             alpha: tuning.alpha,
+            beta,
             tuning_cached,
             planned,
             needs_delegates,
@@ -452,6 +497,7 @@ mod tests {
             k: 0,
             direction: Direction::Largest,
             inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Exact,
         });
         batch.push_topk(c, 1000); // clamps to |V| = 100 → fallback
         let mut cache = PlanCache::default();

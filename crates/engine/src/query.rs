@@ -7,7 +7,7 @@
 //! `k`, and different second-phase algorithms — the planner sorts out what
 //! can be fused and what cannot.
 
-use drtopk_core::InnerAlgorithm;
+use drtopk_core::{InnerAlgorithm, Mode, RecallTarget};
 use topk_baselines::TopKKey;
 
 /// Which end of the key order a query selects.
@@ -32,6 +32,12 @@ pub struct Query {
     pub direction: Direction,
     /// The algorithm that runs the second top-k for this query.
     pub inner: InnerAlgorithm,
+    /// Exact selection or a recall target. Approximate queries are fused
+    /// separately from exact ones (and per distinct target): a shared
+    /// candidate pass sized for the *loosest* recall of a mixed group would
+    /// silently under-serve the tighter members, so the planner never
+    /// builds one.
+    pub mode: Mode,
 }
 
 /// A corpus registered with a batch: a borrowed key slice plus a
@@ -101,6 +107,7 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
             k,
             direction: Direction::Largest,
             inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Exact,
         })
     }
 
@@ -112,6 +119,35 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
             k,
             direction: Direction::Smallest,
             inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Exact,
+        })
+    }
+
+    /// Convenience: append a recall-targeted approximate top-k-largest
+    /// query (`target_recall` is a fraction in `(0, 1]`; 1.0 is exact).
+    pub fn push_topk_approx(&mut self, corpus: usize, k: usize, target_recall: f64) -> usize {
+        self.push(Query {
+            corpus,
+            k,
+            direction: Direction::Largest,
+            inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Approx {
+                target_recall: RecallTarget::from_fraction(target_recall),
+            },
+        })
+    }
+
+    /// Convenience: append a recall-targeted approximate top-k-smallest
+    /// query.
+    pub fn push_topk_min_approx(&mut self, corpus: usize, k: usize, target_recall: f64) -> usize {
+        self.push(Query {
+            corpus,
+            k,
+            direction: Direction::Smallest,
+            inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Approx {
+                target_recall: RecallTarget::from_fraction(target_recall),
+            },
         })
     }
 

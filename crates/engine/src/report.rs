@@ -57,6 +57,10 @@ pub struct QueryResult<K: TopKKey> {
     /// Per-phase modeled times (zeroed for sharded queries, whose
     /// breakdown lives in the distributed result shape).
     pub breakdown: PhaseBreakdown,
+    /// What the recall model predicts this result contains: 1.0 for exact
+    /// queries (and approximate queries that fell back to an exact plan),
+    /// the modeled expected recall for bucket-based approximate execution.
+    pub predicted_recall: f64,
     /// How the query was executed.
     pub path: ExecPath,
 }
@@ -72,6 +76,9 @@ pub struct EngineReport {
     pub fused_units: usize,
     /// Queries routed through the sharded (whole-cluster) path.
     pub sharded_queries: usize,
+    /// Queries that requested a recall target below 1.0 (they fuse into
+    /// their own units, separately from exact traffic).
+    pub approx_queries: usize,
     /// Average queries per unit — how much fusion the batch admitted
     /// (a 32-query shared-corpus batch scores 32.0; fully disjoint
     /// traffic scores 1.0).

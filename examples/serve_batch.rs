@@ -21,7 +21,7 @@ fn main() {
     let n = 1usize << n_exp;
 
     let corpus = topk_datagen::uniform(n, 0x5eed);
-    let specs = multi_query_workload(num_queries, CorpusMix::Shared, 1 << 10, 1.0, 0.25, 7);
+    let specs = multi_query_workload(num_queries, CorpusMix::Shared, 1 << 10, 1.0, 0.25, 0.0, 7);
     let engine = TopKEngine::new(GpuCluster::homogeneous(4, DeviceSpec::v100s()));
 
     println!("|V| = 2^{n_exp}, {num_queries} queries (Zipf k, 25% smallest-direction), 4 devices");
@@ -38,6 +38,7 @@ fn main() {
                     Direction::Smallest
                 },
                 inner: InnerAlgorithm::FlagRadix,
+                mode: drtopk::core::Mode::Exact,
             });
         }
         let out = engine.run_batch(&batch).expect("batch must execute");

@@ -7,7 +7,8 @@
 //!   warps, memory-transaction accounting and the timing model.
 //! * [`core`] — the paper's contribution ([`drtopk_core`]): delegate vector
 //!   construction, β delegates, delegate-filtered concatenation, α tuning,
-//!   the flag-based in-place radix top-k and distributed Dr. Top-k.
+//!   the flag-based in-place radix top-k, distributed Dr. Top-k, and the
+//!   recall-targeted approximate mode that goes beyond the paper.
 //! * [`baselines`] — the state-of-the-art algorithms Dr. Top-k assists and
 //!   is compared with ([`topk_baselines`]): radix, bucket, bitonic,
 //!   sort-and-choose and a CPU priority-queue reference.
@@ -53,7 +54,8 @@ pub use topk_datagen as datagen;
 pub mod prelude {
     pub use bmw_baseline::{BmwIndex, BmwStats};
     pub use drtopk_core::{
-        dr_topk, dr_topk_min, dr_topk_with_stats, DrTopKConfig, DrTopKResult, InnerAlgorithm,
+        dr_topk, dr_topk_approx, dr_topk_min, dr_topk_with_stats, measured_recall, DrTopKConfig,
+        DrTopKResult, InnerAlgorithm, Mode, RecallTarget,
     };
     pub use drtopk_engine::{QueryBatch, TopKEngine};
     pub use gpu_sim::{Device, DeviceSpec, KernelStats};

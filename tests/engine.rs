@@ -31,6 +31,7 @@ fn assert_batch_matches_independent<K: TopKKey>(data: &[K], specs: &[(usize, boo
                 Direction::Smallest
             },
             inner: drtopk::core::InnerAlgorithm::FlagRadix,
+            mode: drtopk::core::Mode::Exact,
         });
     }
     let out = eng.run_batch(&batch).expect("batch must execute");
@@ -200,7 +201,15 @@ fn generated_workloads_run_end_to_end_on_a_cluster() {
     let corpora: Vec<Vec<u32>> = (0..4u64)
         .map(|i| topk_datagen::uniform(1 << 13, 50 + i))
         .collect();
-    let specs = multi_query_workload(48, CorpusMix::Clustered { corpora: 4 }, 512, 1.0, 0.25, 11);
+    let specs = multi_query_workload(
+        48,
+        CorpusMix::Clustered { corpora: 4 },
+        512,
+        1.0,
+        0.25,
+        0.0,
+        11,
+    );
 
     let eng = engine(4);
     let mut batch = QueryBatch::new();
@@ -219,6 +228,7 @@ fn generated_workloads_run_end_to_end_on_a_cluster() {
                 Direction::Smallest
             },
             inner: drtopk::core::InnerAlgorithm::FlagRadix,
+            mode: drtopk::core::Mode::Exact,
         });
     }
     let out = eng.run_batch(&batch).unwrap();
@@ -235,6 +245,65 @@ fn generated_workloads_run_end_to_end_on_a_cluster() {
     assert!(out.report.num_units <= 8);
     assert!(out.report.batch_occupancy >= 6.0);
     assert!(out.report.throughput_qps > 0.0);
+}
+
+#[test]
+fn mixed_exact_and_approx_traffic_fuses_separately_and_meets_targets() {
+    use drtopk::core::measured_recall;
+    use topk_baselines::{reference_topk, reference_topk_min};
+    let eng = engine(2);
+    let data = topk_datagen::uniform(1 << 16, 77);
+    let mut batch = QueryBatch::new();
+    let c = batch.add_corpus(9, &data);
+    batch.push_topk(c, 64); // exact
+    batch.push_topk(c, 400); // exact — fuses with the line above
+    batch.push_topk_approx(c, 64, 0.95); // approx @0.95
+    batch.push_topk_approx(c, 400, 0.95); // approx @0.95 — fuses with ^
+    batch.push_topk_approx(c, 128, 0.90); // approx @0.90 — its own unit
+    batch.push_topk_min_approx(c, 32, 0.95); // smallest-direction approx
+
+    let out = eng.run_batch(&batch).unwrap();
+    assert_eq!(out.report.num_queries, 6);
+    assert_eq!(out.report.approx_queries, 4);
+    // exact unit + approx@.95 unit + approx@.90 unit + smallest approx unit
+    assert_eq!(out.report.fused_units, 4);
+
+    // exact members stay exact
+    assert_eq!(out.results[0].values, reference_topk(&data, 64));
+    assert_eq!(out.results[1].values, reference_topk(&data, 400));
+    assert_eq!(out.results[0].predicted_recall, 1.0);
+
+    // approximate members meet their targets (and report honest predictions)
+    for (idx, k, target) in [(2usize, 64usize, 0.95f64), (3, 400, 0.95), (4, 128, 0.90)] {
+        let r = &out.results[idx];
+        assert_eq!(r.values.len(), k, "query {idx}");
+        assert!(r.predicted_recall >= target, "query {idx}");
+        let recall = measured_recall(&r.values, &reference_topk(&data, k));
+        assert!(recall >= target, "query {idx}: measured {recall}");
+    }
+    let min_r = &out.results[5];
+    assert_eq!(min_r.values.len(), 32);
+    assert!(min_r.predicted_recall >= 0.95);
+    let recall = measured_recall(&min_r.values, &reference_topk_min(&data, 32));
+    assert!(recall >= 0.95, "smallest-direction approx recall {recall}");
+
+    // same-target approx queries shared one candidate pass
+    assert!(out.report.delegate_passes_saved >= 1);
+
+    // warm repeat traffic serves the approximate candidates from the
+    // delegate cache — the corpus is never re-read at full length
+    let warm = eng.run_batch(&batch).unwrap();
+    assert_eq!(warm.report.delegate_passes_run, 0);
+    assert!(warm.report.delegate_cache.hits >= 4);
+    assert!(
+        warm.report.stats.global_loaded_bytes < out.report.stats.global_loaded_bytes / 4,
+        "warm {} vs cold {}",
+        warm.report.stats.global_loaded_bytes,
+        out.report.stats.global_loaded_bytes
+    );
+    for (w, c) in warm.results.iter().zip(&out.results) {
+        assert_eq!(w.values, c.values, "warm results must be identical");
+    }
 }
 
 #[test]
