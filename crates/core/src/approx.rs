@@ -47,11 +47,12 @@
 //! model's prediction. Shuffle or hash-partition such inputs first, or use
 //! the exact mode.
 
-use gpu_sim::{Device, KernelStats};
+use gpu_sim::Device;
 
 use crate::delegate::{build_delegate_vector, DelegateVector};
-use crate::pipeline::{DrTopKResult, PhaseBreakdown, PlannedQuery, WorkloadStats};
-use topk_baselines::TopKKey;
+use crate::pipeline::{DrTopKResult, PlannedQuery, WorkloadStats};
+use crate::stages::{Resource, StageGraph, StageKind, StageOutcome};
+use topk_baselines::{TopKKey, TopKResult};
 
 /// A recall target in `(0, 1]`, stored in basis points (1/100th of a
 /// percent) so targets stay `Eq`/`Ord`/`Hash` — the engine fuses approximate
@@ -287,47 +288,79 @@ pub(crate) fn dr_topk_approx_planned<K: TopKKey>(
     let alpha = planned.alpha;
     let budget = config.beta;
 
-    // Stage 1: per-bucket top-budget candidates, via the ordinary delegate
-    // construction kernels (or a shared, already-built vector).
-    let built;
-    let (candidates, delegate_ms, delegate_stats) = match shared_delegates {
-        Some(shared) => {
-            assert_eq!(
-                shared.subrange_size,
-                1usize << alpha,
-                "shared candidate vector was built with a different alpha"
-            );
-            assert!(
-                shared.beta >= budget,
-                "shared candidate vector budget {} is below the plan's {}",
-                shared.beta,
-                budget
-            );
-            assert_eq!(
-                shared.num_subranges,
-                data.len().div_ceil(shared.subrange_size),
-                "shared candidate vector does not cover this input"
-            );
-            (shared, 0.0, KernelStats::default())
-        }
-        None => {
-            built = build_delegate_vector(device, data, alpha, budget, config.construction);
-            let (ms, stats) = (built.time_ms, built.stats);
-            (&built, ms, stats)
-        }
-    };
+    if let Some(shared) = shared_delegates {
+        assert_eq!(
+            shared.subrange_size,
+            1usize << alpha,
+            "shared candidate vector was built with a different alpha"
+        );
+        assert!(
+            shared.beta >= budget,
+            "shared candidate vector budget {} is below the plan's {}",
+            shared.beta,
+            budget
+        );
+        assert_eq!(
+            shared.num_subranges,
+            data.len().div_ceil(shared.subrange_size),
+            "shared candidate vector does not cover this input"
+        );
+    }
 
-    // Stage 2: the inner algorithm selects the top-k of the candidates.
-    // No first top-k, no concatenation, no refill — the input is never
-    // touched again.
-    let inner = config.inner.run(device, &candidates.values, k);
+    // The approximate pipeline as a two-stage graph: the bucket-top-k′
+    // candidate pass (absent when a shared, already-built vector is
+    // supplied — its cost belongs to the provider), then the inner top-k
+    // straight over the candidates. No first top-k, no concatenation, no
+    // refill — the input is never touched again after the first stage.
+    struct ApproxCtx<K: TopKKey> {
+        built: Option<DelegateVector<K>>,
+        inner: Option<TopKResult<K>>,
+    }
+    let mut graph: StageGraph<'_, ApproxCtx<K>> = StageGraph::new();
+    let mut deps = Vec::new();
+    if shared_delegates.is_none() {
+        let built_id = graph.add(
+            StageKind::BucketTopKPrime,
+            Resource::Compute(0),
+            &[],
+            move |ctx| {
+                let built = build_delegate_vector(device, data, alpha, budget, config.construction);
+                let outcome = StageOutcome {
+                    stats: built.stats,
+                    time_ms: built.time_ms,
+                };
+                ctx.built = Some(built);
+                outcome
+            },
+        );
+        deps.push(built_id);
+    }
+    graph.add(
+        StageKind::SecondTopK,
+        Resource::Compute(0),
+        &deps,
+        move |ctx| {
+            let candidates = shared_delegates
+                .or(ctx.built.as_ref())
+                .expect("candidate vector available once stage 1 ran");
+            let inner = config.inner.run(device, &candidates.values, k);
+            let outcome = StageOutcome {
+                stats: inner.stats,
+                time_ms: inner.time_ms,
+            };
+            ctx.inner = Some(inner);
+            outcome
+        },
+    );
 
-    let breakdown = PhaseBreakdown {
-        delegate_ms,
-        first_topk_ms: 0.0,
-        concat_ms: 0.0,
-        second_topk_ms: inner.time_ms,
+    let mut ctx = ApproxCtx {
+        built: None,
+        inner: None,
     };
+    let report = graph.execute(&mut ctx);
+    let candidates = shared_delegates
+        .or(ctx.built.as_ref())
+        .expect("candidate vector available");
     let workload = WorkloadStats {
         input_len: data.len(),
         delegate_vector_len: candidates.len(),
@@ -337,17 +370,17 @@ pub(crate) fn dr_topk_approx_planned<K: TopKKey>(
         second_topk_skipped: false,
         fell_back: false,
     };
-    let mut stats = delegate_stats;
-    stats += inner.stats;
+    let inner = ctx.inner.take().expect("the candidate top-k ran");
 
     DrTopKResult {
         values: inner.values,
         kth_value: inner.kth_value,
         alpha,
-        time_ms: breakdown.total_ms(),
-        breakdown,
+        time_ms: report.makespan_ms,
+        breakdown: report.phase_breakdown(),
         workload,
-        stats,
+        stats: report.stats(),
+        stages: report,
     }
 }
 

@@ -1,13 +1,33 @@
-//! Distributed (multi-GPU) Dr. Top-k — Section 5.4, Figure 16, Table 2.
+//! Distributed (multi-GPU, out-of-core) Dr. Top-k — Section 5.4, Figure 16,
+//! Table 2, extended with stream-overlapped chunked ingestion.
 //!
 //! The input vector is partitioned into equal sub-vectors no longer than a
-//! device's memory capacity. Each device runs the single-GPU Dr. Top-k on
-//! every sub-vector assigned to it (streaming additional sub-vectors from the
-//! host when it owns more than one — the *reload overhead* column of
-//! Table 2), producing one local top-k per device. The secondary devices then
-//! send their k winners to the primary device with asynchronous messages,
-//! and the primary computes the final top-k over the `#devices × k`
-//! candidates.
+//! device's memory capacity and dealt round-robin over the devices. Each
+//! device runs the single-GPU Dr. Top-k on every sub-vector assigned to it,
+//! streaming additional sub-vectors from the host when it owns more than one
+//! (the *reload overhead* column of Table 2) — which also makes this the
+//! runner for **out-of-core** corpora: a host-resident vector larger than the
+//! aggregate device memory simply produces more chunks per device. The
+//! secondary devices then send their k winners to the primary device with
+//! asynchronous messages, and the primary computes the final top-k over the
+//! `#devices × k` candidates.
+//!
+//! Host-side, each device's chunk pipelines simulate in parallel on the
+//! cluster's worker threads ([`GpuCluster::run_on_all`], as they always
+//! have); the recorded per-chunk durations then feed the stage graph, which
+//! owns all modeled-time scheduling.
+//!
+//! The whole run is expressed as a [`StageGraph`]: per-chunk
+//! [`ChunkLoad`](crate::stages::StageKind::ChunkLoad) transfer stages on each
+//! device's host→device lane and [`LocalTopK`](crate::stages::StageKind::LocalTopK)
+//! compute stages on its compute queue, followed by per-device merges, the
+//! gather and the final selection. Under the default
+//! [`ReloadSchedule::DoubleBuffered`] schedule chunk *i + 1* transfers while
+//! chunk *i* computes (two staging buffers: chunk *i + 2*'s load additionally
+//! waits for chunk *i*'s compute to free its buffer), hiding reload time
+//! behind compute; [`ReloadSchedule::Serial`] reproduces the historical
+//! transfer-then-compute interleaving for comparison. The two schedules are
+//! bit-identical in their results — only the modeled timeline differs.
 //!
 //! Everything here is generic over [`TopKKey`], like the rest of the
 //! pipeline; the `u32` monomorphization is the historical behaviour.
@@ -15,8 +35,44 @@
 use gpu_sim::{GpuCluster, KernelStats, TransferDirection};
 use topk_baselines::{reference_topk, Desc, TopKKey};
 
-use crate::pipeline::{dr_topk_with_stats, DrTopKConfig};
+use crate::pipeline::{dr_topk_with_stats, DrTopKConfig, PhaseBreakdown};
 use crate::radix_flags::flag_radix_topk;
+use crate::stages::{
+    Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport, TransferLane,
+};
+
+/// How out-of-core sub-vector reloads are scheduled against compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReloadSchedule {
+    /// The historical schedule: chunk *i + 1*'s host→device transfer starts
+    /// only after chunk *i* has finished computing — no overlap; the
+    /// device's modeled time is the plain sum of its compute and reload
+    /// times.
+    Serial,
+    /// Double-buffered ingestion (default): chunk *i + 1* transfers while
+    /// chunk *i* computes. Two staging buffers per device: chunk *i + 2*'s
+    /// transfer additionally waits for chunk *i*'s compute to release its
+    /// buffer. Transfers on the same device's lane serialize among
+    /// themselves.
+    #[default]
+    DoubleBuffered,
+}
+
+impl ReloadSchedule {
+    /// Display name used by benches and examples.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReloadSchedule::Serial => "serial",
+            ReloadSchedule::DoubleBuffered => "double-buffered",
+        }
+    }
+}
+
+impl std::fmt::Display for ReloadSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Result of a distributed Dr. Top-k run, generic over the key type (the
 /// `u32` default keeps the historical monomorphization spelled
@@ -50,6 +106,19 @@ pub struct DistributedResult<K: TopKKey = u32> {
     /// exactly one sub-vector and survives with that sub-vector's
     /// probability, so the minimum bounds the whole run from below).
     pub predicted_recall: f64,
+    /// Per-phase breakdown across every chunk's local pipeline, with the
+    /// distributed machinery's own selection stages (per-device merges, the
+    /// final top-k) under `second_topk_ms` and all data movement (chunk
+    /// reloads, the gather) under `transfer_ms` — transfer time is **not**
+    /// folded into compute.
+    pub breakdown: PhaseBreakdown,
+    /// The executed stage schedule: every chunk load, chunk top-k, merge,
+    /// gather and final-selection stage with its modeled interval. The
+    /// overlap efficiency of the ingestion is
+    /// [`StageReport::overlap_efficiency`].
+    pub stages: StageReport,
+    /// The reload schedule the run was executed under.
+    pub schedule: ReloadSchedule,
 }
 
 impl<K: TopKKey> DistributedResult<Desc<K>> {
@@ -67,6 +136,9 @@ impl<K: TopKKey> DistributedResult<Desc<K>> {
             reload_overhead_ms: self.reload_overhead_ms,
             stats: self.stats,
             predicted_recall: self.predicted_recall,
+            breakdown: self.breakdown,
+            stages: self.stages,
+            schedule: self.schedule,
         }
     }
 }
@@ -93,12 +165,28 @@ pub fn partition_subvectors(n: usize, capacity: usize) -> Vec<std::ops::Range<us
         .collect()
 }
 
-/// Run Dr. Top-k on `data` distributed over the devices of `cluster`.
+/// Run Dr. Top-k on `data` distributed over the devices of `cluster`,
+/// under the default [`ReloadSchedule::DoubleBuffered`] chunked ingestion.
 pub fn distributed_dr_topk<K: TopKKey>(
     cluster: &GpuCluster,
     data: &[K],
     k: usize,
     config: &DrTopKConfig,
+) -> DistributedResult<K> {
+    distributed_dr_topk_scheduled(cluster, data, k, config, ReloadSchedule::default())
+}
+
+/// Run distributed Dr. Top-k under an explicit [`ReloadSchedule`].
+///
+/// Both schedules execute the identical stage graph and return bit-identical
+/// values; only the modeled timeline differs (the bench target
+/// `streamed_oversize` and the pinned out-of-core tests compare the two).
+pub fn distributed_dr_topk_scheduled<K: TopKKey>(
+    cluster: &GpuCluster,
+    data: &[K],
+    k: usize,
+    config: &DrTopKConfig,
+    schedule: ReloadSchedule,
 ) -> DistributedResult<K> {
     let k = k.min(data.len());
     let num_devices = cluster.num_devices();
@@ -114,6 +202,9 @@ pub fn distributed_dr_topk<K: TopKKey>(
             reload_overhead_ms: 0.0,
             stats: KernelStats::default(),
             predicted_recall: 1.0,
+            breakdown: PhaseBreakdown::default(),
+            stages: StageReport::default(),
+            schedule,
         };
     }
 
@@ -140,66 +231,81 @@ pub fn distributed_dr_topk<K: TopKKey>(
         .map(|r| crate::pipeline::PlannedQuery::plan(r.len(), k, config).predicted_recall)
         .fold(1.0f64, f64::min);
 
-    // Each device processes its sub-vectors and reports (local top-k values,
-    // compute ms, reload ms, stats).
-    let per_device = cluster.run_on_all(|device_idx, device| {
-        let mut local_candidates: Vec<K> = Vec::new();
-        let mut compute_ms = 0.0;
-        let mut reload_ms = 0.0;
-        let mut stats = KernelStats::default();
-        let mut owned = 0usize;
+    // Host-side simulation first, one worker thread per device — exactly
+    // the parallelism of the pre-refactor runner: each device simulates its
+    // chunk pipelines (recording reload transfers in its own log) and its
+    // local merge. The stage graph below is then built over the *recorded*
+    // durations; it owns all modeled-time scheduling but re-simulates
+    // nothing, so host wall-clock still scales with the device count.
+    struct ChunkRun {
+        /// Index of the sub-vector within the whole corpus.
+        chunk: usize,
+        /// Modeled reload time; `None` for the device's resident chunk.
+        reload_ms: Option<f64>,
+        time_ms: f64,
+        stats: KernelStats,
+        breakdown: PhaseBreakdown,
+    }
+    struct DeviceRun<K: TopKKey> {
+        chunks: Vec<ChunkRun>,
+        /// `(time, stats)` of the on-device merge of several chunks'
+        /// winners; `None` when the device owns at most one chunk.
+        merge: Option<(f64, KernelStats)>,
+        /// The device's final local candidates (merged when applicable).
+        local: Vec<K>,
+    }
+    let per_device: Vec<DeviceRun<K>> = cluster.run_on_all(|d, device| {
+        let mut chunks: Vec<ChunkRun> = Vec::new();
+        let mut local: Vec<K> = Vec::new();
         for (i, range) in subvectors.iter().enumerate() {
-            if i % num_devices != device_idx {
+            if i % num_devices != d {
                 continue;
             }
-            // Sub-vectors beyond the first resident one must be streamed in
-            // from the host: that is the reload overhead of Table 2.
-            if owned > 0 {
+            // Sub-vectors beyond the first resident one stream in from the
+            // host: that is the reload overhead of Table 2.
+            let reload_ms = if chunks.is_empty() {
+                None
+            } else {
                 let bytes = (range.len() * std::mem::size_of::<K>()) as u64;
-                let t = cluster
-                    .transfer_time_ms(TransferDirection::HostToDevice { dst: device_idx }, bytes);
-                device.record_external("reload_subvector", KernelStats::default(), t);
-                reload_ms += t;
-            }
-            let local = dr_topk_with_stats(device, &data[range.clone()], k, config);
-            compute_ms += local.time_ms;
-            stats += local.stats;
-            local_candidates.extend(local.values);
-            owned += 1;
+                Some(cluster.record_transfer(
+                    "reload_subvector",
+                    TransferDirection::HostToDevice { dst: d },
+                    bytes,
+                ))
+            };
+            let r = dr_topk_with_stats(device, &data[range.clone()], k, config);
+            local.extend_from_slice(&r.values);
+            chunks.push(ChunkRun {
+                chunk: i,
+                reload_ms,
+                time_ms: r.time_ms,
+                stats: r.stats,
+                breakdown: r.breakdown,
+            });
         }
         // A device that owns several sub-vectors merges their top-k's into a
         // single local top-k before communicating (tiny, done on-device).
-        if owned > 1 {
-            let merged = flag_radix_topk(device, &local_candidates, k);
-            compute_ms += merged.time_ms;
-            stats += merged.stats;
-            local_candidates = merged.values;
+        let merge = if chunks.len() > 1 {
+            let merged = flag_radix_topk(device, &local, k);
+            local = merged.values;
+            Some((merged.time_ms, merged.stats))
+        } else {
+            None
+        };
+        DeviceRun {
+            chunks,
+            merge,
+            local,
         }
-        (local_candidates, compute_ms, reload_ms, stats)
     });
 
-    let mut all_candidates: Vec<K> = Vec::new();
-    let mut per_device_compute_ms = Vec::with_capacity(num_devices);
-    let mut per_device_reload_ms = Vec::with_capacity(num_devices);
-    let mut stats = KernelStats::default();
-    for (candidates, compute, reload, s) in per_device {
-        all_candidates.extend(candidates);
-        per_device_compute_ms.push(compute);
-        per_device_reload_ms.push(reload);
-        stats += s;
-    }
-
-    // Asynchronous gather of each secondary device's k values to the primary.
-    let communication_ms = if num_devices > 1 {
-        cluster.async_gather_time_ms(0, (k * std::mem::size_of::<K>()) as u64)
-    } else {
-        0.0
-    };
-
-    // Final top-k on the primary device over #devices × k candidates.
-    let (values, final_topk_ms, final_stats) = if all_candidates.len() > k && num_devices > 1 {
-        let primary = cluster.device(0);
-        let final_topk = flag_radix_topk(primary, &all_candidates, k);
+    // Final top-k on the primary device over the #devices × k candidates.
+    let all_candidates: Vec<K> = per_device
+        .iter()
+        .flat_map(|r| r.local.iter().copied())
+        .collect();
+    let (values, final_ms, final_stats) = if all_candidates.len() > k && num_devices > 1 {
+        let final_topk = flag_radix_topk(cluster.device(0), &all_candidates, k);
         (final_topk.values, final_topk.time_ms, final_topk.stats)
     } else {
         (
@@ -208,27 +314,145 @@ pub fn distributed_dr_topk<K: TopKKey>(
             KernelStats::default(),
         )
     };
-    stats += final_stats;
 
-    let slowest_device_ms = per_device_compute_ms
-        .iter()
-        .zip(per_device_reload_ms.iter())
-        .map(|(c, r)| c + r)
-        .fold(0.0f64, f64::max);
+    // Build the stage graph over the recorded durations: per device, a
+    // chain of chunk loads on its host→device lane interleaved with
+    // per-chunk local top-k's on its compute queue, then the local merge;
+    // the gather and the final selection close the graph.
+    let mut graph: StageGraph<'_, ()> = StageGraph::new();
+    let mut device_tails: Vec<StageId> = Vec::new();
+    let mut chunk_phases = PhaseBreakdown::default();
+    for (d, run) in per_device.iter().enumerate() {
+        let mut computes: Vec<StageId> = Vec::new();
+        for (j, c) in run.chunks.iter().enumerate() {
+            // Serial: the load waits for the previous chunk's compute.
+            // Double-buffered: the load only waits for the chunk whose
+            // staging buffer it reuses (two buffers → chunk j − 2), so it
+            // overlaps chunk j − 1's compute.
+            let load = c.reload_ms.map(|t| {
+                let deps: Vec<StageId> = match schedule {
+                    ReloadSchedule::Serial => vec![computes[j - 1]],
+                    ReloadSchedule::DoubleBuffered => {
+                        if j >= 2 {
+                            vec![computes[j - 2]]
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                };
+                graph.add_labeled(
+                    StageKind::ChunkLoad,
+                    format!("chunk {} load", c.chunk),
+                    Resource::Transfer(TransferLane::HostToDevice(d)),
+                    &deps,
+                    move |_: &mut ()| StageOutcome {
+                        stats: KernelStats::default(),
+                        time_ms: t,
+                    },
+                )
+            });
+            let deps: Vec<StageId> = load.into_iter().collect();
+            let (time_ms, stats) = (c.time_ms, c.stats);
+            computes.push(graph.add_labeled(
+                StageKind::LocalTopK,
+                format!("chunk {} top-k", c.chunk),
+                Resource::Compute(d),
+                &deps,
+                move |_: &mut ()| StageOutcome { stats, time_ms },
+            ));
+            chunk_phases.delegate_ms += c.breakdown.delegate_ms;
+            chunk_phases.first_topk_ms += c.breakdown.first_topk_ms;
+            chunk_phases.concat_ms += c.breakdown.concat_ms;
+            chunk_phases.second_topk_ms += c.breakdown.second_topk_ms;
+        }
+        if let Some((time_ms, stats)) = run.merge {
+            let last = *computes.last().expect("merging device owns chunks");
+            device_tails.push(graph.add(
+                StageKind::LocalMerge,
+                Resource::Compute(d),
+                &[last],
+                move |_: &mut ()| StageOutcome { stats, time_ms },
+            ));
+        } else if let Some(&only) = computes.last() {
+            device_tails.push(only);
+        }
+    }
+
+    // Asynchronous gather of each secondary device's k values to the
+    // primary, then the final selection stage.
+    let final_deps: Vec<StageId> = if num_devices > 1 {
+        let gather_ms = cluster.async_gather_time_ms(0, (k * std::mem::size_of::<K>()) as u64);
+        vec![graph.add(
+            StageKind::Gather,
+            Resource::Transfer(TransferLane::Interconnect),
+            &device_tails,
+            move |_: &mut ()| StageOutcome {
+                stats: KernelStats::default(),
+                time_ms: gather_ms,
+            },
+        )]
+    } else {
+        device_tails.clone()
+    };
+    graph.add(
+        StageKind::FinalTopK,
+        Resource::Compute(0),
+        &final_deps,
+        move |_: &mut ()| StageOutcome {
+            stats: final_stats,
+            time_ms: final_ms,
+        },
+    );
+
+    let report = graph.execute(&mut ());
+
+    // Derive every reported quantity from the one stage schedule.
+    let mut per_device_compute_ms = vec![0.0f64; num_devices];
+    let mut per_device_reload_ms = vec![0.0f64; num_devices];
+    let mut communication_ms = 0.0;
+    let mut final_topk_ms = 0.0;
+    let mut selection_overhead_ms = 0.0;
+    for stage in &report.stages {
+        match (stage.kind, stage.resource) {
+            (StageKind::ChunkLoad, Resource::Transfer(TransferLane::HostToDevice(d))) => {
+                per_device_reload_ms[d] += stage.duration_ms();
+            }
+            (StageKind::LocalTopK | StageKind::LocalMerge, Resource::Compute(d)) => {
+                per_device_compute_ms[d] += stage.duration_ms();
+                if stage.kind == StageKind::LocalMerge {
+                    selection_overhead_ms += stage.duration_ms();
+                }
+            }
+            (StageKind::Gather, _) => communication_ms += stage.duration_ms(),
+            (StageKind::FinalTopK, _) => {
+                final_topk_ms += stage.duration_ms();
+                selection_overhead_ms += stage.duration_ms();
+            }
+            _ => {}
+        }
+    }
     let reload_overhead_ms: f64 = per_device_reload_ms.iter().sum();
+    let breakdown = PhaseBreakdown {
+        second_topk_ms: chunk_phases.second_topk_ms + selection_overhead_ms,
+        transfer_ms: report.transfer_ms(),
+        ..chunk_phases
+    };
     let kth_value = values.last().copied().unwrap_or_default();
 
     DistributedResult {
         kth_value,
-        total_ms: slowest_device_ms + communication_ms + final_topk_ms,
+        total_ms: report.makespan_ms,
         per_device_compute_ms,
         per_device_reload_ms,
         communication_ms,
         final_topk_ms,
         reload_overhead_ms,
-        stats,
+        stats: report.stats(),
         values,
         predicted_recall,
+        breakdown,
+        stages: report,
+        schedule,
     }
 }
 

@@ -54,13 +54,15 @@ pub mod distributed;
 pub mod first_topk;
 pub mod pipeline;
 pub mod radix_flags;
+pub mod stages;
 pub mod tuning;
 
 pub use approx::{expected_recall, measured_recall, required_budget, Mode, RecallTarget};
 pub use concat::{concatenate, Concatenated};
 pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{
-    capacity_in_keys, distributed_dr_topk, partition_subvectors, DistributedResult,
+    capacity_in_keys, distributed_dr_topk, distributed_dr_topk_scheduled, partition_subvectors,
+    DistributedResult, ReloadSchedule,
 };
 pub use first_topk::{first_topk, FirstTopK};
 pub use pipeline::{
@@ -70,6 +72,10 @@ pub use pipeline::{
 pub use radix_flags::{
     flag_radix_select_by_key, flag_radix_select_kth, flag_radix_topk, FlagSelectConfig,
     FlagSelectOutcome,
+};
+pub use stages::{
+    ExecutedStage, Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,
+    TransferLane,
 };
 pub use topk_baselines::{Desc, KeyBits, TopKKey};
 pub use tuning::{

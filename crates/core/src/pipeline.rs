@@ -17,10 +17,11 @@ use topk_baselines::{
 };
 
 use crate::approx::{dr_topk_approx_planned, expected_recall, required_budget, Mode, RecallTarget};
-use crate::concat::concatenate;
+use crate::concat::{concatenate, Concatenated};
 use crate::delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
-use crate::first_topk::first_topk;
+use crate::first_topk::{first_topk, FirstTopK};
 use crate::radix_flags::flag_radix_topk;
+use crate::stages::{Resource, StageGraph, StageKind, StageOutcome, StageReport};
 use crate::tuning::{auto_alpha, optimal_approx_tuning, PAPER_RULE4_CONST};
 
 /// Which algorithm runs the second top-k (and, for the baselines-assisted
@@ -198,22 +199,41 @@ impl DrTopKConfig {
 }
 
 /// Modeled time of each pipeline phase, in milliseconds.
+///
+/// Since the stage-graph refactor this is a *derived view* of a
+/// [`StageReport`] (see
+/// [`StageReport::phase_breakdown`](crate::stages::StageReport::phase_breakdown)):
+/// compute phases and data movement are reported separately rather than
+/// transfer time being folded into whichever phase happened to wait on it.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
-    /// Delegate vector construction.
+    /// Delegate vector construction (also the approximate mode's
+    /// bucket-top-k′ candidate pass).
     pub delegate_ms: f64,
     /// First top-k (on the delegate vector).
     pub first_topk_ms: f64,
     /// Concatenation of the qualified subranges.
     pub concat_ms: f64,
-    /// Second top-k (on the concatenated vector).
+    /// Second top-k (on the concatenated vector; includes the distributed
+    /// runner's local/merge/final selection stages).
     pub second_topk_ms: f64,
+    /// Host↔device and inter-device data movement (out-of-core chunk
+    /// loads, the distributed gather). Zero for fully device-resident
+    /// single-device runs.
+    pub transfer_ms: f64,
 }
 
 impl PhaseBreakdown {
-    /// Sum of all phases.
+    /// Sum of all phases, *as if executed serially*. When transfers
+    /// overlap compute (double-buffered ingestion) the run's real modeled
+    /// makespan is lower; see
+    /// [`StageReport::makespan_ms`](crate::stages::StageReport).
     pub fn total_ms(&self) -> f64 {
-        self.delegate_ms + self.first_topk_ms + self.concat_ms + self.second_topk_ms
+        self.delegate_ms
+            + self.first_topk_ms
+            + self.concat_ms
+            + self.second_topk_ms
+            + self.transfer_ms
     }
 }
 
@@ -273,8 +293,13 @@ pub struct DrTopKResult<K: TopKKey = u32> {
     pub workload: WorkloadStats,
     /// Counters accumulated across every kernel of the run.
     pub stats: KernelStats,
-    /// Total modeled time in milliseconds.
+    /// Total modeled time in milliseconds (the stage schedule's makespan;
+    /// equal to [`PhaseBreakdown::total_ms`] for fully serial
+    /// single-device runs).
     pub time_ms: f64,
+    /// The executed stage schedule this result was derived from — one
+    /// entry per paper phase, with modeled start/end times and counters.
+    pub stages: StageReport,
 }
 
 /// A query bound to a fully resolved execution plan: `k` clamped to the
@@ -455,6 +480,7 @@ pub fn dr_topk_planned<K: TopKKey>(
             workload: WorkloadStats::default(),
             stats: KernelStats::default(),
             time_ms: 0.0,
+            stages: StageReport::default(),
         };
     }
     assert!(config.beta >= 1, "beta must be at least 1");
@@ -467,18 +493,27 @@ pub fn dr_topk_planned<K: TopKKey>(
     }
 
     if !planned.use_delegates {
-        // Fallback: the inner algorithm runs directly on the input. The
-        // workload statistics report the fallback honestly: no delegate
-        // vector, no concatenation, one effective subrange.
-        let inner = config.inner.run(device, data, k);
-        let breakdown = PhaseBreakdown {
-            second_topk_ms: inner.time_ms,
-            ..PhaseBreakdown::default()
-        };
+        // Fallback: the inner algorithm runs directly on the input (a
+        // one-stage graph). The workload statistics report the fallback
+        // honestly: no delegate vector, no concatenation, one effective
+        // subrange.
+        let mut graph: StageGraph<'_, Option<TopKResult<K>>> = StageGraph::new();
+        graph.add(StageKind::SecondTopK, Resource::Compute(0), &[], |slot| {
+            let inner = config.inner.run(device, data, k);
+            let outcome = StageOutcome {
+                stats: inner.stats,
+                time_ms: inner.time_ms,
+            };
+            *slot = Some(inner);
+            outcome
+        });
+        let mut slot = None;
+        let report = graph.execute(&mut slot);
+        let inner = slot.expect("the fallback stage ran");
         return DrTopKResult {
             kth_value: inner.kth_value,
             alpha,
-            breakdown,
+            breakdown: report.phase_breakdown(),
             workload: WorkloadStats {
                 input_len: data.len(),
                 delegate_vector_len: 0,
@@ -488,99 +523,185 @@ pub fn dr_topk_planned<K: TopKKey>(
                 second_topk_skipped: false,
                 fell_back: true,
             },
-            stats: inner.stats,
-            time_ms: inner.time_ms,
+            stats: report.stats(),
+            time_ms: report.makespan_ms,
             values: inner.values,
+            stages: report,
         };
     }
 
-    // Phase 1: delegate vector construction — skipped when the caller
-    // supplies a shared vector (its construction cost is accounted by the
-    // caller, once, not per query).
-    let built;
-    let (delegates, delegate_ms, delegate_stats) = match shared_delegates {
-        Some(shared) => {
-            assert_eq!(
-                shared.subrange_size,
-                1usize << alpha,
-                "shared delegate vector was built with a different alpha"
-            );
-            assert_eq!(
-                shared.beta, config.beta,
-                "shared delegate vector was built with a different beta"
-            );
-            assert_eq!(
-                shared.num_subranges,
-                data.len().div_ceil(shared.subrange_size),
-                "shared delegate vector does not cover this input"
-            );
-            (shared, 0.0, KernelStats::default())
-        }
-        None => {
-            built = build_delegate_vector(device, data, alpha, config.beta, config.construction);
-            let (ms, stats) = (built.time_ms, built.stats);
-            (&built, ms, stats)
-        }
-    };
+    if let Some(shared) = shared_delegates {
+        assert_eq!(
+            shared.subrange_size,
+            1usize << alpha,
+            "shared delegate vector was built with a different alpha"
+        );
+        assert_eq!(
+            shared.beta, config.beta,
+            "shared delegate vector was built with a different beta"
+        );
+        assert_eq!(
+            shared.num_subranges,
+            data.len().div_ceil(shared.subrange_size),
+            "shared delegate vector does not cover this input"
+        );
+    }
+
+    // The exact pipeline as a stage graph: one stage per paper phase, all
+    // on this device's compute queue, chained by their buffer dependencies.
+    // Buffers travel through the context; the executor owns all timing.
+    struct ExactCtx<K: TopKKey> {
+        built: Option<DelegateVector<K>>,
+        first: Option<FirstTopK<K>>,
+        concatenated: Option<Concatenated<K>>,
+        second_skipped: bool,
+        values: Vec<K>,
+        kth_value: K,
+    }
+    fn delegates_of<'c, K: TopKKey>(
+        ctx: &'c ExactCtx<K>,
+        shared: Option<&'c DelegateVector<K>>,
+    ) -> &'c DelegateVector<K> {
+        shared
+            .or(ctx.built.as_ref())
+            .expect("delegate vector available once phase 1 ran")
+    }
+
+    let mut graph: StageGraph<'_, ExactCtx<K>> = StageGraph::new();
+    let mut deps = Vec::new();
+    // Phase 1: delegate vector construction — the stage exists only when
+    // the caller did not supply a shared vector (a shared pass's one-time
+    // construction cost is accounted by its provider, not per query).
+    if shared_delegates.is_none() {
+        let built_id = graph.add(
+            StageKind::DelegateConstruction,
+            Resource::Compute(0),
+            &[],
+            move |ctx| {
+                let built =
+                    build_delegate_vector(device, data, alpha, config.beta, config.construction);
+                let outcome = StageOutcome {
+                    stats: built.stats,
+                    time_ms: built.time_ms,
+                };
+                ctx.built = Some(built);
+                outcome
+            },
+        );
+        deps.push(built_id);
+    }
 
     // Phase 2: first top-k on the delegate vector.
-    let first = first_topk(device, delegates, k, config.resolve_skip_last());
-
-    // Phase 3: concatenation (Rule 1/3 subrange selection + Rule 2 filter).
-    let concatenated = concatenate(
-        device,
-        data,
-        delegates.subrange_size,
-        &first.fully_taken_subranges,
-        &first.partial_delegate_values,
-        first.threshold,
-        config.filtering,
+    let first_id = graph.add(
+        StageKind::FirstTopK,
+        Resource::Compute(0),
+        &deps,
+        move |ctx| {
+            let first = first_topk(
+                device,
+                delegates_of(ctx, shared_delegates),
+                k,
+                config.resolve_skip_last(),
+            );
+            let outcome = StageOutcome {
+                stats: first.stats,
+                time_ms: first.time_ms,
+            };
+            ctx.first = Some(first);
+            outcome
+        },
     );
 
-    // Phase 4: second top-k on the concatenated vector — skipped entirely
-    // when no subrange was fully taken and the taken delegates alone already
-    // answer the query exactly (Figure 8b) .
-    let second_skipped = first.fully_taken_subranges.is_empty()
-        && first.exact_threshold
-        && concatenated.elements.len() == k;
-    let (values, kth_value, second_stats, second_ms) = if second_skipped {
-        let mut vals = concatenated.elements.clone();
-        vals.sort_unstable_by_key(|v| Reverse(v.to_bits()));
-        let kth = vals.last().copied().unwrap_or_default();
-        (vals, kth, KernelStats::default(), 0.0)
-    } else {
-        let inner = config.inner.run(device, &concatenated.elements, k);
-        (inner.values, inner.kth_value, inner.stats, inner.time_ms)
-    };
+    // Phase 3: concatenation (Rule 1/3 subrange selection + Rule 2 filter).
+    let concat_id = graph.add(
+        StageKind::Concatenate,
+        Resource::Compute(0),
+        &[first_id],
+        move |ctx| {
+            let subrange_size = delegates_of(ctx, shared_delegates).subrange_size;
+            let first = ctx.first.as_ref().expect("first top-k ran");
+            let concatenated = concatenate(
+                device,
+                data,
+                subrange_size,
+                &first.fully_taken_subranges,
+                &first.partial_delegate_values,
+                first.threshold,
+                config.filtering,
+            );
+            let outcome = StageOutcome {
+                stats: concatenated.stats,
+                time_ms: concatenated.time_ms,
+            };
+            ctx.concatenated = Some(concatenated);
+            outcome
+        },
+    );
 
-    let breakdown = PhaseBreakdown {
-        delegate_ms,
-        first_topk_ms: first.time_ms,
-        concat_ms: concatenated.time_ms,
-        second_topk_ms: second_ms,
+    // Phase 4: second top-k on the concatenated vector — a zero-cost
+    // stage when no subrange was fully taken and the taken delegates alone
+    // already answer the query exactly (Figure 8b).
+    graph.add(
+        StageKind::SecondTopK,
+        Resource::Compute(0),
+        &[concat_id],
+        move |ctx| {
+            let first = ctx.first.as_ref().expect("first top-k ran");
+            let concatenated = ctx.concatenated.as_ref().expect("concatenation ran");
+            ctx.second_skipped = first.fully_taken_subranges.is_empty()
+                && first.exact_threshold
+                && concatenated.elements.len() == k;
+            if ctx.second_skipped {
+                let mut vals = concatenated.elements.clone();
+                vals.sort_unstable_by_key(|v| Reverse(v.to_bits()));
+                ctx.kth_value = vals.last().copied().unwrap_or_default();
+                ctx.values = vals;
+                StageOutcome::default()
+            } else {
+                let inner = config.inner.run(device, &concatenated.elements, k);
+                let outcome = StageOutcome {
+                    stats: inner.stats,
+                    time_ms: inner.time_ms,
+                };
+                ctx.values = inner.values;
+                ctx.kth_value = inner.kth_value;
+                outcome
+            }
+        },
+    );
+
+    let mut ctx = ExactCtx {
+        built: None,
+        first: None,
+        concatenated: None,
+        second_skipped: false,
+        values: Vec::new(),
+        kth_value: K::default(),
     };
+    let report = graph.execute(&mut ctx);
+
+    let delegates = delegates_of(&ctx, shared_delegates);
+    let first = ctx.first.as_ref().expect("first top-k ran");
+    let concatenated = ctx.concatenated.as_ref().expect("concatenation ran");
     let workload = WorkloadStats {
         input_len: data.len(),
         delegate_vector_len: delegates.len(),
         concatenated_len: concatenated.elements.len(),
         num_subranges: delegates.num_subranges,
         fully_taken_subranges: first.fully_taken_subranges.len(),
-        second_topk_skipped: second_skipped,
+        second_topk_skipped: ctx.second_skipped,
         fell_back: false,
     };
-    let mut stats = delegate_stats;
-    stats += first.stats;
-    stats += concatenated.stats;
-    stats += second_stats;
 
     DrTopKResult {
-        values,
-        kth_value,
+        values: std::mem::take(&mut ctx.values),
+        kth_value: ctx.kth_value,
         alpha,
-        time_ms: breakdown.total_ms(),
-        breakdown,
+        time_ms: report.makespan_ms,
+        breakdown: report.phase_breakdown(),
         workload,
-        stats,
+        stats: report.stats(),
+        stages: report,
     }
 }
 
@@ -706,6 +827,7 @@ impl<K: TopKKey> DrTopKResult<Desc<K>> {
             workload: self.workload,
             stats: self.stats,
             time_ms: self.time_ms,
+            stages: self.stages,
         }
     }
 }

@@ -1,0 +1,480 @@
+//! The stage-graph IR and executor — the single execution spine behind
+//! every Dr. Top-k entry point.
+//!
+//! Historically the paper's pipeline (delegate construction → first top-k →
+//! concatenation → second top-k) was hardwired as a sequence of calls inside
+//! the pipeline module, the approximate mode forked its own two-stage
+//! variant, and the distributed runner interleaved modeled host→device
+//! reloads with compute *serially*. This module replaces all three with one
+//! explicit representation:
+//!
+//! * a stage ([`StageKind`] + [`Resource`] + a work closure) is one
+//!   schedulable piece of work — a paper phase
+//!   ([`StageKind::DelegateConstruction`], [`StageKind::FirstTopK`], …), the
+//!   approximate mode's bucket-top-k′ candidate pass, or an out-of-core
+//!   chunk load — bound to a [`Resource`] (a device's compute queue or a
+//!   transfer lane) and to the stages it depends on;
+//! * a [`StageGraph`] collects stages plus a caller-owned context the stage
+//!   closures read and write their buffers through;
+//! * [`StageGraph::execute`] runs the stages (host-side, in dependency
+//!   order) and *schedules* them in modeled time on per-resource
+//!   [`gpu_sim::Stream`]s: stages on the same resource serialize, stages on
+//!   different resources overlap as far as their dependencies allow —
+//!   which is exactly how double-buffered chunked ingestion hides
+//!   host→device transfers behind compute.
+//!
+//! The executor is also the one instrumentation point: the returned
+//! [`StageReport`] carries every executed stage's interval, the modeled
+//! makespan, the compute/transfer split, the overlap efficiency, and a
+//! [`PhaseBreakdown`] derived from the stage kinds — the pipeline,
+//! approximate, distributed and engine reports are all views of it.
+
+use gpu_sim::{KernelStats, StreamSet};
+
+use crate::pipeline::PhaseBreakdown;
+
+/// Which paper phase (or infrastructure step) a stage implements.
+///
+/// The mapping from the paper's Figure 3(b) phases (and the extensions this
+/// reproduction adds) to stage kinds is one-to-one; `docs/PAPER_MAP.md`
+/// tabulates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Delegate vector construction (Sections 4.1/5.3) — the β-delegate
+    /// `|V|`-scan.
+    DelegateConstruction,
+    /// First top-k on the delegate vector (Section 4.2).
+    FirstTopK,
+    /// Rule 1–3 subrange concatenation with Rule 2 filtering (Section 4.3).
+    Concatenate,
+    /// Second top-k on the concatenated vector (Section 4.4) — also the
+    /// direct inner-algorithm run on the fallback path.
+    SecondTopK,
+    /// The approximate mode's per-bucket top-k′ candidate pass (the
+    /// delegate kernels run with β = k′; replaces phases 2–4 entirely).
+    BucketTopKPrime,
+    /// Host→device ingestion of one out-of-core sub-vector chunk.
+    ChunkLoad,
+    /// One chunk's whole local Dr. Top-k pipeline in the distributed
+    /// runner (attributed to selection compute in coarse breakdowns; the
+    /// distributed result refines it from the per-chunk results).
+    LocalTopK,
+    /// Per-device merge of several chunks' local top-k's (Section 5.4).
+    LocalMerge,
+    /// Asynchronous gather of every device's k winners to the primary
+    /// (Section 5.4).
+    Gather,
+    /// Final top-k over the `#devices × k` candidates on the primary.
+    FinalTopK,
+}
+
+impl StageKind {
+    /// Whether stages of this kind represent data movement rather than
+    /// kernel execution.
+    pub fn is_transfer(self) -> bool {
+        matches!(self, StageKind::ChunkLoad | StageKind::Gather)
+    }
+
+    /// Display name used by reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::DelegateConstruction => "delegate_construction",
+            StageKind::FirstTopK => "first_topk",
+            StageKind::Concatenate => "concatenate",
+            StageKind::SecondTopK => "second_topk",
+            StageKind::BucketTopKPrime => "bucket_topk_prime",
+            StageKind::ChunkLoad => "chunk_load",
+            StageKind::LocalTopK => "local_topk",
+            StageKind::LocalMerge => "local_merge",
+            StageKind::Gather => "gather",
+            StageKind::FinalTopK => "final_topk",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A modeled transfer lane (one independent copy queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferLane {
+    /// Host memory → device `dst` (each device has its own PCIe lane, as
+    /// the Table 2 reload model assumes).
+    HostToDevice(usize),
+    /// Device `src` → host memory.
+    DeviceToHost(usize),
+    /// The device↔device interconnect used by the asynchronous gather.
+    Interconnect,
+}
+
+/// The hardware queue a stage occupies. Stages tagged with the same
+/// resource serialize in modeled time; stages on different resources
+/// overlap as far as their dependencies allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The compute queue of one device (index within the cluster; 0 for
+    /// single-device graphs).
+    Compute(usize),
+    /// A transfer lane.
+    Transfer(TransferLane),
+}
+
+/// What executing one stage produced: the kernel counters it accumulated
+/// and its modeled duration. Buffers travel through the graph's context,
+/// not through the outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageOutcome {
+    /// Counters accumulated by the stage's kernels (empty for pure
+    /// transfers).
+    pub stats: KernelStats,
+    /// Modeled duration of the stage in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Handle to a stage within its graph, used to declare dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageId(usize);
+
+struct StageNode<'g, C> {
+    kind: StageKind,
+    label: String,
+    resource: Resource,
+    deps: Vec<usize>,
+    run: Box<dyn FnOnce(&mut C) -> StageOutcome + 'g>,
+}
+
+/// A DAG of [`Stage`](StageKind)s over a caller-owned context `C`.
+///
+/// Stages must be added in a topological order (every dependency's
+/// [`StageId`] comes from an earlier `add` call — enforced by construction,
+/// since ids are only handed out by [`StageGraph::add`]). Stage closures
+/// receive `&mut C` and communicate buffers through it; the closure's
+/// return value is only the stage's instrumentation.
+pub struct StageGraph<'g, C> {
+    stages: Vec<StageNode<'g, C>>,
+}
+
+impl<'g, C> Default for StageGraph<'g, C> {
+    fn default() -> Self {
+        StageGraph::new()
+    }
+}
+
+impl<'g, C> StageGraph<'g, C> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        StageGraph { stages: Vec::new() }
+    }
+
+    /// Number of stages added so far.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stage has been added.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Add a stage with an explicit display label. `deps` are the stages
+    /// whose completion this stage must wait for *across* resources;
+    /// same-resource ordering is implicit (a resource is an in-order
+    /// queue).
+    pub fn add_labeled(
+        &mut self,
+        kind: StageKind,
+        label: impl Into<String>,
+        resource: Resource,
+        deps: &[StageId],
+        run: impl FnOnce(&mut C) -> StageOutcome + 'g,
+    ) -> StageId {
+        let id = self.stages.len();
+        self.stages.push(StageNode {
+            kind,
+            label: label.into(),
+            resource,
+            deps: deps.iter().map(|d| d.0).collect(),
+            run: Box::new(run),
+        });
+        StageId(id)
+    }
+
+    /// Add a stage labeled by its kind.
+    pub fn add(
+        &mut self,
+        kind: StageKind,
+        resource: Resource,
+        deps: &[StageId],
+        run: impl FnOnce(&mut C) -> StageOutcome + 'g,
+    ) -> StageId {
+        self.add_labeled(kind, kind.name(), resource, deps, run)
+    }
+
+    /// Execute the graph.
+    ///
+    /// Host-side, stages run serially in insertion (= topological) order;
+    /// in *modeled* time each stage is scheduled on its resource's stream:
+    /// it starts at the later of (a) the resource's cursor and (b) its
+    /// dependencies' completion events, exactly like a kernel launched on a
+    /// CUDA stream after `cudaStreamWaitEvent`s.
+    pub fn execute(self, ctx: &mut C) -> StageReport {
+        let mut streams: StreamSet<Resource> = StreamSet::new();
+        let mut finished: Vec<gpu_sim::Event> = Vec::with_capacity(self.stages.len());
+        let mut executed: Vec<ExecutedStage> = Vec::with_capacity(self.stages.len());
+        for node in self.stages {
+            let outcome = (node.run)(ctx);
+            let stream = streams.stream_mut(node.resource);
+            for &dep in &node.deps {
+                stream.wait_event(&finished[dep]);
+            }
+            let start_ms = stream.cursor_ms();
+            let done = stream.launch(outcome.time_ms);
+            executed.push(ExecutedStage {
+                kind: node.kind,
+                label: node.label,
+                resource: node.resource,
+                start_ms,
+                end_ms: done.ready_at_ms(),
+                stats: outcome.stats,
+            });
+            finished.push(done);
+        }
+        StageReport {
+            makespan_ms: streams.makespan_ms(),
+            stages: executed,
+        }
+    }
+}
+
+/// One stage as it was actually scheduled.
+#[derive(Debug, Clone)]
+pub struct ExecutedStage {
+    /// The stage's kind.
+    pub kind: StageKind,
+    /// Display label (defaults to the kind's name; chunked stages carry
+    /// their chunk index).
+    pub label: String,
+    /// The resource the stage occupied.
+    pub resource: Resource,
+    /// Modeled start time, ms.
+    pub start_ms: f64,
+    /// Modeled completion time, ms.
+    pub end_ms: f64,
+    /// Kernel counters the stage accumulated.
+    pub stats: KernelStats,
+}
+
+impl ExecutedStage {
+    /// The stage's modeled duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// The executor's instrumentation: every scheduled stage plus the modeled
+/// makespan. All per-phase, compute-vs-transfer and overlap reporting in
+/// the crate (and the engine) derives from this one structure.
+#[derive(Debug, Clone, Default)]
+pub struct StageReport {
+    /// Every executed stage, in execution order.
+    pub stages: Vec<ExecutedStage>,
+    /// Modeled end-to-end time: the latest stage completion across all
+    /// resources.
+    pub makespan_ms: f64,
+}
+
+impl StageReport {
+    /// Sum of the durations of all compute stages.
+    pub fn compute_ms(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s.resource, Resource::Compute(_)))
+            .map(ExecutedStage::duration_ms)
+            .sum()
+    }
+
+    /// Sum of the durations of all transfer stages.
+    pub fn transfer_ms(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s.resource, Resource::Transfer(_)))
+            .map(ExecutedStage::duration_ms)
+            .sum()
+    }
+
+    /// What the graph would cost with no overlap at all: the sum of every
+    /// stage's duration.
+    pub fn serial_ms(&self) -> f64 {
+        self.stages.iter().map(ExecutedStage::duration_ms).sum()
+    }
+
+    /// Modeled time hidden by overlap: `serial_ms − makespan_ms` (0 for a
+    /// fully serial schedule).
+    pub fn hidden_ms(&self) -> f64 {
+        (self.serial_ms() - self.makespan_ms).max(0.0)
+    }
+
+    /// Fraction of the serialized cost hidden by overlap:
+    /// `1 − makespan / serial`, in `[0, 1)`; 0 for an empty or fully
+    /// serial schedule.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let serial = self.serial_ms();
+        if serial <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.makespan_ms / serial).max(0.0)
+    }
+
+    /// Kernel counters summed over every stage.
+    pub fn stats(&self) -> KernelStats {
+        self.stages.iter().map(|s| s.stats).sum()
+    }
+
+    /// Derive the paper-phase breakdown from the stage kinds:
+    /// [`StageKind::DelegateConstruction`] and
+    /// [`StageKind::BucketTopKPrime`] charge delegate time,
+    /// [`StageKind::FirstTopK`] / [`StageKind::Concatenate`] /
+    /// [`StageKind::SecondTopK`] their namesakes, every selection stage of
+    /// the distributed runner ([`StageKind::LocalTopK`],
+    /// [`StageKind::LocalMerge`], [`StageKind::FinalTopK`]) second-top-k
+    /// time, and the transfer kinds ([`StageKind::ChunkLoad`],
+    /// [`StageKind::Gather`]) the breakdown's transfer slot.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        let mut b = PhaseBreakdown::default();
+        for s in &self.stages {
+            let d = s.duration_ms();
+            match s.kind {
+                StageKind::DelegateConstruction | StageKind::BucketTopKPrime => {
+                    b.delegate_ms += d;
+                }
+                StageKind::FirstTopK => b.first_topk_ms += d,
+                StageKind::Concatenate => b.concat_ms += d,
+                StageKind::SecondTopK
+                | StageKind::LocalTopK
+                | StageKind::LocalMerge
+                | StageKind::FinalTopK => b.second_topk_ms += d,
+                StageKind::ChunkLoad | StageKind::Gather => b.transfer_ms += d,
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(ms: f64) -> StageOutcome {
+        StageOutcome {
+            stats: KernelStats::default(),
+            time_ms: ms,
+        }
+    }
+
+    #[test]
+    fn serial_chain_on_one_resource_sums() {
+        let mut g: StageGraph<'_, Vec<&'static str>> = StageGraph::new();
+        let a = g.add(
+            StageKind::DelegateConstruction,
+            Resource::Compute(0),
+            &[],
+            |log| {
+                log.push("delegate");
+                outcome(2.0)
+            },
+        );
+        let b = g.add(StageKind::FirstTopK, Resource::Compute(0), &[a], |log| {
+            log.push("first");
+            outcome(1.0)
+        });
+        g.add(StageKind::SecondTopK, Resource::Compute(0), &[b], |log| {
+            log.push("second");
+            outcome(0.5)
+        });
+        let mut log = Vec::new();
+        let report = g.execute(&mut log);
+        assert_eq!(log, vec!["delegate", "first", "second"]);
+        assert_eq!(report.makespan_ms, 3.5);
+        assert_eq!(report.serial_ms(), 3.5);
+        assert_eq!(report.overlap_efficiency(), 0.0);
+        assert_eq!(report.compute_ms(), 3.5);
+        assert_eq!(report.transfer_ms(), 0.0);
+        let b = report.phase_breakdown();
+        assert_eq!(b.delegate_ms, 2.0);
+        assert_eq!(b.first_topk_ms, 1.0);
+        assert_eq!(b.second_topk_ms, 0.5);
+        assert_eq!(b.transfer_ms, 0.0);
+    }
+
+    #[test]
+    fn transfers_overlap_compute_across_resources() {
+        // load0 [0,3) ∥ nothing; compute0 [3,7); load1 [3,6) overlaps
+        // compute0; compute1 [7,11). Makespan 11 vs serial 14.
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        let lane = Resource::Transfer(TransferLane::HostToDevice(0));
+        let l0 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(3.0));
+        let _c0 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[l0], |_| {
+            outcome(4.0)
+        });
+        let l1 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(3.0));
+        g.add(StageKind::LocalTopK, Resource::Compute(0), &[l1], |_| {
+            outcome(4.0)
+        });
+        let report = g.execute(&mut ());
+        assert_eq!(report.makespan_ms, 11.0);
+        assert_eq!(report.serial_ms(), 14.0);
+        assert!((report.hidden_ms() - 3.0).abs() < 1e-12);
+        assert!((report.overlap_efficiency() - 3.0 / 14.0).abs() < 1e-12);
+        assert_eq!(report.compute_ms(), 8.0);
+        assert_eq!(report.transfer_ms(), 6.0);
+        assert_eq!(report.phase_breakdown().transfer_ms, 6.0);
+        // the second load started while compute 0 was still running
+        assert!(report.stages[2].start_ms < report.stages[1].end_ms);
+    }
+
+    #[test]
+    fn same_resource_stages_serialize_without_explicit_deps() {
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        let lane = Resource::Transfer(TransferLane::HostToDevice(0));
+        g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
+        g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
+        let report = g.execute(&mut ());
+        assert_eq!(report.stages[1].start_ms, 2.0);
+        assert_eq!(report.makespan_ms, 4.0);
+    }
+
+    #[test]
+    fn empty_graph_reports_zeroes() {
+        let g: StageGraph<'_, ()> = StageGraph::new();
+        assert!(g.is_empty());
+        let report = g.execute(&mut ());
+        assert!(report.stages.is_empty());
+        assert_eq!(report.makespan_ms, 0.0);
+        assert_eq!(report.overlap_efficiency(), 0.0);
+        assert!(report.stats().is_empty());
+        assert_eq!(report.phase_breakdown(), PhaseBreakdown::default());
+    }
+
+    #[test]
+    fn labels_and_kinds_are_reported() {
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        g.add_labeled(
+            StageKind::ChunkLoad,
+            "chunk 3 load",
+            Resource::Transfer(TransferLane::HostToDevice(1)),
+            &[],
+            |_| outcome(1.0),
+        );
+        let report = g.execute(&mut ());
+        assert_eq!(report.stages[0].label, "chunk 3 load");
+        assert_eq!(report.stages[0].kind, StageKind::ChunkLoad);
+        assert!(report.stages[0].kind.is_transfer());
+        assert_eq!(
+            format!("{}", StageKind::BucketTopKPrime),
+            "bucket_topk_prime"
+        );
+    }
+}

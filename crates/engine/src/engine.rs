@@ -199,6 +199,11 @@ impl TopKEngine {
             delegate_passes_saved: exec.delegate_passes_saved,
             phase_ms: exec.phase_ms,
             sharded_ms: exec.sharded_ms,
+            overlap_efficiency: if exec.sharded_serial_ms > 0.0 {
+                (1.0 - exec.sharded_ms / exec.sharded_serial_ms).max(0.0)
+            } else {
+                0.0
+            },
             total_ms,
             throughput_qps: if total_ms > 0.0 {
                 num_queries as f64 / (total_ms / 1e3)

@@ -3,9 +3,16 @@
 //!
 //! Fused units are pulled from a shared atomic queue (dynamic load
 //! balancing: a worker that drew a cheap unit immediately takes the next
-//! one), each unit executing wholly on its worker's device: one delegate
-//! pass — built, or recalled from the delegate cache — then every member
-//! query's first top-k, concatenation and second top-k against it. Worker
+//! one). Each unit executes as a **stage graph** on its worker's device:
+//! one shared delegate-pass stage — built, or recalled from the delegate
+//! cache — followed by every member query's own pipeline stages (first
+//! top-k, concatenation, second top-k — themselves scheduled by the core
+//! stage executor inside [`dr_topk_planned`]). The unit's
+//! [`StageReport`] is the engine's single instrumentation point: per-phase
+//! times, the compute/transfer split and the modeled unit cost are all
+//! derived from it instead of being hand-accumulated at three sites.
+//! Sharded queries run the distributed stage graph (double-buffered chunk
+//! ingestion) and report their breakdown and overlap the same way. Worker
 //! failures are surfaced per device through
 //! [`GpuCluster::try_run_on_all`] instead of poisoning the batch.
 
@@ -14,7 +21,8 @@ use std::sync::Arc;
 
 use drtopk_core::{
     as_desc, build_delegate_vector, capacity_in_keys, distributed_dr_topk, dr_topk_planned,
-    DelegateVector, DrTopKConfig, DrTopKResult, PhaseBreakdown,
+    DelegateVector, DrTopKConfig, DrTopKResult, ExecutedStage, PhaseBreakdown, Resource, StageKind,
+    StageReport,
 };
 use gpu_sim::{Device, GpuCluster, KernelStats};
 use parking_lot::Mutex;
@@ -30,8 +38,10 @@ struct FusedOutcome<K: TopKKey> {
     unit: usize,
     /// `(query index, modeled predicted recall, result)` per member.
     results: Vec<(usize, f64, DrTopKResult<K>)>,
-    delegate_ms: f64,
-    delegate_stats: KernelStats,
+    /// The unit's composed stage schedule: the shared delegate pass (when
+    /// one was built) followed by every member's stages, serial on the
+    /// worker's device.
+    unit_stages: StageReport,
     delegate_pass_run: bool,
     delegate_from_cache: bool,
 }
@@ -52,12 +62,36 @@ pub(crate) struct ExecOutput<K: TopKKey> {
     pub pool_ms: f64,
     /// Modeled time of the sharded whole-cluster portion.
     pub sharded_ms: f64,
+    /// Sum of the sharded runs' *serialized* stage cost — what they would
+    /// have taken with no transfer/compute overlap.
+    pub sharded_serial_ms: f64,
+}
+
+/// Append `member`'s executed stages to a unit-level report, shifted onto
+/// the end of the unit's serial timeline and re-tagged with the worker's
+/// device. (Member graphs run on their own logical `Compute(0)`; within a
+/// fused unit they all occupy the one worker device, back to back.)
+fn append_member_stages(unit: &mut StageReport, device: usize, member: &StageReport) {
+    let offset = unit.makespan_ms;
+    for s in &member.stages {
+        unit.stages.push(ExecutedStage {
+            kind: s.kind,
+            label: s.label.clone(),
+            resource: Resource::Compute(device),
+            start_ms: s.start_ms + offset,
+            end_ms: s.end_ms + offset,
+            stats: s.stats,
+        });
+    }
+    unit.makespan_ms += member.makespan_ms;
 }
 
 /// Run one fused unit's typed half: resolve the shared delegate vector
-/// (cache or fresh build), then execute every member query against it.
+/// (cache or fresh build), then execute every member query against it,
+/// composing the unit's stage schedule along the way.
 fn run_fused_typed<K: TopKKey>(
     device: &Device,
+    device_idx: usize,
     data: &[K],
     corpus_id: Option<u64>,
     unit: &FusedUnit,
@@ -65,48 +99,60 @@ fn run_fused_typed<K: TopKKey>(
     cache: &Mutex<PlanCache>,
 ) -> (
     Vec<DrTopKResult<K>>,
-    f64,
-    KernelStats,
+    StageReport,
     /* pass_run */ bool,
     /* from_cache */ bool,
 ) {
     let beta = unit.beta;
-    let (delegates, delegate_ms, delegate_stats, pass_run, from_cache): (
-        Option<Arc<DelegateVector<K>>>,
-        f64,
-        KernelStats,
-        bool,
-        bool,
-    ) = if unit.needs_delegates {
-        let cached = cache
-            .lock()
-            .get_delegates::<K>(corpus_id, data.len(), unit.alpha, beta);
-        match cached {
-            Some(shared) => (Some(shared), 0.0, KernelStats::default(), false, true),
-            None => {
-                let built = Arc::new(build_delegate_vector(
-                    device,
-                    data,
-                    unit.alpha,
-                    beta,
-                    base.construction,
-                ));
-                if let Some(id) = corpus_id {
-                    cache.lock().put_delegates(
-                        id,
-                        data.len(),
+    let mut unit_stages = StageReport::default();
+    let (delegates, pass_run, from_cache): (Option<Arc<DelegateVector<K>>>, bool, bool) =
+        if unit.needs_delegates {
+            let cached = cache
+                .lock()
+                .get_delegates::<K>(corpus_id, data.len(), unit.alpha, beta);
+            match cached {
+                Some(shared) => (Some(shared), false, true),
+                None => {
+                    let built = Arc::new(build_delegate_vector(
+                        device,
+                        data,
                         unit.alpha,
                         beta,
-                        Arc::clone(&built),
-                    );
+                        base.construction,
+                    ));
+                    if let Some(id) = corpus_id {
+                        cache.lock().put_delegates(
+                            id,
+                            data.len(),
+                            unit.alpha,
+                            beta,
+                            Arc::clone(&built),
+                        );
+                    }
+                    // The one shared pass is the unit's first stage; its
+                    // kind mirrors what the pass is (candidate generation
+                    // for approximate groups, delegate construction
+                    // otherwise).
+                    let kind = if unit.mode.strict_target().is_some() {
+                        StageKind::BucketTopKPrime
+                    } else {
+                        StageKind::DelegateConstruction
+                    };
+                    unit_stages.stages.push(ExecutedStage {
+                        kind,
+                        label: "shared delegate pass".to_string(),
+                        resource: Resource::Compute(device_idx),
+                        start_ms: 0.0,
+                        end_ms: built.time_ms,
+                        stats: built.stats,
+                    });
+                    unit_stages.makespan_ms = built.time_ms;
+                    (Some(built), true, false)
                 }
-                let (ms, stats) = (built.time_ms, built.stats);
-                (Some(built), ms, stats, true, false)
             }
-        }
-    } else {
-        (None, 0.0, KernelStats::default(), false, false)
-    };
+        } else {
+            (None, false, false)
+        };
 
     let results = unit
         .planned
@@ -124,15 +170,19 @@ fn run_fused_typed<K: TopKKey>(
                     d.beta == planned.config.beta
                 }
             });
-            dr_topk_planned(device, data, member_shared, planned)
+            let r = dr_topk_planned(device, data, member_shared, planned);
+            append_member_stages(&mut unit_stages, device_idx, &r.stages);
+            r
         })
         .collect();
-    (results, delegate_ms, delegate_stats, pass_run, from_cache)
+    (results, unit_stages, pass_run, from_cache)
 }
 
 /// Direction dispatch around [`run_fused_typed`].
+#[allow(clippy::too_many_arguments)]
 fn run_fused_unit<K: TopKKey>(
     device: &Device,
+    device_idx: usize,
     data: &[K],
     corpus_id: Option<u64>,
     unit_idx: usize,
@@ -140,17 +190,25 @@ fn run_fused_unit<K: TopKKey>(
     base: &DrTopKConfig,
     cache: &Mutex<PlanCache>,
 ) -> FusedOutcome<K> {
-    let (results, delegate_ms, delegate_stats, pass_run, from_cache) = match unit.direction {
-        Direction::Largest => run_fused_typed::<K>(device, data, corpus_id, unit, base, cache),
+    let (results, unit_stages, pass_run, from_cache) = match unit.direction {
+        Direction::Largest => {
+            run_fused_typed::<K>(device, device_idx, data, corpus_id, unit, base, cache)
+        }
         Direction::Smallest => {
-            let (res, ms, stats, run, cached) =
-                run_fused_typed::<Desc<K>>(device, as_desc(data), corpus_id, unit, base, cache);
+            let (res, stages, run, cached) = run_fused_typed::<Desc<K>>(
+                device,
+                device_idx,
+                as_desc(data),
+                corpus_id,
+                unit,
+                base,
+                cache,
+            );
             (
                 res.into_iter()
                     .map(DrTopKResult::into_native)
                     .collect::<Vec<_>>(),
-                ms,
-                stats,
+                stages,
                 run,
                 cached,
             )
@@ -165,8 +223,7 @@ fn run_fused_unit<K: TopKKey>(
             .zip(results)
             .map(|((&qi, planned), r)| (qi, planned.predicted_recall, r))
             .collect(),
-        delegate_ms,
-        delegate_stats,
+        unit_stages,
         delegate_pass_run: pass_run,
         delegate_from_cache: from_cache,
     }
@@ -193,7 +250,7 @@ pub(crate) fn execute_plan<K: TopKKey>(
     // reports do not vary with host-thread timing.
     let next_unit = AtomicUsize::new(0);
     let per_device = cluster
-        .try_run_on_all(|_device_idx, device| {
+        .try_run_on_all(|device_idx, device| {
             let mut outcomes: Vec<FusedOutcome<K>> = Vec::new();
             loop {
                 let slot = next_unit.fetch_add(1, Ordering::Relaxed);
@@ -217,8 +274,16 @@ pub(crate) fn execute_plan<K: TopKKey>(
                         device_keys
                     ));
                 }
-                let outcome =
-                    run_fused_unit(device, corpus.data, corpus.id, unit_idx, unit, base, cache);
+                let outcome = run_fused_unit(
+                    device,
+                    device_idx,
+                    corpus.data,
+                    corpus.id,
+                    unit_idx,
+                    unit,
+                    base,
+                    cache,
+                );
                 outcomes.push(outcome);
             }
             Ok(outcomes)
@@ -244,9 +309,19 @@ pub(crate) fn execute_plan<K: TopKKey>(
             let PlanUnit::Fused(unit) = &plan.units[outcome.unit] else {
                 unreachable!()
             };
-            // Shared-pass accounting: the one delegate pass of the unit.
-            phase_ms.delegate_ms += outcome.delegate_ms;
-            stats += outcome.delegate_stats;
+            // One instrumentation point: the unit's composed stage
+            // schedule carries the shared pass, every member phase (and
+            // any member-level pass rebuild), so phases, counters and the
+            // unit's modeled cost are all read off it.
+            let unit_phases = outcome.unit_stages.phase_breakdown();
+            phase_ms.delegate_ms += unit_phases.delegate_ms;
+            phase_ms.first_topk_ms += unit_phases.first_topk_ms;
+            phase_ms.concat_ms += unit_phases.concat_ms;
+            phase_ms.second_topk_ms += unit_phases.second_topk_ms;
+            phase_ms.transfer_ms += unit_phases.transfer_ms;
+            stats += outcome.unit_stages.stats();
+            unit_costs.push((outcome.unit, outcome.unit_stages.makespan_ms));
+
             let delegate_users = unit.planned.iter().filter(|p| p.use_delegates).count();
             let cacheable = batch.corpora()[unit.corpus].id.is_some();
             if outcome.delegate_pass_run {
@@ -259,22 +334,7 @@ pub(crate) fn execute_plan<K: TopKKey>(
                 delegate_passes_saved += delegate_users;
                 delegate_cache.hits += 1;
             }
-            let unit_cost = outcome.delegate_ms
-                + outcome
-                    .results
-                    .iter()
-                    .map(|(_, _, r)| r.time_ms)
-                    .sum::<f64>();
-            unit_costs.push((outcome.unit, unit_cost));
             for (query_idx, predicted_recall, r) in outcome.results {
-                phase_ms.first_topk_ms += r.breakdown.first_topk_ms;
-                phase_ms.concat_ms += r.breakdown.concat_ms;
-                phase_ms.second_topk_ms += r.breakdown.second_topk_ms;
-                stats += r.stats;
-                // A member that had to rebuild its own pass (shared-pass
-                // mismatch after an exact fallback) charges its delegate
-                // time like the unit's own pass would have been.
-                phase_ms.delegate_ms += r.breakdown.delegate_ms;
                 results[query_idx] = Some(QueryResult {
                     values: r.values,
                     kth_value: r.kth_value,
@@ -306,13 +366,15 @@ pub(crate) fn execute_plan<K: TopKKey>(
     let pool_ms = worker_loads.iter().fold(0.0f64, |a, &b| a.max(b));
 
     // Sharded queries: each takes the whole cluster, so they run after the
-    // pool phase, serially. Sharded execution cannot yet share a delegate
-    // pass between *different* queries (the distributed pipeline has no
-    // planned-query seam — see the crate docs), but *identical* queries
-    // are answered once and the result is reused; engine-level time and
-    // counters charge each distinct selection exactly once. Approximate
-    // sharded queries run the approximate pipeline on every sub-vector, so
-    // the recall target is met per shard (and therefore overall).
+    // pool phase, serially, through the distributed stage graph
+    // (double-buffered chunked ingestion). Sharded execution cannot yet
+    // share a delegate pass between *different* queries (the distributed
+    // pipeline has no planned-query seam — see the crate docs), but
+    // *identical* queries are answered once and the result is reused;
+    // engine-level time and counters charge each distinct selection exactly
+    // once. Approximate sharded queries run the approximate pipeline on
+    // every sub-vector, so the recall target is met per shard (and
+    // therefore overall).
     type ShardKey = (
         usize,
         Direction,
@@ -320,9 +382,18 @@ pub(crate) fn execute_plan<K: TopKKey>(
         drtopk_core::InnerAlgorithm,
         drtopk_core::Mode,
     );
-    let mut answered: std::collections::HashMap<ShardKey, (Vec<K>, K, f64, KernelStats, f64)> =
+    struct ShardAnswer<K: TopKKey> {
+        values: Vec<K>,
+        kth_value: K,
+        total_ms: f64,
+        stats: KernelStats,
+        predicted_recall: f64,
+        breakdown: PhaseBreakdown,
+    }
+    let mut answered: std::collections::HashMap<ShardKey, ShardAnswer<K>> =
         std::collections::HashMap::new();
     let mut sharded_ms = 0.0f64;
+    let mut sharded_serial_ms = 0.0f64;
     for unit in &plan.units {
         let PlanUnit::Sharded(sharded) = unit else {
             continue;
@@ -342,26 +413,34 @@ pub(crate) fn execute_plan<K: TopKKey>(
                     distributed_dr_topk(cluster, as_desc(corpus.data), q.k, &cfg).into_native()
                 }
             };
-            let computed = (
-                d.values,
-                d.kth_value,
-                d.total_ms,
-                d.stats,
-                d.predicted_recall,
-            );
-            sharded_ms += computed.2;
-            stats += computed.3;
-            slot.insert(computed);
+            sharded_ms += d.total_ms;
+            sharded_serial_ms += d.stages.serial_ms();
+            stats += d.stats;
+            // Sharded phases report compute and data movement separately
+            // (the distributed breakdown keeps reload/gather time under
+            // `transfer_ms` instead of folding it into compute).
+            phase_ms.delegate_ms += d.breakdown.delegate_ms;
+            phase_ms.first_topk_ms += d.breakdown.first_topk_ms;
+            phase_ms.concat_ms += d.breakdown.concat_ms;
+            phase_ms.second_topk_ms += d.breakdown.second_topk_ms;
+            phase_ms.transfer_ms += d.breakdown.transfer_ms;
+            slot.insert(ShardAnswer {
+                values: d.values,
+                kth_value: d.kth_value,
+                total_ms: d.total_ms,
+                stats: d.stats,
+                predicted_recall: d.predicted_recall,
+                breakdown: d.breakdown,
+            });
         }
-        let (values, kth_value, total_ms, qstats, predicted_recall) =
-            answered.get(&key).expect("answered above");
+        let answer = answered.get(&key).expect("answered above");
         results[sharded.query] = Some(QueryResult {
-            values: values.clone(),
-            kth_value: *kth_value,
-            time_ms: *total_ms,
-            stats: *qstats,
-            breakdown: PhaseBreakdown::default(),
-            predicted_recall: *predicted_recall,
+            values: answer.values.clone(),
+            kth_value: answer.kth_value,
+            time_ms: answer.total_ms,
+            stats: answer.stats,
+            breakdown: answer.breakdown,
+            predicted_recall: answer.predicted_recall,
             path: ExecPath::Sharded {
                 devices: cluster.num_devices(),
             },
@@ -380,5 +459,6 @@ pub(crate) fn execute_plan<K: TopKKey>(
         delegate_cache,
         pool_ms,
         sharded_ms,
+        sharded_serial_ms,
     })
 }

@@ -93,6 +93,8 @@ pub mod query;
 pub mod report;
 
 pub use engine::{EngineConfig, EngineError, TopKEngine};
-pub use plan::{ExecutionPlan, FusedUnit, PlanCache, PlanUnit, ShardedUnit, TuningPlan};
+pub use plan::{
+    DelegateCacheEntry, ExecutionPlan, FusedUnit, PlanCache, PlanUnit, ShardedUnit, TuningPlan,
+};
 pub use query::{Corpus, Direction, Query, QueryBatch};
 pub use report::{BatchOutput, CacheReport, EngineReport, ExecPath, QueryResult};

@@ -67,12 +67,45 @@ pub(crate) struct DelegateKey {
     key_type: TypeId,
 }
 
+/// One cached delegate vector with its own usage accounting.
+#[derive(Debug)]
+struct DelegateSlot {
+    value: Arc<dyn Any + Send + Sync>,
+    hits: u64,
+}
+
+/// Observability snapshot of one delegate-cache entry (see
+/// [`PlanCache::delegate_entries`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegateCacheEntry {
+    /// Corpus id the entry was built for.
+    pub corpus_id: u64,
+    /// Corpus length the entry covers.
+    pub len: usize,
+    /// Subrange exponent the entry was built with.
+    pub alpha: u32,
+    /// Delegates per subrange (or the approximate candidate budget).
+    pub beta: usize,
+    /// How many lookups this entry has answered since it was inserted.
+    pub hits: u64,
+}
+
 /// The engine's memoization state: tuning plans plus cached delegate
 /// vectors, with hit/miss counters for both.
+///
+/// The delegate cache is an **LRU**: every hit refreshes the entry's
+/// recency, so repeat-heavy traffic keeps its hottest corpora resident —
+/// the earlier FIFO policy evicted by insertion age and would drop the
+/// most-hit corpus as soon as enough one-shot corpora streamed past it.
+/// Per-entry hit counts are kept for observability
+/// ([`PlanCache::delegate_entries`]).
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: HashMap<PlanKey, TuningPlan>,
-    delegates: HashMap<DelegateKey, Arc<dyn Any + Send + Sync>>,
+    delegates: HashMap<DelegateKey, DelegateSlot>,
+    /// Recency order: least-recently-used at the front, most-recent at the
+    /// back. Capacities are small (tens), so the O(len) reorder on hit is
+    /// noise next to the |V|-scan a miss costs.
     delegate_order: VecDeque<DelegateKey>,
     delegate_capacity: usize,
     plan_hits: u64,
@@ -137,7 +170,16 @@ impl PlanCache {
         (plan, false)
     }
 
-    /// Look up a cached delegate vector. Counts a hit/miss only when the
+    /// Move `key` to the most-recently-used end of the recency queue.
+    fn touch(&mut self, key: &DelegateKey) {
+        if let Some(pos) = self.delegate_order.iter().position(|k| k == key) {
+            self.delegate_order.remove(pos);
+        }
+        self.delegate_order.push_back(*key);
+    }
+
+    /// Look up a cached delegate vector; a hit refreshes the entry's LRU
+    /// recency and bumps its hit count. Counts a hit/miss only when the
     /// corpus is cacheable (`corpus_id` is `Some`).
     pub(crate) fn get_delegates<K: TopKKey>(
         &mut self,
@@ -154,15 +196,16 @@ impl PlanCache {
             beta,
             key_type: TypeId::of::<K>(),
         };
-        match self.delegates.get(&key) {
-            Some(any) => {
+        match self.delegates.get_mut(&key) {
+            Some(slot) => {
                 self.delegate_hits += 1;
+                slot.hits += 1;
                 // The TypeId in the key makes the downcast infallible.
-                Some(
-                    Arc::clone(any)
-                        .downcast::<DelegateVector<K>>()
-                        .expect("delegate cache entry type is pinned by its key"),
-                )
+                let value = Arc::clone(&slot.value)
+                    .downcast::<DelegateVector<K>>()
+                    .expect("delegate cache entry type is pinned by its key");
+                self.touch(&key);
+                Some(value)
             }
             None => {
                 self.delegate_misses += 1;
@@ -171,8 +214,9 @@ impl PlanCache {
         }
     }
 
-    /// Insert a freshly built delegate vector, evicting the oldest entry
-    /// when over capacity.
+    /// Insert a freshly built delegate vector at the most-recently-used
+    /// position, evicting the **least recently used** entries when over
+    /// capacity.
     pub(crate) fn put_delegates<K: TopKKey>(
         &mut self,
         corpus_id: u64,
@@ -191,15 +235,38 @@ impl PlanCache {
             beta,
             key_type: TypeId::of::<K>(),
         };
-        if self.delegates.insert(key, delegates).is_none() {
-            self.delegate_order.push_back(key);
-        }
+        self.delegates.insert(
+            key,
+            DelegateSlot {
+                value: delegates,
+                hits: 0,
+            },
+        );
+        self.touch(&key);
         while self.delegates.len() > self.delegate_capacity {
-            let Some(oldest) = self.delegate_order.pop_front() else {
+            let Some(lru) = self.delegate_order.pop_front() else {
                 break;
             };
-            self.delegates.remove(&oldest);
+            self.delegates.remove(&lru);
         }
+    }
+
+    /// Snapshot of every cached delegate vector in recency order (least
+    /// recently used first), with per-entry hit counts — the engine's
+    /// observability hook for answering "which corpora are hot".
+    pub fn delegate_entries(&self) -> Vec<DelegateCacheEntry> {
+        self.delegate_order
+            .iter()
+            .filter_map(|key| {
+                self.delegates.get(key).map(|slot| DelegateCacheEntry {
+                    corpus_id: key.corpus_id,
+                    len: key.len,
+                    alpha: key.alpha,
+                    beta: key.beta,
+                    hits: slot.hits,
+                })
+            })
+            .collect()
     }
 
     /// Cumulative tuning-plan cache counters.
@@ -509,23 +576,26 @@ mod tests {
         assert_eq!(unit.k_max, 100);
     }
 
-    #[test]
-    fn delegate_cache_evicts_in_insertion_order() {
+    fn build_entry(data: &[u32]) -> Arc<drtopk_core::DelegateVector<u32>> {
         let dev = gpu_sim::Device::with_host_threads(gpu_sim::DeviceSpec::v100s(), 2);
+        Arc::new(drtopk_core::build_delegate_vector(
+            &dev,
+            data,
+            6,
+            2,
+            drtopk_core::ConstructionMethod::Auto,
+        ))
+    }
+
+    #[test]
+    fn delegate_cache_evicts_least_recently_used() {
         let data: Vec<u32> = (0..4096).collect();
         let mut cache = PlanCache::with_delegate_capacity(2);
         for id in 0..3u64 {
-            let dv = drtopk_core::build_delegate_vector(
-                &dev,
-                &data,
-                6,
-                2,
-                drtopk_core::ConstructionMethod::Auto,
-            );
-            cache.put_delegates(id, data.len(), 6, 2, Arc::new(dv));
+            cache.put_delegates(id, data.len(), 6, 2, build_entry(&data));
         }
         assert_eq!(cache.cached_delegate_vectors(), 2);
-        // entry 0 was evicted; 1 and 2 survive
+        // no hits in between: recency == insertion, so entry 0 was evicted
         assert!(cache
             .get_delegates::<u32>(Some(0), data.len(), 6, 2)
             .is_none());
@@ -541,5 +611,60 @@ mod tests {
         assert!(cache.get_delegates::<u32>(None, data.len(), 6, 2).is_none());
         let rep = cache.delegate_report();
         assert_eq!((rep.hits, rep.misses), (2, 1));
+    }
+
+    #[test]
+    fn delegate_cache_keeps_the_hot_entry_under_pressure() {
+        // Regression for the FIFO policy: corpus 0 is the hottest entry of
+        // repeat-heavy traffic, yet FIFO would evict it first because it is
+        // the *oldest*. LRU must keep it and evict the idle corpus 1.
+        let data: Vec<u32> = (0..4096).collect();
+        let mut cache = PlanCache::with_delegate_capacity(2);
+        cache.put_delegates(0, data.len(), 6, 2, build_entry(&data));
+        cache.put_delegates(1, data.len(), 6, 2, build_entry(&data));
+        // repeat traffic on corpus 0 refreshes its recency
+        for _ in 0..3 {
+            assert!(cache
+                .get_delegates::<u32>(Some(0), data.len(), 6, 2)
+                .is_some());
+        }
+        // a new corpus streams past: the idle corpus 1 is evicted, not 0
+        cache.put_delegates(2, data.len(), 6, 2, build_entry(&data));
+        assert!(cache
+            .get_delegates::<u32>(Some(0), data.len(), 6, 2)
+            .is_some());
+        assert!(cache
+            .get_delegates::<u32>(Some(1), data.len(), 6, 2)
+            .is_none());
+        // per-entry hit counts survive and report in LRU → MRU order
+        let entries = cache.delegate_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].corpus_id, 2, "coldest first");
+        assert_eq!(entries[1].corpus_id, 0, "hottest (most recent) last");
+        assert_eq!(entries[1].hits, 4);
+        assert_eq!(entries[0].hits, 0);
+        assert_eq!(entries[1].alpha, 6);
+        assert_eq!(entries[1].beta, 2);
+        assert_eq!(entries[1].len, data.len());
+    }
+
+    #[test]
+    fn delegate_cache_reinsert_refreshes_recency_without_growth() {
+        let data: Vec<u32> = (0..4096).collect();
+        let mut cache = PlanCache::with_delegate_capacity(2);
+        cache.put_delegates(0, data.len(), 6, 2, build_entry(&data));
+        cache.put_delegates(1, data.len(), 6, 2, build_entry(&data));
+        // re-inserting an existing key must not duplicate it in the order
+        cache.put_delegates(0, data.len(), 6, 2, build_entry(&data));
+        assert_eq!(cache.cached_delegate_vectors(), 2);
+        // 0 is now most recent, so inserting a third evicts 1
+        cache.put_delegates(2, data.len(), 6, 2, build_entry(&data));
+        assert!(cache
+            .get_delegates::<u32>(Some(0), data.len(), 6, 2)
+            .is_some());
+        assert!(cache
+            .get_delegates::<u32>(Some(1), data.len(), 6, 2)
+            .is_none());
+        assert_eq!(cache.delegate_entries().len(), 2);
     }
 }

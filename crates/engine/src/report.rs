@@ -54,8 +54,10 @@ pub struct QueryResult<K: TopKKey> {
     pub time_ms: f64,
     /// Kernel counters attributed to this query.
     pub stats: KernelStats,
-    /// Per-phase modeled times (zeroed for sharded queries, whose
-    /// breakdown lives in the distributed result shape).
+    /// Per-phase modeled times, derived from the query's executed stage
+    /// schedule. Sharded queries report the summed per-chunk phases with
+    /// data movement (chunk reloads, the gather) kept separately under
+    /// [`PhaseBreakdown::transfer_ms`] rather than folded into compute.
     pub breakdown: PhaseBreakdown,
     /// What the recall model predicts this result contains: 1.0 for exact
     /// queries (and approximate queries that fell back to an exact plan),
@@ -93,10 +95,26 @@ pub struct EngineReport {
     /// queries served without their own construction pass).
     pub delegate_passes_saved: usize,
     /// Summed per-phase modeled times across every query, with shared
-    /// delegate passes counted once under `delegate_ms`.
+    /// delegate passes counted once under `delegate_ms` and all data
+    /// movement (out-of-core chunk reloads, distributed gathers) reported
+    /// separately under [`PhaseBreakdown::transfer_ms`] — transfer time is
+    /// never folded into a compute phase.
     pub phase_ms: PhaseBreakdown,
     /// Modeled time of the sharded (whole-cluster) portion of the batch.
     pub sharded_ms: f64,
+    /// Fraction of the sharded portion's serialized stage cost hidden by
+    /// **concurrency** (`1 − makespan / Σ stage durations` over the
+    /// sharded stage schedules). Two mechanisms contribute: double-buffered
+    /// chunk ingestion overlapping chunk `i + 1`'s host→device transfer
+    /// with chunk `i`'s compute, and the devices' chunk chains running in
+    /// parallel with each other — so a multi-device sharded run reports a
+    /// nonzero value even when nothing streamed. To isolate the
+    /// transfer-hiding effect alone, compare
+    /// [`distributed_dr_topk_scheduled`](drtopk_core::distributed_dr_topk_scheduled)
+    /// makespans under the two [`drtopk_core::ReloadSchedule`]s (what the
+    /// `streamed_oversize` bench does). 0.0 when the batch had no sharded
+    /// queries or their schedules were fully serial.
+    pub overlap_efficiency: f64,
     /// Modeled batch makespan: the slowest pool worker under deterministic
     /// list scheduling of the fused units (each unit to the
     /// earliest-available worker, in plan order), plus the sharded portion

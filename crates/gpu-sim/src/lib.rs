@@ -29,6 +29,7 @@
 //! | [`timing`] | the analytic timing model |
 //! | [`memory`] | [`AtomicBuffer`], [`AtomicCounter`]: device-global writable buffers |
 //! | [`multi`] | [`GpuCluster`]: multiple devices + MPI-like interconnect model |
+//! | [`stream`] | [`Stream`] / [`Event`]: modeled CUDA-stream overlap (transfer/compute concurrency) |
 //!
 //! ## Example
 //!
@@ -55,6 +56,7 @@ pub mod memory;
 pub mod multi;
 pub mod spec;
 pub mod stats;
+pub mod stream;
 pub mod timing;
 pub mod warp;
 
@@ -63,5 +65,6 @@ pub use memory::{pack_kv, unpack_kv, AtomicBuffer, AtomicBuffer64, AtomicCounter
 pub use multi::{DeviceError, GpuCluster, InterconnectSpec, TransferDirection};
 pub use spec::DeviceSpec;
 pub use stats::{DeviceStats, KernelRecord, KernelStats};
+pub use stream::{Event, Stream, StreamSet};
 pub use timing::{estimate_time_ms, host_transfer_time_ms};
 pub use warp::{chunk_range, WarpCtx, WARP_SIZE};

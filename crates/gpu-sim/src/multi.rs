@@ -174,6 +174,22 @@ impl GpuCluster {
         }
     }
 
+    /// Model a transfer *and* record it in the destination/source device's
+    /// kernel log (as [`Device::record_external`] would), returning the
+    /// modeled milliseconds. This is the one-call form the chunked
+    /// ingestion stages use: the transfer shows up both in the stage
+    /// schedule and in the device's own log.
+    pub fn record_transfer(&self, name: &str, direction: TransferDirection, bytes: u64) -> f64 {
+        let t = self.transfer_time_ms(direction, bytes);
+        let device = match direction {
+            TransferDirection::DeviceToDevice { dst, .. } => dst,
+            TransferDirection::HostToDevice { dst } => dst,
+            TransferDirection::DeviceToHost { src } => src,
+        };
+        self.devices[device].record_external(name, crate::stats::KernelStats::default(), t);
+        t
+    }
+
     /// Modeled time of an **asynchronous gather**: every secondary device
     /// sends `bytes_per_rank` to `primary` concurrently; the result is the
     /// slowest individual transfer plus a small per-message ingest cost at
@@ -321,6 +337,26 @@ mod tests {
         assert!(h2d > d2d);
         let d2h = cluster.transfer_time_ms(TransferDirection::DeviceToHost { src: 0 }, bytes);
         assert!((d2h - h2d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_transfer_logs_on_the_touched_device() {
+        let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+        let bytes = 1 << 20;
+        let t = cluster.record_transfer(
+            "chunk_load",
+            TransferDirection::HostToDevice { dst: 1 },
+            bytes,
+        );
+        assert_eq!(
+            t,
+            cluster.transfer_time_ms(TransferDirection::HostToDevice { dst: 1 }, bytes)
+        );
+        assert!(cluster.device(0).stats().kernels.is_empty());
+        let log = cluster.device(1).stats();
+        assert_eq!(log.kernels.len(), 1);
+        assert_eq!(log.kernels[0].name, "chunk_load");
+        assert!((log.time_ms_for("chunk_load") - t).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Multi-GPU scaling study (the Table 2 experiment as an example): run
 //! distributed Dr. Top-k over 1–16 simulated V100 GPUs, with the per-device
 //! capacity pinned so that small clusters must stream sub-vectors from the
-//! host (reload overhead).
+//! host (reload overhead). Unlike the `table2_multi_gpu` bench — which pins
+//! the paper's serial reload timeline — this example runs the library
+//! default (double-buffered ingestion), so the reload column shows what the
+//! overlapped schedule still pays, not what it hides.
 //!
 //! Run with: `cargo run --release --example multi_gpu_scaling [n_exp] [k]`
 
