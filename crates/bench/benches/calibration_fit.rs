@@ -1,0 +1,128 @@
+//! Wall-clock calibration of the threaded stage-graph executor: run the
+//! same out-of-core distributed graph under the serial and threaded
+//! executors, verify the modeled reports are byte-identical, and report
+//! the per-[`StageKind`] regression of measured host milliseconds against
+//! modeled simulator milliseconds — slope, intercept and R² — plus the
+//! calibrated makespan prediction next to what the host actually measured.
+//!
+//! Beyond the CSV every harness writes, this target records
+//! `bench_results/calibration_fit.json`; the committed
+//! `calibration_fit_baseline.json` is the trajectory-tracking reference
+//! (its *modeled* columns are deterministic; the measured ones are a
+//! sample from the machine that wrote it).
+//!
+//! [`StageKind`]: drtopk_core::StageKind
+
+use std::io::Write as _;
+
+use drtopk_bench_harness::*;
+use drtopk_core::{distributed_dr_topk_executor, DrTopKConfig, Executor, ReloadSchedule};
+use gpu_sim::{Device, DeviceSpec, GpuCluster, InterconnectSpec};
+use topk_baselines::reference_topk;
+
+const DEVICES: usize = 4;
+const K: usize = 128;
+const MULTIPLE: usize = 4; // corpus = 4× aggregate capacity
+
+fn cluster(capacity: usize) -> GpuCluster {
+    // One host thread per simulated device: the only host parallelism in
+    // the measurement is the stage-graph executor's own.
+    let devices = (0..DEVICES)
+        .map(|_| Device::with_host_threads(DeviceSpec::v100s(), 1))
+        .collect();
+    let c = GpuCluster::new(devices, InterconnectSpec::default());
+    for d in c.devices() {
+        d.set_capacity_elems(capacity);
+    }
+    c
+}
+
+fn main() {
+    let capacity = (default_n() >> 4).max(1 << 14);
+    let n = capacity * MULTIPLE * DEVICES;
+    let data = topk_datagen::uniform(n, seed());
+    let cfg = DrTopKConfig::default();
+    let expected = reference_topk(&data, K);
+
+    let serial = distributed_dr_topk_executor(
+        &cluster(capacity),
+        &data,
+        K,
+        &cfg,
+        ReloadSchedule::DoubleBuffered,
+        Executor::Serial,
+    );
+    let threaded = distributed_dr_topk_executor(
+        &cluster(capacity),
+        &data,
+        K,
+        &cfg,
+        ReloadSchedule::DoubleBuffered,
+        Executor::Threaded,
+    );
+    assert_eq!(serial.values, expected, "serial executor must be exact");
+    assert_eq!(threaded.values, expected, "threaded executor must be exact");
+    assert_eq!(
+        serial.stages.deterministic_summary(),
+        threaded.stages.deterministic_summary(),
+        "modeled report must not depend on the executor"
+    );
+
+    let report = &threaded.stages;
+    let predicted = report.calibration.predicted_makespan_ms(report);
+    let rows: Vec<Vec<String>> = report
+        .calibration
+        .fits
+        .iter()
+        .map(|f| {
+            vec![
+                format!("{}", f.kind),
+                f.samples.to_string(),
+                fmt(f.slope),
+                fmt(f.intercept_ms),
+                fmt(f.r2),
+            ]
+        })
+        .collect();
+    emit(
+        "calibration_fit",
+        &["stage_kind", "samples", "slope", "intercept_ms", "r2"],
+        &rows,
+    );
+    println!(
+        "modeled {:.4} ms | measured serial {:.4} ms, threaded {:.4} ms | calibrated prediction {:.4} ms",
+        report.makespan_ms, serial.stages.measured_makespan_ms, report.measured_makespan_ms, predicted,
+    );
+
+    // Baseline JSON for trajectory tracking (hand-rolled: no serde in the
+    // offline workspace). Modeled fields are deterministic; measured and
+    // fitted fields are one sample of host wall-clock.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"capacity\": {capacity},\n  \"devices\": {DEVICES},\n  \"k\": {K},\n  \"seed\": {},\n  \"n\": {n},\n",
+        seed()
+    ));
+    json.push_str(&format!(
+        "  \"modeled_makespan_ms\": {:.4},\n  \"measured_serial_ms\": {:.4},\n  \"measured_threaded_ms\": {:.4},\n  \"predicted_makespan_ms\": {:.4},\n  \"fits\": [\n",
+        report.makespan_ms,
+        serial.stages.measured_makespan_ms,
+        report.measured_makespan_ms,
+        predicted,
+    ));
+    for (i, f) in report.calibration.fits.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"stage_kind\": \"{}\", \"samples\": {}, \"slope\": {:.6}, \"intercept_ms\": {:.6}, \"r2\": {:.4}}}{}\n",
+            f.kind,
+            f.samples,
+            f.slope,
+            f.intercept_ms,
+            f.r2,
+            if i + 1 == report.calibration.fits.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = results_dir().join("calibration_fit.json");
+    let mut file = std::fs::File::create(&path).expect("cannot create JSON file");
+    file.write_all(json.as_bytes()).unwrap();
+    println!("[written to {}]", path.display());
+}

@@ -47,6 +47,8 @@
 //! model's prediction. Shuffle or hash-partition such inputs first, or use
 //! the exact mode.
 
+use std::sync::Mutex;
+
 use gpu_sim::Device;
 
 use crate::delegate::{build_delegate_vector, DelegateVector};
@@ -316,20 +318,20 @@ pub(crate) fn dr_topk_approx_planned<K: TopKKey>(
         built: Option<DelegateVector<K>>,
         inner: Option<TopKResult<K>>,
     }
-    let mut graph: StageGraph<'_, ApproxCtx<K>> = StageGraph::new();
+    let mut graph: StageGraph<'_, Mutex<ApproxCtx<K>>> = StageGraph::new();
     let mut deps = Vec::new();
     if shared_delegates.is_none() {
         let built_id = graph.add(
             StageKind::BucketTopKPrime,
             Resource::Compute(0),
             &[],
-            move |ctx| {
+            move |ctx: &Mutex<ApproxCtx<K>>| {
                 let built = build_delegate_vector(device, data, alpha, budget, config.construction);
                 let outcome = StageOutcome {
                     stats: built.stats,
                     time_ms: built.time_ms,
                 };
-                ctx.built = Some(built);
+                ctx.lock().unwrap().built = Some(built);
                 outcome
             },
         );
@@ -339,25 +341,27 @@ pub(crate) fn dr_topk_approx_planned<K: TopKKey>(
         StageKind::SecondTopK,
         Resource::Compute(0),
         &deps,
-        move |ctx| {
+        move |ctx: &Mutex<ApproxCtx<K>>| {
+            let mut guard = ctx.lock().unwrap();
             let candidates = shared_delegates
-                .or(ctx.built.as_ref())
+                .or(guard.built.as_ref())
                 .expect("candidate vector available once stage 1 ran");
             let inner = config.inner.run(device, &candidates.values, k);
             let outcome = StageOutcome {
                 stats: inner.stats,
                 time_ms: inner.time_ms,
             };
-            ctx.inner = Some(inner);
+            guard.inner = Some(inner);
             outcome
         },
     );
 
-    let mut ctx = ApproxCtx {
+    let ctx = Mutex::new(ApproxCtx {
         built: None,
         inner: None,
-    };
-    let report = graph.execute(&mut ctx);
+    });
+    let report = graph.execute(&ctx);
+    let mut ctx = ctx.into_inner().unwrap();
     let candidates = shared_delegates
         .or(ctx.built.as_ref())
         .expect("candidate vector available");

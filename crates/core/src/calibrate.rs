@@ -1,0 +1,297 @@
+//! Modeled-vs-measured calibration — regressing host wall-clock against
+//! the simulator's analytic timing model, per [`StageKind`].
+//!
+//! The stage-graph executor records two clocks for every stage: the
+//! *modeled* duration from the timing model (deterministic) and the
+//! *measured* host wall-clock around the stage closure (jittery). This
+//! module fits, for each [`StageKind`], an ordinary least-squares line
+//!
+//! ```text
+//! measured_ms ≈ slope · modeled_ms + intercept_ms
+//! ```
+//!
+//! and exposes the fit on every [`StageReport`] as
+//! [`CalibrationFit`]. The fit answers two questions benches and tests
+//! keep asking:
+//!
+//! * **How fast is the host relative to the model?** The slope is the
+//!   wall-clock cost of one modeled millisecond for that kind of work;
+//!   the intercept absorbs per-stage fixed overhead (dispatch, locking).
+//! * **Does the threaded executor actually realize the modeled overlap?**
+//!   [`CalibrationFit::predicted_makespan_ms`] *replays* a report's
+//!   schedule — same resources, same dependencies — with every duration
+//!   mapped through the fit, yielding the wall-clock makespan the modeled
+//!   schedule predicts. Comparing it against the report's
+//!   `measured_makespan_ms` is how the acceptance criterion "measured
+//!   within 25% of modeled" is phrased in commensurable units: modeled
+//!   milliseconds are simulated-GPU time and host milliseconds are
+//!   host time, so the raw numbers are never comparable directly.
+//!
+//! Everything here is descriptive instrumentation: fits never feed back
+//! into scheduling decisions, so results and modeled reports stay
+//! bit-identical whether or not anyone looks at the calibration.
+
+use gpu_sim::StreamSet;
+
+use crate::stages::{ExecutedStage, Resource, StageKind, StageReport};
+
+/// Near-zero variance guard for the degenerate-fit fallbacks.
+const EPS: f64 = 1e-12;
+
+/// The least-squares fit for one [`StageKind`]: `measured ≈ slope · modeled
+/// + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindFit {
+    /// The stage kind this fit describes.
+    pub kind: StageKind,
+    /// Number of stages the fit was computed over.
+    pub samples: usize,
+    /// Measured milliseconds per modeled millisecond.
+    pub slope: f64,
+    /// Fixed per-stage overhead in measured milliseconds.
+    pub intercept_ms: f64,
+    /// Coefficient of determination in `[0, 1]` (clamped at 0; 1.0 when
+    /// the measured durations have no variance to explain, e.g. a single
+    /// sample).
+    pub r2: f64,
+}
+
+impl KindFit {
+    /// Predicted measured duration for a stage of `modeled_ms` modeled
+    /// milliseconds, clamped at 0 (a fitted line can dip negative near the
+    /// origin; durations cannot).
+    pub fn predict(&self, modeled_ms: f64) -> f64 {
+        (self.slope * modeled_ms + self.intercept_ms).max(0.0)
+    }
+}
+
+/// Per-[`StageKind`] calibration fits over one report's stages.
+///
+/// Kinds appear in first-occurrence order of the fitted stage list, so the
+/// structure itself is deterministic given the (nondeterministic) measured
+/// inputs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CalibrationFit {
+    /// One fit per stage kind that occurred, in first-occurrence order.
+    pub fits: Vec<KindFit>,
+}
+
+impl CalibrationFit {
+    /// Fit measured against modeled durations, grouped by stage kind.
+    ///
+    /// Degenerate groups fall back gracefully: with no modeled-duration
+    /// variance (every stage of the kind has the same modeled cost — one
+    /// sample is the common case) the slope becomes the mean measured /
+    /// mean modeled ratio through the origin, or a pure intercept when the
+    /// modeled durations are all zero.
+    pub fn fit(stages: &[ExecutedStage]) -> CalibrationFit {
+        let mut kinds: Vec<StageKind> = Vec::new();
+        for s in stages {
+            if !kinds.contains(&s.kind) {
+                kinds.push(s.kind);
+            }
+        }
+        let fits = kinds
+            .into_iter()
+            .map(|kind| {
+                let xs: Vec<f64> = stages
+                    .iter()
+                    .filter(|s| s.kind == kind)
+                    .map(ExecutedStage::duration_ms)
+                    .collect();
+                let ys: Vec<f64> = stages
+                    .iter()
+                    .filter(|s| s.kind == kind)
+                    .map(ExecutedStage::measured_ms)
+                    .collect();
+                let n = xs.len() as f64;
+                let mean_x = xs.iter().sum::<f64>() / n;
+                let mean_y = ys.iter().sum::<f64>() / n;
+                let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+                let sxy: f64 = xs
+                    .iter()
+                    .zip(&ys)
+                    .map(|(x, y)| (x - mean_x) * (y - mean_y))
+                    .sum();
+                let (slope, intercept_ms) = if sxx > EPS {
+                    let slope = sxy / sxx;
+                    (slope, mean_y - slope * mean_x)
+                } else if mean_x > EPS {
+                    // All modeled durations equal and nonzero: a ratio
+                    // through the origin is the only defensible line.
+                    (mean_y / mean_x, 0.0)
+                } else {
+                    // Zero modeled cost (e.g. a skipped phase): pure
+                    // per-stage overhead.
+                    (0.0, mean_y)
+                };
+                let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+                let ss_res: f64 = xs
+                    .iter()
+                    .zip(&ys)
+                    .map(|(x, y)| (y - (slope * x + intercept_ms)).powi(2))
+                    .sum();
+                let r2 = if ss_tot > EPS {
+                    (1.0 - ss_res / ss_tot).max(0.0)
+                } else {
+                    1.0
+                };
+                KindFit {
+                    kind,
+                    samples: xs.len(),
+                    slope,
+                    intercept_ms,
+                    r2,
+                }
+            })
+            .collect();
+        CalibrationFit { fits }
+    }
+
+    /// The fit for `kind`, if any stage of that kind was fitted.
+    pub fn for_kind(&self, kind: StageKind) -> Option<&KindFit> {
+        self.fits.iter().find(|f| f.kind == kind)
+    }
+
+    /// Predicted measured duration of one stage: its kind's fit applied to
+    /// its modeled duration. Stages of a kind the fit has never seen pass
+    /// their modeled duration through unchanged (identity fallback).
+    pub fn predict_stage_ms(&self, stage: &ExecutedStage) -> f64 {
+        match self.for_kind(stage.kind) {
+            Some(fit) => fit.predict(stage.duration_ms()),
+            None => stage.duration_ms(),
+        }
+    }
+
+    /// Replay `report`'s schedule — same resources, same declared
+    /// dependencies, same per-resource in-order queues — with every stage
+    /// duration mapped through the calibration, returning the host
+    /// wall-clock makespan the modeled schedule *predicts*.
+    ///
+    /// This is the bridge between the two clocks: `report.makespan_ms` is
+    /// simulated-GPU time, `report.measured_makespan_ms` is host time, and
+    /// this prediction is host time derived from the modeled schedule. A
+    /// threaded executor that realizes the modeled overlap lands its
+    /// measured makespan close to this number.
+    pub fn predicted_makespan_ms(&self, report: &StageReport) -> f64 {
+        let mut streams: StreamSet<Resource> = StreamSet::new();
+        let mut finished: Vec<gpu_sim::Event> = Vec::with_capacity(report.stages.len());
+        for stage in &report.stages {
+            let stream = streams.stream_mut(stage.resource);
+            for &dep in &stage.deps {
+                stream.wait_event(&finished[dep]);
+            }
+            let done = stream.launch(self.predict_stage_ms(stage));
+            finished.push(done);
+        }
+        streams.makespan_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::KernelStats;
+
+    fn stage(kind: StageKind, modeled: (f64, f64), measured: (f64, f64)) -> ExecutedStage {
+        ExecutedStage {
+            kind,
+            label: kind.name().into(),
+            resource: Resource::Compute(0),
+            deps: vec![],
+            start_ms: modeled.0,
+            end_ms: modeled.1,
+            measured_start_ms: measured.0,
+            measured_end_ms: measured.1,
+            stats: KernelStats::default(),
+        }
+    }
+
+    #[test]
+    fn recovers_an_exact_linear_relationship() {
+        // measured = 2·modeled + 1, over three distinct modeled durations.
+        let stages = vec![
+            stage(StageKind::LocalTopK, (0.0, 1.0), (0.0, 3.0)),
+            stage(StageKind::LocalTopK, (0.0, 2.0), (0.0, 5.0)),
+            stage(StageKind::LocalTopK, (0.0, 4.0), (0.0, 9.0)),
+        ];
+        let fit = CalibrationFit::fit(&stages);
+        let f = fit.for_kind(StageKind::LocalTopK).unwrap();
+        assert_eq!(f.samples, 3);
+        assert!((f.slope - 2.0).abs() < 1e-9);
+        assert!((f.intercept_ms - 1.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-9);
+        assert!((f.predict(3.0) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_equal_modeled_durations_fall_back_to_a_ratio() {
+        let stages = vec![
+            stage(StageKind::ChunkLoad, (0.0, 2.0), (0.0, 6.0)),
+            stage(StageKind::ChunkLoad, (2.0, 4.0), (6.0, 14.0)),
+        ];
+        let fit = CalibrationFit::fit(&stages);
+        let f = fit.for_kind(StageKind::ChunkLoad).unwrap();
+        // mean measured 7, mean modeled 2 → ratio 3.5 through the origin.
+        assert!((f.slope - 3.5).abs() < 1e-9);
+        assert_eq!(f.intercept_ms, 0.0);
+    }
+
+    #[test]
+    fn zero_modeled_cost_becomes_pure_overhead() {
+        let stages = vec![stage(StageKind::FinalTopK, (1.0, 1.0), (0.0, 0.25))];
+        let fit = CalibrationFit::fit(&stages);
+        let f = fit.for_kind(StageKind::FinalTopK).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert!((f.intercept_ms - 0.25).abs() < 1e-12);
+        assert_eq!(f.r2, 1.0, "no variance to explain");
+        assert!(f.predict(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn predictions_never_go_negative() {
+        // A fitted line with a negative intercept dips below zero for
+        // small modeled durations; predict() clamps.
+        let f = KindFit {
+            kind: StageKind::Gather,
+            samples: 2,
+            slope: 1.0,
+            intercept_ms: -5.0,
+            r2: 1.0,
+        };
+        assert_eq!(f.predict(1.0), 0.0);
+        assert_eq!(f.predict(10.0), 5.0);
+    }
+
+    #[test]
+    fn predicted_makespan_replays_overlap() {
+        use crate::stages::TransferLane;
+        // Two chained compute stages (modeled 1 ms each) and one transfer
+        // (modeled 2 ms) that overlaps them. Calibration: compute runs at
+        // 2× wall-clock, transfer at 1×.
+        let mut compute0 = stage(StageKind::LocalTopK, (0.0, 1.0), (0.0, 2.0));
+        let mut compute1 = stage(StageKind::LocalTopK, (1.0, 2.0), (2.0, 4.0));
+        compute1.deps = vec![0];
+        let mut load = stage(StageKind::ChunkLoad, (0.0, 2.0), (0.0, 2.0));
+        load.resource = Resource::Transfer(TransferLane::HostToDevice(0));
+        let report = StageReport {
+            stages: vec![compute0.clone(), compute1, load],
+            makespan_ms: 2.0,
+            measured_makespan_ms: 4.0,
+            calibration: CalibrationFit::default(),
+        };
+        compute0.end_ms = 1.0;
+        let fit = CalibrationFit::fit(&report.stages);
+        // Predicted: compute lane 2+2 = 4 ms, transfer lane 2 ms → 4 ms.
+        let predicted = fit.predicted_makespan_ms(&report);
+        assert!((predicted - 4.0).abs() < 1e-9, "got {predicted}");
+    }
+
+    #[test]
+    fn unknown_kinds_pass_modeled_time_through() {
+        let fit = CalibrationFit::default();
+        let s = stage(StageKind::Concatenate, (0.0, 3.0), (0.0, 99.0));
+        assert_eq!(fit.predict_stage_ms(&s), 3.0);
+        assert!(fit.for_kind(StageKind::Concatenate).is_none());
+    }
+}

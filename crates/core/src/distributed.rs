@@ -12,25 +12,33 @@
 //! asynchronous messages, and the primary computes the final top-k over the
 //! `#devices × k` candidates.
 //!
-//! Host-side, each device's chunk pipelines simulate in parallel on the
-//! cluster's worker threads ([`GpuCluster::run_on_all`], as they always
-//! have); the recorded per-chunk durations then feed the stage graph, which
-//! owns all modeled-time scheduling.
+//! The whole run is one [`StageGraph`] whose closures do the *real* work:
+//! per-chunk [`ChunkLoad`](crate::stages::StageKind::ChunkLoad) transfer
+//! stages on each device's host→device lane,
+//! [`LocalTopK`](crate::stages::StageKind::LocalTopK) compute stages (each
+//! runs the full local pipeline on its device) on its compute queue,
+//! per-device merges, one per-source
+//! [`Gather`](crate::stages::StageKind::Gather) per secondary device on its
+//! own interconnect lane, and the primary's final selection. The threaded
+//! executor dispatches one host worker per resource, so each device's chunk
+//! pipelines run concurrently for real — host wall-clock tracks the modeled
+//! makespan — while the deterministic modeled replay keeps every report
+//! bit-identical run to run. The context is partitioned per device: each
+//! device's candidate buffer and per-chunk breakdowns live in their own
+//! mutex slot, written only by that device's stages.
 //!
-//! The whole run is expressed as a [`StageGraph`]: per-chunk
-//! [`ChunkLoad`](crate::stages::StageKind::ChunkLoad) transfer stages on each
-//! device's host→device lane and [`LocalTopK`](crate::stages::StageKind::LocalTopK)
-//! compute stages on its compute queue, followed by per-device merges, the
-//! gather and the final selection. Under the default
-//! [`ReloadSchedule::DoubleBuffered`] schedule chunk *i + 1* transfers while
-//! chunk *i* computes (two staging buffers: chunk *i + 2*'s load additionally
-//! waits for chunk *i*'s compute to free its buffer), hiding reload time
-//! behind compute; [`ReloadSchedule::Serial`] reproduces the historical
-//! transfer-then-compute interleaving for comparison. The two schedules are
-//! bit-identical in their results — only the modeled timeline differs.
+//! Under the default [`ReloadSchedule::DoubleBuffered`] schedule chunk
+//! *i + 1* transfers while chunk *i* computes (two staging buffers: chunk
+//! *i + 2*'s load additionally waits for chunk *i*'s compute to free its
+//! buffer), hiding reload time behind compute; [`ReloadSchedule::Serial`]
+//! reproduces the historical transfer-then-compute interleaving for
+//! comparison. The two schedules are bit-identical in their results — only
+//! the modeled timeline differs.
 //!
 //! Everything here is generic over [`TopKKey`], like the rest of the
 //! pipeline; the `u32` monomorphization is the historical behaviour.
+
+use std::sync::Mutex;
 
 use gpu_sim::{GpuCluster, KernelStats, TransferDirection};
 use topk_baselines::{reference_topk, Desc, TopKKey};
@@ -38,7 +46,7 @@ use topk_baselines::{reference_topk, Desc, TopKKey};
 use crate::pipeline::{dr_topk_with_stats, DrTopKConfig, PhaseBreakdown};
 use crate::radix_flags::flag_radix_topk;
 use crate::stages::{
-    Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport, TransferLane,
+    Executor, Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport, TransferLane,
 };
 
 /// How out-of-core sub-vector reloads are scheduled against compute.
@@ -88,7 +96,10 @@ pub struct DistributedResult<K: TopKKey = u32> {
     /// Per-device host→device reload time for sub-vectors beyond the first
     /// resident one, ms.
     pub per_device_reload_ms: Vec<f64>,
-    /// Modeled communication time of the asynchronous gather, ms.
+    /// Modeled communication time of the asynchronous gather: the summed
+    /// duration of every per-source gather stage (the stages themselves
+    /// overlap on their own interconnect lanes, so the makespan charge is
+    /// smaller).
     pub communication_ms: f64,
     /// Final top-k on the primary device, ms.
     pub final_topk_ms: f64,
@@ -109,7 +120,7 @@ pub struct DistributedResult<K: TopKKey = u32> {
     /// Per-phase breakdown across every chunk's local pipeline, with the
     /// distributed machinery's own selection stages (per-device merges, the
     /// final top-k) under `second_topk_ms` and all data movement (chunk
-    /// reloads, the gather) under `transfer_ms` — transfer time is **not**
+    /// reloads, the gathers) under `transfer_ms` — transfer time is **not**
     /// folded into compute.
     pub breakdown: PhaseBreakdown,
     /// The executed stage schedule: every chunk load, chunk top-k, merge,
@@ -188,6 +199,40 @@ pub fn distributed_dr_topk_scheduled<K: TopKKey>(
     config: &DrTopKConfig,
     schedule: ReloadSchedule,
 ) -> DistributedResult<K> {
+    distributed_dr_topk_executor(cluster, data, k, config, schedule, Executor::Threaded)
+}
+
+/// The mutable state one device's stages write: its local candidate buffer
+/// and the per-chunk phase breakdowns, in chunk order. Only stages of that
+/// device touch the slot, and they are chained on its compute queue, so the
+/// mutex is uncontended — it exists to satisfy the `&C` sharing rule.
+struct DeviceSlot<K> {
+    local: Vec<K>,
+    breakdowns: Vec<PhaseBreakdown>,
+}
+
+/// Context of the distributed stage graph: one slot per device plus the
+/// final winners, written once by the `FinalTopK` stage.
+struct DistCtx<K> {
+    slots: Vec<Mutex<DeviceSlot<K>>>,
+    winners: Mutex<Option<Vec<K>>>,
+}
+
+/// Run distributed Dr. Top-k under an explicit [`ReloadSchedule`] *and* an
+/// explicit host [`Executor`].
+///
+/// Results and every modeled report field are bit-identical across
+/// executors; [`Executor::Threaded`] (the default of every other entry
+/// point) additionally makes host wall-clock track the modeled makespan,
+/// which the calibration acceptance test pins against [`Executor::Serial`].
+pub fn distributed_dr_topk_executor<K: TopKKey>(
+    cluster: &GpuCluster,
+    data: &[K],
+    k: usize,
+    config: &DrTopKConfig,
+    schedule: ReloadSchedule,
+    executor: Executor,
+) -> DistributedResult<K> {
     let k = k.min(data.len());
     let num_devices = cluster.num_devices();
     if k == 0 || data.is_empty() {
@@ -231,105 +276,50 @@ pub fn distributed_dr_topk_scheduled<K: TopKKey>(
         .map(|r| crate::pipeline::PlannedQuery::plan(r.len(), k, config).predicted_recall)
         .fold(1.0f64, f64::min);
 
-    // Host-side simulation first, one worker thread per device — exactly
-    // the parallelism of the pre-refactor runner: each device simulates its
-    // chunk pipelines (recording reload transfers in its own log) and its
-    // local merge. The stage graph below is then built over the *recorded*
-    // durations; it owns all modeled-time scheduling but re-simulates
-    // nothing, so host wall-clock still scales with the device count.
-    struct ChunkRun {
-        /// Index of the sub-vector within the whole corpus.
-        chunk: usize,
-        /// Modeled reload time; `None` for the device's resident chunk.
-        reload_ms: Option<f64>,
-        time_ms: f64,
-        stats: KernelStats,
-        breakdown: PhaseBreakdown,
-    }
-    struct DeviceRun<K: TopKKey> {
-        chunks: Vec<ChunkRun>,
-        /// `(time, stats)` of the on-device merge of several chunks'
-        /// winners; `None` when the device owns at most one chunk.
-        merge: Option<(f64, KernelStats)>,
-        /// The device's final local candidates (merged when applicable).
-        local: Vec<K>,
-    }
-    let per_device: Vec<DeviceRun<K>> = cluster.run_on_all(|d, device| {
-        let mut chunks: Vec<ChunkRun> = Vec::new();
-        let mut local: Vec<K> = Vec::new();
-        for (i, range) in subvectors.iter().enumerate() {
-            if i % num_devices != d {
-                continue;
-            }
+    // Build the stage graph whose closures do the real work. Per device: a
+    // chain of chunk loads on its host→device lane interleaved with
+    // per-chunk local top-k's on its compute queue, then the local merge;
+    // per-source gathers and the final selection close the graph. The
+    // threaded executor runs one host worker per resource, so the devices'
+    // chunk pipelines execute concurrently for real.
+    let ctx: DistCtx<K> = DistCtx {
+        slots: (0..num_devices)
+            .map(|_| {
+                Mutex::new(DeviceSlot {
+                    local: Vec::new(),
+                    breakdowns: Vec::new(),
+                })
+            })
+            .collect(),
+        winners: Mutex::new(None),
+    };
+    let mut graph: StageGraph<'_, DistCtx<K>> = StageGraph::new();
+    let mut device_tails: Vec<(usize, StageId)> = Vec::new();
+    for d in 0..num_devices {
+        let device = cluster.device(d);
+        let owned: Vec<(usize, std::ops::Range<usize>)> = subvectors
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % num_devices == d)
+            .map(|(i, r)| (i, r.clone()))
+            .collect();
+        let mut computes: Vec<StageId> = Vec::new();
+        for (j, (i, range)) in owned.iter().enumerate() {
             // Sub-vectors beyond the first resident one stream in from the
-            // host: that is the reload overhead of Table 2.
-            let reload_ms = if chunks.is_empty() {
-                None
-            } else {
+            // host: that is the reload overhead of Table 2. The transfer is
+            // recorded on the device's log here at build time (as the
+            // historical runner did); the stage closure only reports it.
+            let load = (j > 0).then(|| {
                 let bytes = (range.len() * std::mem::size_of::<K>()) as u64;
-                Some(cluster.record_transfer(
+                let t = cluster.record_transfer(
                     "reload_subvector",
                     TransferDirection::HostToDevice { dst: d },
                     bytes,
-                ))
-            };
-            let r = dr_topk_with_stats(device, &data[range.clone()], k, config);
-            local.extend_from_slice(&r.values);
-            chunks.push(ChunkRun {
-                chunk: i,
-                reload_ms,
-                time_ms: r.time_ms,
-                stats: r.stats,
-                breakdown: r.breakdown,
-            });
-        }
-        // A device that owns several sub-vectors merges their top-k's into a
-        // single local top-k before communicating (tiny, done on-device).
-        let merge = if chunks.len() > 1 {
-            let merged = flag_radix_topk(device, &local, k);
-            local = merged.values;
-            Some((merged.time_ms, merged.stats))
-        } else {
-            None
-        };
-        DeviceRun {
-            chunks,
-            merge,
-            local,
-        }
-    });
-
-    // Final top-k on the primary device over the #devices × k candidates.
-    let all_candidates: Vec<K> = per_device
-        .iter()
-        .flat_map(|r| r.local.iter().copied())
-        .collect();
-    let (values, final_ms, final_stats) = if all_candidates.len() > k && num_devices > 1 {
-        let final_topk = flag_radix_topk(cluster.device(0), &all_candidates, k);
-        (final_topk.values, final_topk.time_ms, final_topk.stats)
-    } else {
-        (
-            reference_topk(&all_candidates, k),
-            0.0,
-            KernelStats::default(),
-        )
-    };
-
-    // Build the stage graph over the recorded durations: per device, a
-    // chain of chunk loads on its host→device lane interleaved with
-    // per-chunk local top-k's on its compute queue, then the local merge;
-    // the gather and the final selection close the graph.
-    let mut graph: StageGraph<'_, ()> = StageGraph::new();
-    let mut device_tails: Vec<StageId> = Vec::new();
-    let mut chunk_phases = PhaseBreakdown::default();
-    for (d, run) in per_device.iter().enumerate() {
-        let mut computes: Vec<StageId> = Vec::new();
-        for (j, c) in run.chunks.iter().enumerate() {
-            // Serial: the load waits for the previous chunk's compute.
-            // Double-buffered: the load only waits for the chunk whose
-            // staging buffer it reuses (two buffers → chunk j − 2), so it
-            // overlaps chunk j − 1's compute.
-            let load = c.reload_ms.map(|t| {
+                );
+                // Serial: the load waits for the previous chunk's compute.
+                // Double-buffered: the load only waits for the chunk whose
+                // staging buffer it reuses (two buffers → chunk j − 2), so
+                // it overlaps chunk j − 1's compute.
                 let deps: Vec<StageId> = match schedule {
                     ReloadSchedule::Serial => vec![computes[j - 1]],
                     ReloadSchedule::DoubleBuffered => {
@@ -342,69 +332,129 @@ pub fn distributed_dr_topk_scheduled<K: TopKKey>(
                 };
                 graph.add_labeled(
                     StageKind::ChunkLoad,
-                    format!("chunk {} load", c.chunk),
+                    format!("chunk {i} load"),
                     Resource::Transfer(TransferLane::HostToDevice(d)),
                     &deps,
-                    move |_: &mut ()| StageOutcome {
+                    move |_: &DistCtx<K>| StageOutcome {
                         stats: KernelStats::default(),
                         time_ms: t,
                     },
                 )
             });
             let deps: Vec<StageId> = load.into_iter().collect();
-            let (time_ms, stats) = (c.time_ms, c.stats);
+            let range = range.clone();
             computes.push(graph.add_labeled(
                 StageKind::LocalTopK,
-                format!("chunk {} top-k", c.chunk),
+                format!("chunk {i} top-k"),
                 Resource::Compute(d),
                 &deps,
-                move |_: &mut ()| StageOutcome { stats, time_ms },
+                move |ctx: &DistCtx<K>| {
+                    let r = dr_topk_with_stats(device, &data[range], k, config);
+                    let outcome = StageOutcome {
+                        stats: r.stats,
+                        time_ms: r.time_ms,
+                    };
+                    let mut slot = ctx.slots[d].lock().unwrap();
+                    slot.local.extend_from_slice(&r.values);
+                    slot.breakdowns.push(r.breakdown);
+                    outcome
+                },
             ));
-            chunk_phases.delegate_ms += c.breakdown.delegate_ms;
-            chunk_phases.first_topk_ms += c.breakdown.first_topk_ms;
-            chunk_phases.concat_ms += c.breakdown.concat_ms;
-            chunk_phases.second_topk_ms += c.breakdown.second_topk_ms;
         }
-        if let Some((time_ms, stats)) = run.merge {
+        // A device that owns several sub-vectors merges their top-k's into
+        // a single local top-k before communicating (tiny, done on-device).
+        if owned.len() > 1 {
             let last = *computes.last().expect("merging device owns chunks");
-            device_tails.push(graph.add(
-                StageKind::LocalMerge,
-                Resource::Compute(d),
-                &[last],
-                move |_: &mut ()| StageOutcome { stats, time_ms },
+            device_tails.push((
+                d,
+                graph.add(
+                    StageKind::LocalMerge,
+                    Resource::Compute(d),
+                    &[last],
+                    move |ctx: &DistCtx<K>| {
+                        let mut slot = ctx.slots[d].lock().unwrap();
+                        let merged = flag_radix_topk(device, &slot.local, k);
+                        let outcome = StageOutcome {
+                            stats: merged.stats,
+                            time_ms: merged.time_ms,
+                        };
+                        slot.local = merged.values;
+                        outcome
+                    },
+                ),
             ));
         } else if let Some(&only) = computes.last() {
-            device_tails.push(only);
+            device_tails.push((d, only));
         }
     }
 
-    // Asynchronous gather of each secondary device's k values to the
-    // primary, then the final selection stage.
-    let final_deps: Vec<StageId> = if num_devices > 1 {
-        let gather_ms = cluster.async_gather_time_ms(0, (k * std::mem::size_of::<K>()) as u64);
-        vec![graph.add(
-            StageKind::Gather,
-            Resource::Transfer(TransferLane::Interconnect),
-            &device_tails,
-            move |_: &mut ()| StageOutcome {
-                stats: KernelStats::default(),
-                time_ms: gather_ms,
-            },
-        )]
+    // Asynchronous gather: each secondary device pushes its k winners to
+    // the primary on its *own* interconnect lane (one stage per source), so
+    // per-device gathers overlap instead of serializing on a shared queue;
+    // each message pays the per-message launch overhead. The final
+    // selection waits for every gather (and the primary's own tail).
+    let mut final_deps: Vec<StageId> = Vec::new();
+    if num_devices > 1 {
+        let bytes = (k * std::mem::size_of::<K>()) as u64;
+        for &(d, tail) in &device_tails {
+            if d == 0 {
+                final_deps.push(tail);
+                continue;
+            }
+            let t = cluster
+                .transfer_time_ms(TransferDirection::DeviceToDevice { src: d, dst: 0 }, bytes)
+                + GpuCluster::MESSAGE_OVERHEAD_MS;
+            final_deps.push(graph.add_labeled(
+                StageKind::Gather,
+                format!("gather from device {d}"),
+                Resource::Transfer(TransferLane::Interconnect(d)),
+                &[tail],
+                move |_: &DistCtx<K>| StageOutcome {
+                    stats: KernelStats::default(),
+                    time_ms: t,
+                },
+            ));
+        }
     } else {
-        device_tails.clone()
-    };
+        final_deps = device_tails.iter().map(|&(_, id)| id).collect();
+    }
     graph.add(
         StageKind::FinalTopK,
         Resource::Compute(0),
         &final_deps,
-        move |_: &mut ()| StageOutcome {
-            stats: final_stats,
-            time_ms: final_ms,
+        move |ctx: &DistCtx<K>| {
+            // Candidates in device order — deterministic regardless of how
+            // the host workers interleaved.
+            let mut candidates: Vec<K> = Vec::new();
+            for slot in &ctx.slots {
+                candidates.extend_from_slice(&slot.lock().unwrap().local);
+            }
+            let (values, time_ms, stats) = if candidates.len() > k && num_devices > 1 {
+                let final_topk = flag_radix_topk(cluster.device(0), &candidates, k);
+                (final_topk.values, final_topk.time_ms, final_topk.stats)
+            } else {
+                (reference_topk(&candidates, k), 0.0, KernelStats::default())
+            };
+            *ctx.winners.lock().unwrap() = Some(values);
+            StageOutcome { stats, time_ms }
         },
     );
 
-    let report = graph.execute(&mut ());
+    let report = graph.execute_with(&ctx, executor);
+    let DistCtx { slots, winners } = ctx;
+    let values = winners
+        .into_inner()
+        .unwrap()
+        .expect("the final selection stage always runs");
+    let mut chunk_phases = PhaseBreakdown::default();
+    for slot in &slots {
+        for b in &slot.lock().unwrap().breakdowns {
+            chunk_phases.delegate_ms += b.delegate_ms;
+            chunk_phases.first_topk_ms += b.first_topk_ms;
+            chunk_phases.concat_ms += b.concat_ms;
+            chunk_phases.second_topk_ms += b.second_topk_ms;
+        }
+    }
 
     // Derive every reported quantity from the one stage schedule.
     let mut per_device_compute_ms = vec![0.0f64; num_devices];
@@ -532,6 +582,79 @@ mod tests {
         // communication exists but stays small (asynchronous gather)
         assert!(t8.communication_ms > 0.0);
         assert!(t8.communication_ms < 2.0);
+    }
+
+    #[test]
+    fn per_source_gathers_overlap_in_modeled_time() {
+        // The Section 5.4 gather is asynchronous: with every secondary
+        // device on its own interconnect lane, the gathers' makespan
+        // charge is the slowest single gather, not the serialized sum.
+        // Pin it at the unit level: four gathers of 4 ms each, one per
+        // source lane, each gated only on its own device's tail.
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        let mut gathers = Vec::new();
+        for d in 1..=4usize {
+            let tail = g.add_labeled(
+                StageKind::LocalTopK,
+                format!("device {d} tail"),
+                Resource::Compute(d),
+                &[],
+                |_| StageOutcome {
+                    stats: KernelStats::default(),
+                    time_ms: 2.0,
+                },
+            );
+            gathers.push(g.add_labeled(
+                StageKind::Gather,
+                format!("gather from device {d}"),
+                Resource::Transfer(TransferLane::Interconnect(d)),
+                &[tail],
+                |_| StageOutcome {
+                    stats: KernelStats::default(),
+                    time_ms: 4.0,
+                },
+            ));
+        }
+        g.add(StageKind::FinalTopK, Resource::Compute(0), &gathers, |_| {
+            StageOutcome::default()
+        });
+        let report = g.execute(&());
+        let serialized_gather_sum = 4.0 * 4.0;
+        // tails overlap (2 ms), gathers overlap (4 ms): makespan 6 ms —
+        // far below the 16 ms a single shared gather lane would charge.
+        assert_eq!(report.makespan_ms, 6.0);
+        assert!(report.makespan_ms < serialized_gather_sum);
+    }
+
+    #[test]
+    fn serial_and_threaded_executors_are_bit_identical() {
+        let data = topk_datagen::uniform(1 << 16, 21);
+        let k = 96;
+        let c = cluster(4, 1 << 13); // 8 sub-vectors, 2 per device
+        let threaded = distributed_dr_topk_executor(
+            &c,
+            &data,
+            k,
+            &DrTopKConfig::default(),
+            ReloadSchedule::DoubleBuffered,
+            Executor::Threaded,
+        );
+        let serial = distributed_dr_topk_executor(
+            &c,
+            &data,
+            k,
+            &DrTopKConfig::default(),
+            ReloadSchedule::DoubleBuffered,
+            Executor::Serial,
+        );
+        assert_eq!(threaded.values, serial.values);
+        assert_eq!(threaded.values, reference_topk(&data, k));
+        assert_eq!(threaded.total_ms.to_bits(), serial.total_ms.to_bits());
+        assert_eq!(
+            threaded.stages.deterministic_summary(),
+            serial.stages.deterministic_summary()
+        );
+        assert_eq!(threaded.stats, serial.stats);
     }
 
     #[test]

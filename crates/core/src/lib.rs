@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 
 pub mod approx;
+pub mod calibrate;
 pub mod concat;
 pub mod delegate;
 pub mod distributed;
@@ -58,11 +59,12 @@ pub mod stages;
 pub mod tuning;
 
 pub use approx::{expected_recall, measured_recall, required_budget, Mode, RecallTarget};
+pub use calibrate::{CalibrationFit, KindFit};
 pub use concat::{concatenate, Concatenated};
 pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{
-    capacity_in_keys, distributed_dr_topk, distributed_dr_topk_scheduled, partition_subvectors,
-    DistributedResult, ReloadSchedule,
+    capacity_in_keys, distributed_dr_topk, distributed_dr_topk_executor,
+    distributed_dr_topk_scheduled, partition_subvectors, DistributedResult, ReloadSchedule,
 };
 pub use first_topk::{first_topk, FirstTopK};
 pub use pipeline::{
@@ -74,7 +76,7 @@ pub use radix_flags::{
     FlagSelectOutcome,
 };
 pub use stages::{
-    ExecutedStage, Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,
+    ExecutedStage, Executor, Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,
     TransferLane,
 };
 pub use topk_baselines::{Desc, KeyBits, TopKKey};

@@ -11,6 +11,7 @@
 
 use gpu_sim::{Device, KernelStats};
 use std::cmp::Reverse;
+use std::sync::Mutex;
 use topk_baselines::{
     bitonic_topk, bucket_topk, radix_topk, BitonicConfig, BucketConfig, Desc, RadixConfig, TopKKey,
     TopKResult,
@@ -497,19 +498,19 @@ pub fn dr_topk_planned<K: TopKKey>(
         // one-stage graph). The workload statistics report the fallback
         // honestly: no delegate vector, no concatenation, one effective
         // subrange.
-        let mut graph: StageGraph<'_, Option<TopKResult<K>>> = StageGraph::new();
+        let mut graph: StageGraph<'_, Mutex<Option<TopKResult<K>>>> = StageGraph::new();
         graph.add(StageKind::SecondTopK, Resource::Compute(0), &[], |slot| {
             let inner = config.inner.run(device, data, k);
             let outcome = StageOutcome {
                 stats: inner.stats,
                 time_ms: inner.time_ms,
             };
-            *slot = Some(inner);
+            *slot.lock().unwrap() = Some(inner);
             outcome
         });
-        let mut slot = None;
-        let report = graph.execute(&mut slot);
-        let inner = slot.expect("the fallback stage ran");
+        let slot = Mutex::new(None);
+        let report = graph.execute(&slot);
+        let inner = slot.into_inner().unwrap().expect("the fallback stage ran");
         return DrTopKResult {
             kth_value: inner.kth_value,
             alpha,
@@ -549,7 +550,9 @@ pub fn dr_topk_planned<K: TopKKey>(
 
     // The exact pipeline as a stage graph: one stage per paper phase, all
     // on this device's compute queue, chained by their buffer dependencies.
-    // Buffers travel through the context; the executor owns all timing.
+    // Buffers travel through the context (a single mutex: every stage lives
+    // on one compute queue, so the lock is never contended); the executor
+    // owns all timing.
     struct ExactCtx<K: TopKKey> {
         built: Option<DelegateVector<K>>,
         first: Option<FirstTopK<K>>,
@@ -567,7 +570,7 @@ pub fn dr_topk_planned<K: TopKKey>(
             .expect("delegate vector available once phase 1 ran")
     }
 
-    let mut graph: StageGraph<'_, ExactCtx<K>> = StageGraph::new();
+    let mut graph: StageGraph<'_, Mutex<ExactCtx<K>>> = StageGraph::new();
     let mut deps = Vec::new();
     // Phase 1: delegate vector construction — the stage exists only when
     // the caller did not supply a shared vector (a shared pass's one-time
@@ -577,14 +580,14 @@ pub fn dr_topk_planned<K: TopKKey>(
             StageKind::DelegateConstruction,
             Resource::Compute(0),
             &[],
-            move |ctx| {
+            move |ctx: &Mutex<ExactCtx<K>>| {
                 let built =
                     build_delegate_vector(device, data, alpha, config.beta, config.construction);
                 let outcome = StageOutcome {
                     stats: built.stats,
                     time_ms: built.time_ms,
                 };
-                ctx.built = Some(built);
+                ctx.lock().unwrap().built = Some(built);
                 outcome
             },
         );
@@ -596,10 +599,11 @@ pub fn dr_topk_planned<K: TopKKey>(
         StageKind::FirstTopK,
         Resource::Compute(0),
         &deps,
-        move |ctx| {
+        move |ctx: &Mutex<ExactCtx<K>>| {
+            let mut guard = ctx.lock().unwrap();
             let first = first_topk(
                 device,
-                delegates_of(ctx, shared_delegates),
+                delegates_of(&guard, shared_delegates),
                 k,
                 config.resolve_skip_last(),
             );
@@ -607,7 +611,7 @@ pub fn dr_topk_planned<K: TopKKey>(
                 stats: first.stats,
                 time_ms: first.time_ms,
             };
-            ctx.first = Some(first);
+            guard.first = Some(first);
             outcome
         },
     );
@@ -617,9 +621,10 @@ pub fn dr_topk_planned<K: TopKKey>(
         StageKind::Concatenate,
         Resource::Compute(0),
         &[first_id],
-        move |ctx| {
-            let subrange_size = delegates_of(ctx, shared_delegates).subrange_size;
-            let first = ctx.first.as_ref().expect("first top-k ran");
+        move |ctx: &Mutex<ExactCtx<K>>| {
+            let mut guard = ctx.lock().unwrap();
+            let subrange_size = delegates_of(&guard, shared_delegates).subrange_size;
+            let first = guard.first.as_ref().expect("first top-k ran");
             let concatenated = concatenate(
                 device,
                 data,
@@ -633,7 +638,7 @@ pub fn dr_topk_planned<K: TopKKey>(
                 stats: concatenated.stats,
                 time_ms: concatenated.time_ms,
             };
-            ctx.concatenated = Some(concatenated);
+            guard.concatenated = Some(concatenated);
             outcome
         },
     );
@@ -645,7 +650,9 @@ pub fn dr_topk_planned<K: TopKKey>(
         StageKind::SecondTopK,
         Resource::Compute(0),
         &[concat_id],
-        move |ctx| {
+        move |ctx: &Mutex<ExactCtx<K>>| {
+            let mut guard = ctx.lock().unwrap();
+            let ctx = &mut *guard;
             let first = ctx.first.as_ref().expect("first top-k ran");
             let concatenated = ctx.concatenated.as_ref().expect("concatenation ran");
             ctx.second_skipped = first.fully_taken_subranges.is_empty()
@@ -670,15 +677,16 @@ pub fn dr_topk_planned<K: TopKKey>(
         },
     );
 
-    let mut ctx = ExactCtx {
+    let ctx = Mutex::new(ExactCtx {
         built: None,
         first: None,
         concatenated: None,
         second_skipped: false,
         values: Vec::new(),
         kth_value: K::default(),
-    };
-    let report = graph.execute(&mut ctx);
+    });
+    let report = graph.execute(&ctx);
+    let mut ctx = ctx.into_inner().unwrap();
 
     let delegates = delegates_of(&ctx, shared_delegates);
     let first = ctx.first.as_ref().expect("first top-k ran");

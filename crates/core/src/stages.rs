@@ -16,21 +16,50 @@
 //!   transfer lane) and to the stages it depends on;
 //! * a [`StageGraph`] collects stages plus a caller-owned context the stage
 //!   closures read and write their buffers through;
-//! * [`StageGraph::execute`] runs the stages (host-side, in dependency
-//!   order) and *schedules* them in modeled time on per-resource
+//! * [`StageGraph::execute`] dispatches ready stages onto one host worker
+//!   thread per modeled resource, with dependency events gating
+//!   cross-resource handoff — so real wall-clock tracks the modeled
+//!   makespan instead of the sum of all stages — and then *replays* the
+//!   graph deterministically in modeled time on per-resource
 //!   [`gpu_sim::Stream`]s: stages on the same resource serialize, stages on
 //!   different resources overlap as far as their dependencies allow —
 //!   which is exactly how double-buffered chunked ingestion hides
 //!   host→device transfers behind compute.
 //!
+//! # Modeled vs measured time
+//!
+//! Every stage interval exists in two clocks. *Modeled* milliseconds come
+//! from the simulator's analytic timing model and are **deterministic**: the
+//! replay runs in insertion order regardless of how the host threads
+//! interleaved, so `makespan_ms`, per-stage `start_ms`/`end_ms`, phase
+//! breakdowns and kernel counters are bit-identical run to run (see
+//! [`StageReport::deterministic_summary`]). *Measured* milliseconds are host
+//! wall-clock timestamps taken around each closure
+//! ([`ExecutedStage::measured_start_ms`] / [`ExecutedStage::measured_end_ms`],
+//! [`StageReport::measured_makespan_ms`]) and vary run to run; the
+//! [`crate::calibrate`] module regresses measured against modeled time per
+//! [`StageKind`] so benches can print the two side by side.
+//!
+//! Because stage closures run concurrently, they take `&C` (not `&mut C`)
+//! and must be `Send`; the caller partitions or synchronizes the context —
+//! per-device buffer slots behind `std::sync::Mutex`, say — so that
+//! independent stages never contend for the same slot.
+//!
 //! The executor is also the one instrumentation point: the returned
 //! [`StageReport`] carries every executed stage's interval, the modeled
-//! makespan, the compute/transfer split, the overlap efficiency, and a
-//! [`PhaseBreakdown`] derived from the stage kinds — the pipeline,
-//! approximate, distributed and engine reports are all views of it.
+//! makespan, the compute/transfer split, the overlap efficiency, the
+//! per-kind calibration fit, and a [`PhaseBreakdown`] derived from the
+//! stage kinds — the pipeline, approximate, distributed and engine reports
+//! are all views of it.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use gpu_sim::{KernelStats, StreamSet};
 
+use crate::calibrate::CalibrationFit;
 use crate::pipeline::PhaseBreakdown;
 
 /// Which paper phase (or infrastructure step) a stage implements.
@@ -61,8 +90,9 @@ pub enum StageKind {
     LocalTopK,
     /// Per-device merge of several chunks' local top-k's (Section 5.4).
     LocalMerge,
-    /// Asynchronous gather of every device's k winners to the primary
-    /// (Section 5.4).
+    /// Asynchronous gather of one device's k winners to the primary
+    /// (Section 5.4) — one stage per source device, each on its own
+    /// interconnect lane, so per-device gathers overlap.
     Gather,
     /// Final top-k over the `#devices × k` candidates on the primary.
     FinalTopK,
@@ -106,8 +136,11 @@ pub enum TransferLane {
     HostToDevice(usize),
     /// Device `src` → host memory.
     DeviceToHost(usize),
-    /// The device↔device interconnect used by the asynchronous gather.
-    Interconnect,
+    /// The device↔device interconnect lane *sourced* at device `src`. The
+    /// Section 5.4 gather is asynchronous: every secondary device pushes
+    /// its k winners to the primary on its own lane, so per-device gathers
+    /// overlap instead of serializing on one shared queue.
+    Interconnect(usize),
 }
 
 /// The hardware queue a stage occupies. Stages tagged with the same
@@ -138,21 +171,78 @@ pub struct StageOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageId(usize);
 
+/// Which host execution strategy runs the stage closures.
+///
+/// Both strategies produce bit-identical results and byte-identical
+/// *modeled* reports; they differ only in host wall-clock (the `measured_*`
+/// fields). [`Executor::Threaded`] is the default everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Executor {
+    /// Run every stage closure on the calling thread, in insertion order.
+    /// The historical behavior: measured wall-clock is the sum of all
+    /// stages no matter how much the modeled schedule overlaps.
+    Serial,
+    /// Dispatch ready stages onto one host worker thread per modeled
+    /// resource, with dependency events gating cross-resource handoff, so
+    /// measured wall-clock tracks the modeled makespan. Graphs that touch
+    /// a single resource (or none) run inline on the calling thread — a
+    /// lone worker could only replay insertion order anyway.
+    #[default]
+    Threaded,
+}
+
+type BoxedStage<'g, C> = Box<dyn FnOnce(&C) -> StageOutcome + Send + 'g>;
+type PanicPayload = Box<dyn Any + Send>;
+
 struct StageNode<'g, C> {
     kind: StageKind,
     label: String,
     resource: Resource,
     deps: Vec<usize>,
-    run: Box<dyn FnOnce(&mut C) -> StageOutcome + 'g>,
+    run: BoxedStage<'g, C>,
+}
+
+/// The scheduling-relevant part of a stage, split from its closure so the
+/// worker threads can consult dependencies while closures are moved into
+/// per-resource worklists.
+struct StageMeta {
+    kind: StageKind,
+    label: String,
+    resource: Resource,
+    deps: Vec<usize>,
+}
+
+/// What one closure invocation produced, plus its host wall-clock interval
+/// relative to the executor's epoch.
+struct RunRecord {
+    outcome: StageOutcome,
+    measured_start_ms: f64,
+    measured_end_ms: f64,
+}
+
+/// Completion state of one stage slot under the threaded executor.
+enum Slot {
+    /// Not run yet.
+    Pending,
+    /// Ran to completion.
+    Done(RunRecord),
+    /// Panicked, or depends (transitively) on a stage that panicked.
+    Poisoned,
+}
+
+fn ms_since(epoch: Instant) -> f64 {
+    epoch.elapsed().as_secs_f64() * 1e3
 }
 
 /// A DAG of [`Stage`](StageKind)s over a caller-owned context `C`.
 ///
 /// Stages must be added in a topological order (every dependency's
-/// [`StageId`] comes from an earlier `add` call — enforced by construction,
-/// since ids are only handed out by [`StageGraph::add`]). Stage closures
-/// receive `&mut C` and communicate buffers through it; the closure's
-/// return value is only the stage's instrumentation.
+/// [`StageId`] comes from an earlier `add` call on *this* graph — validated
+/// at `add` time). Stage closures receive `&C` and communicate buffers
+/// through it; because the threaded executor runs independent stages
+/// concurrently, closures must be `Send` and any mutable state inside `C`
+/// must be partitioned (per-device slots) or synchronized (`Mutex`). The
+/// closure's return value is only the stage's instrumentation.
 pub struct StageGraph<'g, C> {
     stages: Vec<StageNode<'g, C>>,
 }
@@ -183,14 +273,31 @@ impl<'g, C> StageGraph<'g, C> {
     /// whose completion this stage must wait for *across* resources;
     /// same-resource ordering is implicit (a resource is an in-order
     /// queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a dependency does not name an earlier stage of this
+    /// graph — e.g. a [`StageId`] minted by a *different* graph. Catching
+    /// this at `add` time turns what used to be a bare out-of-bounds index
+    /// deep inside `execute` into an immediate, attributable error.
     pub fn add_labeled(
         &mut self,
         kind: StageKind,
         label: impl Into<String>,
         resource: Resource,
         deps: &[StageId],
-        run: impl FnOnce(&mut C) -> StageOutcome + 'g,
+        run: impl FnOnce(&C) -> StageOutcome + Send + 'g,
     ) -> StageId {
+        for dep in deps {
+            assert!(
+                dep.0 < self.stages.len(),
+                "stage dependency StageId({}) does not name an earlier stage of this graph \
+                 (the graph has {} stage(s)); StageIds are only valid within the graph whose \
+                 `add` call minted them",
+                dep.0,
+                self.stages.len()
+            );
+        }
         let id = self.stages.len();
         self.stages.push(StageNode {
             kind,
@@ -208,44 +315,225 @@ impl<'g, C> StageGraph<'g, C> {
         kind: StageKind,
         resource: Resource,
         deps: &[StageId],
-        run: impl FnOnce(&mut C) -> StageOutcome + 'g,
+        run: impl FnOnce(&C) -> StageOutcome + Send + 'g,
     ) -> StageId {
         self.add_labeled(kind, kind.name(), resource, deps, run)
     }
 
-    /// Execute the graph.
-    ///
-    /// Host-side, stages run serially in insertion (= topological) order;
-    /// in *modeled* time each stage is scheduled on its resource's stream:
-    /// it starts at the later of (a) the resource's cursor and (b) its
-    /// dependencies' completion events, exactly like a kernel launched on a
-    /// CUDA stream after `cudaStreamWaitEvent`s.
-    pub fn execute(self, ctx: &mut C) -> StageReport {
-        let mut streams: StreamSet<Resource> = StreamSet::new();
-        let mut finished: Vec<gpu_sim::Event> = Vec::with_capacity(self.stages.len());
-        let mut executed: Vec<ExecutedStage> = Vec::with_capacity(self.stages.len());
+    fn into_parts(self) -> (Vec<StageMeta>, Vec<BoxedStage<'g, C>>) {
+        let mut metas = Vec::with_capacity(self.stages.len());
+        let mut runs = Vec::with_capacity(self.stages.len());
         for node in self.stages {
-            let outcome = (node.run)(ctx);
-            let stream = streams.stream_mut(node.resource);
-            for &dep in &node.deps {
-                stream.wait_event(&finished[dep]);
-            }
-            let start_ms = stream.cursor_ms();
-            let done = stream.launch(outcome.time_ms);
-            executed.push(ExecutedStage {
+            metas.push(StageMeta {
                 kind: node.kind,
                 label: node.label,
                 resource: node.resource,
-                start_ms,
-                end_ms: done.ready_at_ms(),
-                stats: outcome.stats,
+                deps: node.deps,
             });
-            finished.push(done);
+            runs.push(node.run);
         }
-        StageReport {
-            makespan_ms: streams.makespan_ms(),
-            stages: executed,
+        (metas, runs)
+    }
+
+    /// Execute the graph with the default [`Executor::Threaded`] strategy.
+    ///
+    /// Host-side, ready stages dispatch onto one worker thread per modeled
+    /// resource — dependency events gate cross-resource handoff, exactly
+    /// like kernels launched on CUDA streams after `cudaStreamWaitEvent`s —
+    /// so real wall-clock tracks the modeled makespan. Afterwards the graph
+    /// is replayed in insertion order on modeled per-resource streams, so
+    /// every modeled field of the report is deterministic regardless of how
+    /// the host threads interleaved.
+    pub fn execute(self, ctx: &C) -> StageReport
+    where
+        C: Sync,
+    {
+        self.execute_with(ctx, Executor::Threaded)
+    }
+
+    /// Execute the graph with an explicit host strategy. Results and
+    /// modeled reports are identical either way; only the `measured_*`
+    /// wall-clock fields differ.
+    pub fn execute_with(self, ctx: &C, executor: Executor) -> StageReport
+    where
+        C: Sync,
+    {
+        match executor {
+            Executor::Serial => self.execute_serial(ctx),
+            Executor::Threaded => self.execute_threaded(ctx),
         }
+    }
+
+    /// Execute every stage closure on the calling thread, in insertion
+    /// order (the historical serial executor). Does not require `C: Sync`.
+    pub fn execute_serial(self, ctx: &C) -> StageReport {
+        let (metas, runs) = self.into_parts();
+        let epoch = Instant::now();
+        let records = runs
+            .into_iter()
+            .map(|run| {
+                let measured_start_ms = ms_since(epoch);
+                let outcome = run(ctx);
+                RunRecord {
+                    outcome,
+                    measured_start_ms,
+                    measured_end_ms: ms_since(epoch),
+                }
+            })
+            .collect();
+        build_report(metas, records)
+    }
+
+    /// One worker per distinct resource; dependencies gate handoff through
+    /// a slot table + condvar. Deadlock-free because `add_labeled`
+    /// guarantees every dependency index is smaller than the stage's own
+    /// index and each worker walks its list in insertion order: the
+    /// globally smallest unfinished stage always has every dependency
+    /// finished, so its worker can run it.
+    fn execute_threaded(self, ctx: &C) -> StageReport
+    where
+        C: Sync,
+    {
+        let mut resources: Vec<Resource> = Vec::new();
+        for node in &self.stages {
+            if !resources.contains(&node.resource) {
+                resources.push(node.resource);
+            }
+        }
+        if resources.len() <= 1 {
+            // A lone worker could only replay insertion order; skip the
+            // thread machinery (and keep plain panic propagation).
+            return self.execute_serial(ctx);
+        }
+        let (metas, runs) = self.into_parts();
+        let n = metas.len();
+        type Worklist<'g, C> = Vec<(usize, BoxedStage<'g, C>)>;
+        let mut worklists: Vec<(Resource, Worklist<'g, C>)> =
+            resources.into_iter().map(|r| (r, Vec::new())).collect();
+        for (i, run) in runs.into_iter().enumerate() {
+            let resource = metas[i].resource;
+            worklists
+                .iter_mut()
+                .find(|(r, _)| *r == resource)
+                .expect("every stage's resource was collected above")
+                .1
+                .push((i, run));
+        }
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| Slot::Pending).collect());
+        let progressed = Condvar::new();
+        let panics: Mutex<Vec<(usize, PanicPayload)>> = Mutex::new(Vec::new());
+        let epoch = Instant::now();
+        std::thread::scope(|scope| {
+            for (_, work) in worklists {
+                let metas = &metas;
+                let slots = &slots;
+                let progressed = &progressed;
+                let panics = &panics;
+                scope.spawn(move || {
+                    for (i, run) in work {
+                        let mut dep_poisoned;
+                        {
+                            let mut guard = slots.lock().unwrap();
+                            'scan: loop {
+                                dep_poisoned = false;
+                                for &dep in &metas[i].deps {
+                                    match guard[dep] {
+                                        Slot::Pending => {
+                                            guard = progressed.wait(guard).unwrap();
+                                            continue 'scan;
+                                        }
+                                        Slot::Poisoned => dep_poisoned = true,
+                                        Slot::Done(_) => {}
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                        let slot = if dep_poisoned {
+                            Slot::Poisoned
+                        } else {
+                            let measured_start_ms = ms_since(epoch);
+                            match std::panic::catch_unwind(AssertUnwindSafe(|| run(ctx))) {
+                                Ok(outcome) => Slot::Done(RunRecord {
+                                    outcome,
+                                    measured_start_ms,
+                                    measured_end_ms: ms_since(epoch),
+                                }),
+                                Err(payload) => {
+                                    panics.lock().unwrap().push((i, payload));
+                                    Slot::Poisoned
+                                }
+                            }
+                        };
+                        slots.lock().unwrap()[i] = slot;
+                        progressed.notify_all();
+                    }
+                });
+            }
+        });
+        let mut panics = panics.into_inner().unwrap();
+        if !panics.is_empty() {
+            // Re-raise the earliest stage's panic — the one the serial
+            // executor would have hit first.
+            panics.sort_by_key(|(i, _)| *i);
+            std::panic::resume_unwind(panics.remove(0).1);
+        }
+        let records = slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(record) => record,
+                Slot::Pending | Slot::Poisoned => {
+                    unreachable!("non-panicking graphs complete every stage")
+                }
+            })
+            .collect();
+        build_report(metas, records)
+    }
+}
+
+/// Deterministic modeled replay: schedule every stage in insertion order on
+/// its resource's stream, independent of how the host threads interleaved.
+fn build_report(metas: Vec<StageMeta>, records: Vec<RunRecord>) -> StageReport {
+    let mut streams: StreamSet<Resource> = StreamSet::new();
+    let mut finished: Vec<gpu_sim::Event> = Vec::with_capacity(metas.len());
+    let mut executed: Vec<ExecutedStage> = Vec::with_capacity(metas.len());
+    let mut measured_makespan_ms: f64 = 0.0;
+    for (meta, record) in metas.into_iter().zip(records) {
+        let stream = streams.stream_mut(meta.resource);
+        for &dep in &meta.deps {
+            stream.wait_event(&finished[dep]);
+        }
+        let start_ms = stream.cursor_ms();
+        let done = stream.launch(record.outcome.time_ms);
+        measured_makespan_ms = measured_makespan_ms.max(record.measured_end_ms);
+        executed.push(ExecutedStage {
+            kind: meta.kind,
+            label: meta.label,
+            resource: meta.resource,
+            deps: meta.deps,
+            start_ms,
+            end_ms: done.ready_at_ms(),
+            measured_start_ms: record.measured_start_ms,
+            measured_end_ms: record.measured_end_ms,
+            stats: record.outcome.stats,
+        });
+        finished.push(done);
+    }
+    let makespan_ms = streams.makespan_ms();
+    let serial_ms: f64 = executed.iter().map(ExecutedStage::duration_ms).sum();
+    debug_assert!(
+        makespan_ms <= serial_ms + 1e-9 * serial_ms.max(1.0),
+        "modeled makespan ({makespan_ms} ms) must never exceed the serialized cost \
+         ({serial_ms} ms); overlap can only hide time"
+    );
+    let calibration = CalibrationFit::fit(&executed);
+    StageReport {
+        stages: executed,
+        makespan_ms,
+        measured_makespan_ms,
+        calibration,
     }
 }
 
@@ -259,10 +547,19 @@ pub struct ExecutedStage {
     pub label: String,
     /// The resource the stage occupied.
     pub resource: Resource,
-    /// Modeled start time, ms.
+    /// Indices (within the report's stage list) of the stages this stage
+    /// declared as dependencies.
+    pub deps: Vec<usize>,
+    /// Modeled start time, ms (deterministic).
     pub start_ms: f64,
-    /// Modeled completion time, ms.
+    /// Modeled completion time, ms (deterministic).
     pub end_ms: f64,
+    /// Host wall-clock at which the stage closure started, in ms since the
+    /// executor's epoch. **Not deterministic** — varies run to run.
+    pub measured_start_ms: f64,
+    /// Host wall-clock at which the stage closure returned, in ms since
+    /// the executor's epoch. **Not deterministic** — varies run to run.
+    pub measured_end_ms: f64,
     /// Kernel counters the stage accumulated.
     pub stats: KernelStats,
 }
@@ -272,18 +569,36 @@ impl ExecutedStage {
     pub fn duration_ms(&self) -> f64 {
         self.end_ms - self.start_ms
     }
+
+    /// The stage's measured host wall-clock duration in milliseconds.
+    pub fn measured_ms(&self) -> f64 {
+        self.measured_end_ms - self.measured_start_ms
+    }
 }
 
 /// The executor's instrumentation: every scheduled stage plus the modeled
 /// makespan. All per-phase, compute-vs-transfer and overlap reporting in
 /// the crate (and the engine) derives from this one structure.
+///
+/// Modeled fields (`makespan_ms`, per-stage `start_ms`/`end_ms`, stats,
+/// everything derived from them) are deterministic; the `measured_*`
+/// fields and [`StageReport::calibration`] reflect host wall-clock and
+/// vary run to run.
 #[derive(Debug, Clone, Default)]
 pub struct StageReport {
-    /// Every executed stage, in execution order.
+    /// Every executed stage, in insertion (= replay) order.
     pub stages: Vec<ExecutedStage>,
     /// Modeled end-to-end time: the latest stage completion across all
-    /// resources.
+    /// resources. Deterministic.
     pub makespan_ms: f64,
+    /// Measured end-to-end host wall-clock: the latest measured stage
+    /// completion. Under [`Executor::Threaded`] this tracks `makespan_ms`
+    /// through the calibration fit; under [`Executor::Serial`] it tracks
+    /// the serialized sum. **Not deterministic.**
+    pub measured_makespan_ms: f64,
+    /// Per-[`StageKind`] least-squares fit of measured against modeled
+    /// stage durations (see [`crate::calibrate`]). **Not deterministic.**
+    pub calibration: CalibrationFit,
 }
 
 impl StageReport {
@@ -312,7 +627,9 @@ impl StageReport {
     }
 
     /// Modeled time hidden by overlap: `serial_ms − makespan_ms` (0 for a
-    /// fully serial schedule).
+    /// fully serial schedule). In modeled time makespan ≤ serial always
+    /// holds (the executor debug-asserts it), so the clamp at 0 is purely
+    /// defensive.
     pub fn hidden_ms(&self) -> f64 {
         (self.serial_ms() - self.makespan_ms).max(0.0)
     }
@@ -328,9 +645,70 @@ impl StageReport {
         (1.0 - self.makespan_ms / serial).max(0.0)
     }
 
+    /// Sum of every stage's *measured* host wall-clock duration — what the
+    /// run would have cost with no host-side overlap at all.
+    pub fn measured_serial_ms(&self) -> f64 {
+        self.stages.iter().map(ExecutedStage::measured_ms).sum()
+    }
+
+    /// Measured host wall-clock hidden by the threaded executor:
+    /// `measured_serial_ms − measured_makespan_ms`, clamped at 0.
+    ///
+    /// Unlike the modeled timeline, the measured one may *violate*
+    /// makespan ≤ serial (scheduling jitter, contended host cores), so
+    /// here the clamp is load-bearing, not defensive.
+    pub fn measured_hidden_ms(&self) -> f64 {
+        (self.measured_serial_ms() - self.measured_makespan_ms).max(0.0)
+    }
+
+    /// Fraction of the measured serialized cost hidden by the threaded
+    /// executor, clamped into `[0, 1]`. The pre-clamp ratio can go
+    /// negative when scheduling jitter makes the measured makespan exceed
+    /// the measured serial sum — see [`StageReport::measured_hidden_ms`].
+    pub fn measured_overlap_efficiency(&self) -> f64 {
+        let serial = self.measured_serial_ms();
+        if serial <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.measured_makespan_ms / serial).clamp(0.0, 1.0)
+    }
+
     /// Kernel counters summed over every stage.
     pub fn stats(&self) -> KernelStats {
         self.stages.iter().map(|s| s.stats).sum()
+    }
+
+    /// A byte-stable rendering of every *deterministic* field of the
+    /// report: stage kinds, labels, resources, dependencies, modeled
+    /// intervals (as exact bit patterns) and kernel counters, plus the
+    /// modeled makespan. Two runs of the same graph — under any executor,
+    /// any thread count — must produce identical strings; the determinism
+    /// CI step and the executor stress test diff exactly this. Measured
+    /// wall-clock and calibration fields are deliberately excluded.
+    pub fn deterministic_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stages={} makespan_bits={:016x} makespan_ms={}",
+            self.stages.len(),
+            self.makespan_ms.to_bits(),
+            self.makespan_ms
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "[{i}] {} '{}' {:?} deps={:?} start_bits={:016x} end_bits={:016x} stats={:?}",
+                s.kind,
+                s.label,
+                s.resource,
+                s.deps,
+                s.start_ms.to_bits(),
+                s.end_ms.to_bits(),
+                s.stats
+            );
+        }
+        out
     }
 
     /// Derive the paper-phase breakdown from the stage kinds:
@@ -376,27 +754,30 @@ mod tests {
 
     #[test]
     fn serial_chain_on_one_resource_sums() {
-        let mut g: StageGraph<'_, Vec<&'static str>> = StageGraph::new();
+        let mut g: StageGraph<'_, Mutex<Vec<&'static str>>> = StageGraph::new();
         let a = g.add(
             StageKind::DelegateConstruction,
             Resource::Compute(0),
             &[],
             |log| {
-                log.push("delegate");
+                log.lock().unwrap().push("delegate");
                 outcome(2.0)
             },
         );
         let b = g.add(StageKind::FirstTopK, Resource::Compute(0), &[a], |log| {
-            log.push("first");
+            log.lock().unwrap().push("first");
             outcome(1.0)
         });
         g.add(StageKind::SecondTopK, Resource::Compute(0), &[b], |log| {
-            log.push("second");
+            log.lock().unwrap().push("second");
             outcome(0.5)
         });
-        let mut log = Vec::new();
-        let report = g.execute(&mut log);
-        assert_eq!(log, vec!["delegate", "first", "second"]);
+        let log = Mutex::new(Vec::new());
+        let report = g.execute(&log);
+        assert_eq!(
+            log.into_inner().unwrap(),
+            vec!["delegate", "first", "second"]
+        );
         assert_eq!(report.makespan_ms, 3.5);
         assert_eq!(report.serial_ms(), 3.5);
         assert_eq!(report.overlap_efficiency(), 0.0);
@@ -423,7 +804,7 @@ mod tests {
         g.add(StageKind::LocalTopK, Resource::Compute(0), &[l1], |_| {
             outcome(4.0)
         });
-        let report = g.execute(&mut ());
+        let report = g.execute(&());
         assert_eq!(report.makespan_ms, 11.0);
         assert_eq!(report.serial_ms(), 14.0);
         assert!((report.hidden_ms() - 3.0).abs() < 1e-12);
@@ -441,7 +822,7 @@ mod tests {
         let lane = Resource::Transfer(TransferLane::HostToDevice(0));
         g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
         g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
-        let report = g.execute(&mut ());
+        let report = g.execute(&());
         assert_eq!(report.stages[1].start_ms, 2.0);
         assert_eq!(report.makespan_ms, 4.0);
     }
@@ -450,11 +831,14 @@ mod tests {
     fn empty_graph_reports_zeroes() {
         let g: StageGraph<'_, ()> = StageGraph::new();
         assert!(g.is_empty());
-        let report = g.execute(&mut ());
+        let report = g.execute(&());
         assert!(report.stages.is_empty());
         assert_eq!(report.makespan_ms, 0.0);
+        assert_eq!(report.measured_makespan_ms, 0.0);
         assert_eq!(report.overlap_efficiency(), 0.0);
+        assert_eq!(report.measured_overlap_efficiency(), 0.0);
         assert!(report.stats().is_empty());
+        assert!(report.calibration.fits.is_empty());
         assert_eq!(report.phase_breakdown(), PhaseBreakdown::default());
     }
 
@@ -468,7 +852,7 @@ mod tests {
             &[],
             |_| outcome(1.0),
         );
-        let report = g.execute(&mut ());
+        let report = g.execute(&());
         assert_eq!(report.stages[0].label, "chunk 3 load");
         assert_eq!(report.stages[0].kind, StageKind::ChunkLoad);
         assert!(report.stages[0].kind.is_transfer());
@@ -476,5 +860,182 @@ mod tests {
             format!("{}", StageKind::BucketTopKPrime),
             "bucket_topk_prime"
         );
+    }
+
+    /// The same two-resource graph, buildable repeatedly for
+    /// executor-equivalence tests.
+    fn two_resource_graph(g: &mut StageGraph<'_, Mutex<Vec<u32>>>) {
+        let lane = Resource::Transfer(TransferLane::HostToDevice(0));
+        let l0 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(3.0));
+        let c0 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[l0], |log| {
+            log.lock().unwrap().push(10);
+            outcome(4.0)
+        });
+        let l1 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(3.0));
+        let c1 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[l1], |log| {
+            log.lock().unwrap().push(20);
+            outcome(4.0)
+        });
+        g.add(
+            StageKind::FinalTopK,
+            Resource::Compute(0),
+            &[c0, c1],
+            |log| {
+                let sum = log.lock().unwrap().iter().sum();
+                log.lock().unwrap().push(sum);
+                outcome(1.0)
+            },
+        );
+    }
+
+    #[test]
+    fn threaded_and_serial_executors_agree_on_everything_deterministic() {
+        let mut serial_graph = StageGraph::new();
+        two_resource_graph(&mut serial_graph);
+        let serial_log = Mutex::new(Vec::new());
+        let serial = serial_graph.execute_with(&serial_log, Executor::Serial);
+
+        let mut threaded_graph = StageGraph::new();
+        two_resource_graph(&mut threaded_graph);
+        let threaded_log = Mutex::new(Vec::new());
+        let threaded = threaded_graph.execute_with(&threaded_log, Executor::Threaded);
+
+        // Same context bits: the compute stages are chained on one
+        // resource, so their side effects land in the same order.
+        assert_eq!(
+            serial_log.into_inner().unwrap(),
+            threaded_log.into_inner().unwrap()
+        );
+        // Byte-identical modeled report.
+        assert_eq!(
+            serial.deterministic_summary(),
+            threaded.deterministic_summary()
+        );
+        assert_eq!(serial.makespan_ms, threaded.makespan_ms);
+        // Measured fields exist and are sane under both executors.
+        for report in [&serial, &threaded] {
+            for s in &report.stages {
+                assert!(s.measured_end_ms >= s.measured_start_ms);
+            }
+            assert!(report.measured_makespan_ms >= 0.0);
+            assert!(report.measured_overlap_efficiency() >= 0.0);
+            assert!(report.measured_overlap_efficiency() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn threaded_executor_overlaps_real_wall_clock() {
+        // Two independent 25 ms sleeps on different resources: the
+        // threaded executor runs them concurrently, so the measured
+        // makespan lands below the ~50 ms serialized sum. Retried to shrug
+        // off scheduler jitter on loaded CI hosts.
+        let sleepy = |ms: u64| {
+            move |_: &()| {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                outcome(ms as f64)
+            }
+        };
+        let mut attempts = Vec::new();
+        for _ in 0..3 {
+            let mut g: StageGraph<'_, ()> = StageGraph::new();
+            g.add(
+                StageKind::ChunkLoad,
+                Resource::Transfer(TransferLane::HostToDevice(0)),
+                &[],
+                sleepy(25),
+            );
+            g.add(StageKind::LocalTopK, Resource::Compute(0), &[], sleepy(25));
+            let report = g.execute(&());
+            attempts.push((report.measured_makespan_ms, report.measured_serial_ms()));
+            if report.measured_makespan_ms < report.measured_serial_ms() {
+                return;
+            }
+        }
+        panic!("no attempt overlapped wall-clock: {attempts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name an earlier stage")]
+    fn cross_graph_stage_ids_are_rejected_at_add_time() {
+        let mut other: StageGraph<'_, ()> = StageGraph::new();
+        other.add(StageKind::FirstTopK, Resource::Compute(0), &[], |_| {
+            outcome(1.0)
+        });
+        let foreign = other.add(StageKind::SecondTopK, Resource::Compute(0), &[], |_| {
+            outcome(1.0)
+        });
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        // `foreign` indexes stage 1 of `other`; `g` has no stages yet.
+        g.add(
+            StageKind::FirstTopK,
+            Resource::Compute(0),
+            &[foreign],
+            |_| outcome(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom in stage closure")]
+    fn threaded_executor_propagates_closure_panics() {
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        let bad = g.add(
+            StageKind::ChunkLoad,
+            Resource::Transfer(TransferLane::HostToDevice(0)),
+            &[],
+            |_| panic!("boom in stage closure"),
+        );
+        // A dependent on another resource must not deadlock waiting for
+        // the poisoned stage.
+        g.add(StageKind::LocalTopK, Resource::Compute(0), &[bad], |_| {
+            outcome(1.0)
+        });
+        g.execute(&());
+    }
+
+    #[test]
+    fn measured_clamps_hold_even_when_jitter_inverts_the_timeline() {
+        // Hand-build a report whose measured makespan exceeds the
+        // measured serial sum (possible under scheduling jitter): the
+        // measured-side accessors clamp instead of going negative.
+        let report = StageReport {
+            stages: vec![ExecutedStage {
+                kind: StageKind::LocalTopK,
+                label: "jittery".into(),
+                resource: Resource::Compute(0),
+                deps: vec![],
+                start_ms: 0.0,
+                end_ms: 1.0,
+                measured_start_ms: 5.0,
+                measured_end_ms: 6.0,
+                stats: KernelStats::default(),
+            }],
+            makespan_ms: 1.0,
+            measured_makespan_ms: 6.0,
+            calibration: CalibrationFit::default(),
+        };
+        assert_eq!(report.measured_serial_ms(), 1.0);
+        assert_eq!(report.measured_hidden_ms(), 0.0);
+        assert_eq!(report.measured_overlap_efficiency(), 0.0);
+        assert!(report.hidden_ms() >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_summary_excludes_measured_fields() {
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        g.add(StageKind::FirstTopK, Resource::Compute(0), &[], |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            outcome(1.5)
+        });
+        let a = g.execute(&()).deterministic_summary();
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        g.add(StageKind::FirstTopK, Resource::Compute(0), &[], |_| {
+            outcome(1.5)
+        });
+        let b = g.execute(&()).deterministic_summary();
+        assert_eq!(
+            a, b,
+            "wall-clock differences must not leak into the summary"
+        );
+        assert!(a.contains("first_topk"));
     }
 }

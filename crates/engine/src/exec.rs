@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use drtopk_core::{
     as_desc, build_delegate_vector, capacity_in_keys, distributed_dr_topk, dr_topk_planned,
-    DelegateVector, DrTopKConfig, DrTopKResult, ExecutedStage, PhaseBreakdown, Resource, StageKind,
-    StageReport,
+    CalibrationFit, DelegateVector, DrTopKConfig, DrTopKResult, ExecutedStage, PhaseBreakdown,
+    Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,
 };
 use gpu_sim::{Device, GpuCluster, KernelStats};
 use parking_lot::Mutex;
@@ -67,28 +67,68 @@ pub(crate) struct ExecOutput<K: TopKKey> {
     pub sharded_serial_ms: f64,
 }
 
-/// Append `member`'s executed stages to a unit-level report, shifted onto
-/// the end of the unit's serial timeline and re-tagged with the worker's
-/// device. (Member graphs run on their own logical `Compute(0)`; within a
-/// fused unit they all occupy the one worker device, back to back.)
-fn append_member_stages(unit: &mut StageReport, device: usize, member: &StageReport) {
-    let offset = unit.makespan_ms;
-    for s in &member.stages {
-        unit.stages.push(ExecutedStage {
-            kind: s.kind,
-            label: s.label.clone(),
-            resource: Resource::Compute(device),
-            start_ms: s.start_ms + offset,
-            end_ms: s.end_ms + offset,
-            stats: s.stats,
-        });
+/// Compose the unit-level stage report from the macro graph's schedule.
+///
+/// The macro graph has one stage per member (plus the shared pass when one
+/// ran); each member macro stage is replaced here by that member's own
+/// executed pipeline stages, shifted onto the unit's serial timeline and
+/// re-tagged with the worker's device. Dependencies are remapped into the
+/// composed index space, with the shared pass as the root of every member
+/// chain, and the per-kind calibration is refit over the spliced stages.
+fn splice_unit_stages<K: TopKKey>(
+    macro_report: &StageReport,
+    pass_ran: bool,
+    device: usize,
+    results: &[DrTopKResult<K>],
+) -> StageReport {
+    let mut stages: Vec<ExecutedStage> = Vec::new();
+    let mut pass_idx: Option<usize> = None;
+    let mut members = results.iter();
+    for (i, macro_stage) in macro_report.stages.iter().enumerate() {
+        if pass_ran && i == 0 {
+            pass_idx = Some(stages.len());
+            stages.push(ExecutedStage {
+                resource: Resource::Compute(device),
+                ..macro_stage.clone()
+            });
+            continue;
+        }
+        let member = members.next().expect("one macro stage per member");
+        let base_idx = stages.len();
+        for inner in &member.stages.stages {
+            let deps = if inner.deps.is_empty() {
+                pass_idx.into_iter().collect()
+            } else {
+                inner.deps.iter().map(|d| d + base_idx).collect()
+            };
+            stages.push(ExecutedStage {
+                kind: inner.kind,
+                label: inner.label.clone(),
+                resource: Resource::Compute(device),
+                deps,
+                start_ms: inner.start_ms + macro_stage.start_ms,
+                end_ms: inner.end_ms + macro_stage.start_ms,
+                measured_start_ms: inner.measured_start_ms + macro_stage.measured_start_ms,
+                measured_end_ms: inner.measured_end_ms + macro_stage.measured_start_ms,
+                stats: inner.stats,
+            });
+        }
     }
-    unit.makespan_ms += member.makespan_ms;
+    let calibration = CalibrationFit::fit(&stages);
+    StageReport {
+        stages,
+        makespan_ms: macro_report.makespan_ms,
+        measured_makespan_ms: macro_report.measured_makespan_ms,
+        calibration,
+    }
 }
 
-/// Run one fused unit's typed half: resolve the shared delegate vector
-/// (cache or fresh build), then execute every member query against it,
-/// composing the unit's stage schedule along the way.
+/// Run one fused unit's typed half as a real stage graph: the shared
+/// delegate pass (cache miss only) is the root stage, and every member
+/// query is a dependent stage on the same worker device. The graph is
+/// single-resource, so the executor runs it inline on the calling worker
+/// thread; the member macro stages are then spliced into a unit-level
+/// report via [`splice_unit_stages`].
 fn run_fused_typed<K: TopKKey>(
     device: &Device,
     device_idx: usize,
@@ -104,78 +144,109 @@ fn run_fused_typed<K: TopKKey>(
     /* from_cache */ bool,
 ) {
     let beta = unit.beta;
-    let mut unit_stages = StageReport::default();
-    let (delegates, pass_run, from_cache): (Option<Arc<DelegateVector<K>>>, bool, bool) =
-        if unit.needs_delegates {
-            let cached = cache
-                .lock()
-                .get_delegates::<K>(corpus_id, data.len(), unit.alpha, beta);
-            match cached {
-                Some(shared) => (Some(shared), false, true),
-                None => {
-                    let built = Arc::new(build_delegate_vector(
-                        device,
-                        data,
+    // Resolve the delegate cache up front: a hit means the |V|-scan
+    // disappears from the batch entirely (no pass stage in the graph); a
+    // miss means the graph's first stage builds and caches it.
+    let cached: Option<Arc<DelegateVector<K>>> = if unit.needs_delegates {
+        cache
+            .lock()
+            .get_delegates::<K>(corpus_id, data.len(), unit.alpha, beta)
+    } else {
+        None
+    };
+    let from_cache = cached.is_some();
+    let needs_build = unit.needs_delegates && !from_cache;
+
+    struct UnitCtx<K: TopKKey> {
+        delegates: Mutex<Option<Arc<DelegateVector<K>>>>,
+        members: Vec<Mutex<Option<DrTopKResult<K>>>>,
+    }
+    let ctx = UnitCtx::<K> {
+        delegates: Mutex::new(cached),
+        members: unit.planned.iter().map(|_| Mutex::new(None)).collect(),
+    };
+
+    let mut graph: StageGraph<'_, UnitCtx<K>> = StageGraph::new();
+    let mut member_deps: Vec<StageId> = Vec::new();
+    if needs_build {
+        // The one shared pass is the unit's first stage; its kind mirrors
+        // what the pass is (candidate generation for approximate groups,
+        // delegate construction otherwise).
+        let kind = if unit.mode.strict_target().is_some() {
+            StageKind::BucketTopKPrime
+        } else {
+            StageKind::DelegateConstruction
+        };
+        member_deps.push(graph.add_labeled(
+            kind,
+            "shared delegate pass",
+            Resource::Compute(device_idx),
+            &[],
+            move |ctx: &UnitCtx<K>| {
+                let built = Arc::new(build_delegate_vector(
+                    device,
+                    data,
+                    unit.alpha,
+                    beta,
+                    base.construction,
+                ));
+                if let Some(id) = corpus_id {
+                    cache.lock().put_delegates(
+                        id,
+                        data.len(),
                         unit.alpha,
                         beta,
-                        base.construction,
-                    ));
-                    if let Some(id) = corpus_id {
-                        cache.lock().put_delegates(
-                            id,
-                            data.len(),
-                            unit.alpha,
-                            beta,
-                            Arc::clone(&built),
-                        );
-                    }
-                    // The one shared pass is the unit's first stage; its
-                    // kind mirrors what the pass is (candidate generation
-                    // for approximate groups, delegate construction
-                    // otherwise).
-                    let kind = if unit.mode.strict_target().is_some() {
-                        StageKind::BucketTopKPrime
+                        Arc::clone(&built),
+                    );
+                }
+                let outcome = StageOutcome {
+                    stats: built.stats,
+                    time_ms: built.time_ms,
+                };
+                *ctx.delegates.lock() = Some(built);
+                outcome
+            },
+        ));
+    }
+    for (m, planned) in unit.planned.iter().enumerate() {
+        graph.add_labeled(
+            StageKind::SecondTopK,
+            format!("member {m}"),
+            Resource::Compute(device_idx),
+            &member_deps,
+            move |ctx: &UnitCtx<K>| {
+                // A member may only run against the shared pass when the
+                // pass covers its plan: equal β for exact members, a
+                // budget at least the member's own for approximate ones
+                // (more candidates only raise recall). The rare member
+                // that fell back to an incompatible exact plan builds its
+                // own pass.
+                let delegates = ctx.delegates.lock().clone();
+                let member_shared = delegates.as_deref().filter(|d| {
+                    if planned.config.mode.strict_target().is_some() {
+                        d.beta >= planned.config.beta
                     } else {
-                        StageKind::DelegateConstruction
-                    };
-                    unit_stages.stages.push(ExecutedStage {
-                        kind,
-                        label: "shared delegate pass".to_string(),
-                        resource: Resource::Compute(device_idx),
-                        start_ms: 0.0,
-                        end_ms: built.time_ms,
-                        stats: built.stats,
-                    });
-                    unit_stages.makespan_ms = built.time_ms;
-                    (Some(built), true, false)
-                }
-            }
-        } else {
-            (None, false, false)
-        };
-
-    let results = unit
-        .planned
-        .iter()
-        .map(|planned| {
-            // A member may only run against the shared pass when the pass
-            // covers its plan: equal β for exact members, a budget at
-            // least the member's own for approximate ones (more
-            // candidates only raise recall). The rare member that fell
-            // back to an incompatible exact plan builds its own pass.
-            let member_shared = delegates.as_deref().filter(|d| {
-                if planned.config.mode.strict_target().is_some() {
-                    d.beta >= planned.config.beta
-                } else {
-                    d.beta == planned.config.beta
-                }
-            });
-            let r = dr_topk_planned(device, data, member_shared, planned);
-            append_member_stages(&mut unit_stages, device_idx, &r.stages);
-            r
-        })
+                        d.beta == planned.config.beta
+                    }
+                });
+                let r = dr_topk_planned(device, data, member_shared, planned);
+                let outcome = StageOutcome {
+                    stats: r.stats,
+                    time_ms: r.time_ms,
+                };
+                *ctx.members[m].lock() = Some(r);
+                outcome
+            },
+        );
+    }
+    let macro_report = graph.execute(&ctx);
+    let results: Vec<DrTopKResult<K>> = ctx
+        .members
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("member stage ran"))
         .collect();
-    (results, unit_stages, pass_run, from_cache)
+    let unit_stages = splice_unit_stages(&macro_report, needs_build, device_idx, &results);
+    (results, unit_stages, needs_build, from_cache)
 }
 
 /// Direction dispatch around [`run_fused_typed`].

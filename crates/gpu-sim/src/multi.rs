@@ -96,6 +96,11 @@ impl GpuCluster {
         }
     }
 
+    /// Modeled per-message ingest/processing cost at a gather's primary
+    /// rank, in milliseconds — charged once per asynchronous gather
+    /// message on top of the wire transfer time.
+    pub const MESSAGE_OVERHEAD_MS: f64 = 0.01;
+
     /// Build a cluster from explicit devices and interconnect.
     pub fn new(devices: Vec<Device>, interconnect: InterconnectSpec) -> Self {
         assert!(!devices.is_empty(), "a cluster needs at least one device");
@@ -210,7 +215,7 @@ impl GpuCluster {
             messages += 1;
         }
         // per-message ingest/processing at the primary rank
-        slowest + messages as f64 * 0.01
+        slowest + messages as f64 * Self::MESSAGE_OVERHEAD_MS
     }
 
     /// Run `work` once per device, in parallel on host threads, and return

@@ -231,7 +231,10 @@ fn distributed_stage_schedule_is_well_formed() {
                 ));
             }
             StageKind::Gather => {
-                assert_eq!(s.resource, Resource::Transfer(TransferLane::Interconnect));
+                assert!(matches!(
+                    s.resource,
+                    Resource::Transfer(TransferLane::Interconnect(_))
+                ));
             }
             StageKind::FinalTopK => assert_eq!(s.resource, Resource::Compute(0)),
             _ => assert!(matches!(s.resource, Resource::Compute(_))),
@@ -239,19 +242,37 @@ fn distributed_stage_schedule_is_well_formed() {
         assert!(s.end_ms >= s.start_ms);
         assert!(s.end_ms <= got.stages.makespan_ms + 1e-12);
     }
-    // the gather starts only after every device's last selection stage
-    let gather = stages
+    // each device's gather rides its own interconnect lane and starts only
+    // after *that* device's last selection stage (not after every device's —
+    // per-source gathers overlap with the other devices' compute)
+    let gathers: Vec<_> = stages
         .iter()
-        .find(|s| s.kind == StageKind::Gather)
-        .expect("multi-device run gathers");
-    for s in stages {
-        if matches!(s.kind, StageKind::LocalTopK | StageKind::LocalMerge) {
-            assert!(
-                s.end_ms <= gather.start_ms + 1e-12,
-                "{} after gather",
-                s.label
-            );
+        .filter(|s| s.kind == StageKind::Gather)
+        .collect();
+    assert!(!gathers.is_empty(), "multi-device run gathers");
+    for gather in &gathers {
+        let Resource::Transfer(TransferLane::Interconnect(src)) = gather.resource else {
+            panic!("gather off the interconnect: {:?}", gather.resource);
+        };
+        for s in stages {
+            if matches!(s.kind, StageKind::LocalTopK | StageKind::LocalMerge)
+                && s.resource == Resource::Compute(src)
+            {
+                assert!(
+                    s.end_ms <= gather.start_ms + 1e-12,
+                    "{} after its device's gather",
+                    s.label
+                );
+            }
         }
+    }
+    // the final selection waits for every gather
+    let final_stage = stages
+        .iter()
+        .find(|s| s.kind == StageKind::FinalTopK)
+        .expect("distributed run ends in a final selection");
+    for gather in &gathers {
+        assert!(gather.end_ms <= final_stage.start_ms + 1e-12);
     }
     // per-device compute/reload columns agree with the schedule
     for d in 0..2 {
