@@ -173,12 +173,24 @@ impl CalibrationFit {
     /// this prediction is host time derived from the modeled schedule. A
     /// threaded executor that realizes the modeled overlap lands its
     /// measured makespan close to this number.
+    ///
+    /// The replay trusts the report's dependency wiring; reports produced
+    /// by the executor were verified before execution (see
+    /// [`crate::verify`]), and hand-built ones can be re-checked with
+    /// [`StageReport::verify`]. Here only the replayability precondition —
+    /// dependencies point at earlier stages — is debug-asserted.
     pub fn predicted_makespan_ms(&self, report: &StageReport) -> f64 {
         let mut streams: StreamSet<Resource> = StreamSet::new();
         let mut finished: Vec<gpu_sim::Event> = Vec::with_capacity(report.stages.len());
-        for stage in &report.stages {
+        for (i, stage) in report.stages.iter().enumerate() {
             let stream = streams.stream_mut(stage.resource);
             for &dep in &stage.deps {
+                debug_assert!(
+                    dep < i,
+                    "stage {i} depends on stage {dep}, which has not been replayed yet; \
+                     the schedule is not in insertion order (StageReport::verify would \
+                     flag this as V001/V002)"
+                );
                 stream.wait_event(&finished[dep]);
             }
             let done = stream.launch(self.predict_stage_ms(stage));

@@ -52,11 +52,13 @@ pub mod calibrate;
 pub mod concat;
 pub mod delegate;
 pub mod distributed;
+pub mod explore;
 pub mod first_topk;
 pub mod pipeline;
 pub mod radix_flags;
 pub mod stages;
 pub mod tuning;
+pub mod verify;
 
 pub use approx::{expected_recall, measured_recall, required_budget, Mode, RecallTarget};
 pub use calibrate::{CalibrationFit, KindFit};
@@ -64,8 +66,10 @@ pub use concat::{concatenate, Concatenated};
 pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{
     capacity_in_keys, distributed_dr_topk, distributed_dr_topk_executor,
-    distributed_dr_topk_scheduled, partition_subvectors, DistributedResult, ReloadSchedule,
+    distributed_dr_topk_explore, distributed_dr_topk_scheduled, partition_subvectors,
+    DistributedResult, ReloadSchedule,
 };
+pub use explore::{explore_schedules, Divergence, ExploreBudget, ExploreOutcome};
 pub use first_topk::{first_topk, FirstTopK};
 pub use pipeline::{
     as_desc, dr_topk, dr_topk_approx, dr_topk_min, dr_topk_planned, dr_topk_with_stats,
@@ -85,3 +89,4 @@ pub use tuning::{
     predicted_approx_cost, predicted_cost, rule4_alpha, ApproxTuning, PredictedCost,
     PAPER_RULE4_CONST,
 };
+pub use verify::{verify_specs, Diagnostic, DiagnosticCode, StageSpec, VerifyOptions};

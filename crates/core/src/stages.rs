@@ -52,6 +52,11 @@
 //! stage kinds — the pipeline, approximate, distributed and engine reports
 //! are all views of it.
 
+// Approved `std::sync` lock holder (see clippy.toml + ARCHITECTURE.md):
+// the executor's slot table is the synchronization primitive everything
+// else builds on.
+#![allow(clippy::disallowed_types)]
+
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Condvar, Mutex};
@@ -61,6 +66,7 @@ use gpu_sim::{KernelStats, StreamSet};
 
 use crate::calibrate::CalibrationFit;
 use crate::pipeline::PhaseBreakdown;
+use crate::verify::{verify_specs, Diagnostic, StageSpec, VerifyOptions};
 
 /// Which paper phase (or infrastructure step) a stage implements.
 ///
@@ -99,6 +105,23 @@ pub enum StageKind {
 }
 
 impl StageKind {
+    /// Every stage kind, in declaration order. Kept exhaustive by a
+    /// compile-time match in the docs drift tests: adding a variant without
+    /// extending this list (and `docs/PAPER_MAP.md`) fails the build or the
+    /// suite.
+    pub const ALL: [StageKind; 10] = [
+        StageKind::DelegateConstruction,
+        StageKind::FirstTopK,
+        StageKind::Concatenate,
+        StageKind::SecondTopK,
+        StageKind::BucketTopKPrime,
+        StageKind::ChunkLoad,
+        StageKind::LocalTopK,
+        StageKind::LocalMerge,
+        StageKind::Gather,
+        StageKind::FinalTopK,
+    ];
+
     /// Whether stages of this kind represent data movement rather than
     /// kernel execution.
     pub fn is_transfer(self) -> bool {
@@ -173,9 +196,10 @@ pub struct StageId(usize);
 
 /// Which host execution strategy runs the stage closures.
 ///
-/// Both strategies produce bit-identical results and byte-identical
+/// Every strategy produces bit-identical results and byte-identical
 /// *modeled* reports; they differ only in host wall-clock (the `measured_*`
-/// fields). [`Executor::Threaded`] is the default everywhere.
+/// fields) and in which dispatch order actually runs the closures.
+/// [`Executor::Threaded`] is the default everywhere.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Executor {
     /// Run every stage closure on the calling thread, in insertion order.
@@ -189,6 +213,15 @@ pub enum Executor {
     /// lone worker could only replay insertion order anyway.
     #[default]
     Threaded,
+    /// Run one deterministic *adversarial* dispatch order on the calling
+    /// thread: at every step, dispatch the highest-index stage the
+    /// threaded executor's workers could legally pick (dependencies done,
+    /// per-resource FIFO respected). This is the single schedule furthest
+    /// from insertion order — a cheap anti-insertion-order probe. The
+    /// full schedule-space enumeration lives in
+    /// [`crate::explore::explore_schedules`], which drives
+    /// [`StageGraph::execute_in_order`] over *every* reachable order.
+    Explore,
 }
 
 type BoxedStage<'g, C> = Box<dyn FnOnce(&C) -> StageOutcome + Send + 'g>;
@@ -320,6 +353,56 @@ impl<'g, C> StageGraph<'g, C> {
         self.add_labeled(kind, kind.name(), resource, deps, run)
     }
 
+    /// The scheduling-relevant description of every stage — kinds, labels,
+    /// resources, dependencies — with the work closures stripped. This is
+    /// the input shape of [`crate::verify::verify_specs`] and the
+    /// schedule-enumeration substrate of [`crate::explore`].
+    pub fn specs(&self) -> Vec<StageSpec> {
+        self.stages
+            .iter()
+            .map(|node| StageSpec {
+                kind: node.kind,
+                label: node.label.clone(),
+                resource: node.resource,
+                deps: node.deps.clone(),
+            })
+            .collect()
+    }
+
+    /// Statically verify the graph with default [`VerifyOptions`],
+    /// returning every [`Diagnostic`] (empty = clean). See
+    /// [`crate::verify`] for the checks and their stable codes. In debug
+    /// builds every `execute*` entry point runs this automatically and
+    /// panics on findings.
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        self.verify_with(&VerifyOptions::default())
+    }
+
+    /// Statically verify the graph with explicit [`VerifyOptions`] (e.g. a
+    /// staging-buffer count enabling the `V010` double-buffer hazard
+    /// analysis).
+    pub fn verify_with(&self, opts: &VerifyOptions) -> Vec<Diagnostic> {
+        verify_specs(&self.specs(), opts)
+    }
+
+    /// Debug-build gate: panic before running any closure when the graph
+    /// fails verification. Release builds skip the check entirely.
+    fn debug_verify(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let diags = self.verify();
+            assert!(
+                diags.is_empty(),
+                "stage graph failed verification:\n{}",
+                diags
+                    .iter()
+                    .map(|d| format!("  {d}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
     fn into_parts(self) -> (Vec<StageMeta>, Vec<BoxedStage<'g, C>>) {
         let mut metas = Vec::with_capacity(self.stages.len());
         let mut runs = Vec::with_capacity(self.stages.len());
@@ -360,13 +443,28 @@ impl<'g, C> StageGraph<'g, C> {
     {
         match executor {
             Executor::Serial => self.execute_serial(ctx),
-            Executor::Threaded => self.execute_threaded(ctx),
+            Executor::Threaded => {
+                self.debug_verify();
+                self.execute_threaded(ctx)
+            }
+            Executor::Explore => {
+                let order = self.adversarial_order();
+                self.execute_in_order(ctx, &order)
+            }
         }
     }
 
     /// Execute every stage closure on the calling thread, in insertion
     /// order (the historical serial executor). Does not require `C: Sync`.
     pub fn execute_serial(self, ctx: &C) -> StageReport {
+        self.debug_verify();
+        self.run_serial(ctx)
+    }
+
+    /// The serial executor body, shared by [`StageGraph::execute_serial`]
+    /// and the threaded executor's single-resource short circuit (which has
+    /// already verified the graph).
+    fn run_serial(self, ctx: &C) -> StageReport {
         let (metas, runs) = self.into_parts();
         let epoch = Instant::now();
         let records = runs
@@ -403,7 +501,7 @@ impl<'g, C> StageGraph<'g, C> {
         if resources.len() <= 1 {
             // A lone worker could only replay insertion order; skip the
             // thread machinery (and keep plain panic propagation).
-            return self.execute_serial(ctx);
+            return self.run_serial(ctx);
         }
         let (metas, runs) = self.into_parts();
         let n = metas.len();
@@ -490,6 +588,97 @@ impl<'g, C> StageGraph<'g, C> {
             })
             .collect();
         build_report(metas, records)
+    }
+
+    /// Execute the stage closures serially in an explicit dispatch `order`
+    /// — the schedule-replay primitive behind
+    /// [`crate::explore::explore_schedules`]. The report is byte-identical
+    /// (modeled fields) to any other executor's: the modeled replay always
+    /// runs in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a dispatch order the threaded executor
+    /// could take: it must be a permutation of `0..len()` in which every
+    /// stage appears after all of its dependencies *and* after every
+    /// earlier-inserted stage on its own resource (workers drain their
+    /// worklists in FIFO order). Does not require `C: Sync` — everything
+    /// runs on the calling thread.
+    pub fn execute_in_order(self, ctx: &C, order: &[usize]) -> StageReport {
+        self.debug_verify();
+        let (metas, runs) = self.into_parts();
+        let n = metas.len();
+        assert_eq!(
+            order.len(),
+            n,
+            "dispatch order names {} stage(s) but the graph has {n}",
+            order.len()
+        );
+        let mut done = vec![false; n];
+        for &i in order {
+            assert!(i < n, "dispatch order names stage {i} of a {n}-stage graph");
+            assert!(!done[i], "dispatch order runs stage {i} twice");
+            for &dep in &metas[i].deps {
+                assert!(
+                    done[dep],
+                    "dispatch order runs stage {i} ('{}') before its dependency {dep}",
+                    metas[i].label
+                );
+            }
+            for (j, meta) in metas.iter().enumerate().take(i) {
+                assert!(
+                    meta.resource != metas[i].resource || done[j],
+                    "dispatch order runs stage {i} ('{}') before stage {j} on the same \
+                     resource; per-resource dispatch is FIFO in insertion order",
+                    metas[i].label
+                );
+            }
+            done[i] = true;
+        }
+        let mut runs: Vec<Option<BoxedStage<'g, C>>> = runs.into_iter().map(Some).collect();
+        let mut records: Vec<Option<RunRecord>> = (0..n).map(|_| None).collect();
+        let epoch = Instant::now();
+        for &i in order {
+            let run = runs[i].take().expect("order is a permutation");
+            let measured_start_ms = ms_since(epoch);
+            let outcome = run(ctx);
+            records[i] = Some(RunRecord {
+                outcome,
+                measured_start_ms,
+                measured_end_ms: ms_since(epoch),
+            });
+        }
+        let records = records
+            .into_iter()
+            .map(|r| r.expect("every stage was dispatched"))
+            .collect();
+        build_report(metas, records)
+    }
+
+    /// The deterministic [`Executor::Explore`] schedule: at every step,
+    /// dispatch the highest-index stage whose dependencies are done and
+    /// whose resource has no earlier undispatched stage.
+    fn adversarial_order(&self) -> Vec<usize> {
+        let n = self.stages.len();
+        let mut done = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        while order.len() < n {
+            let next = (0..n)
+                .rev()
+                .find(|&i| {
+                    !done[i]
+                        && self.stages[i].deps.iter().all(|&d| done[d])
+                        && (0..i)
+                            .all(|j| done[j] || self.stages[j].resource != self.stages[i].resource)
+                })
+                .expect(
+                    "a graph whose dependencies point at earlier stages always has a \
+                     dispatchable stage",
+                );
+            done[next] = true;
+            order.push(next);
+        }
+        order
     }
 }
 
@@ -678,6 +867,29 @@ impl StageReport {
         self.stages.iter().map(|s| s.stats).sum()
     }
 
+    /// Re-verify the executed schedule with default [`VerifyOptions`]: the
+    /// report carries every stage's kind/resource/dependency wiring, so the
+    /// same static checks that gate execution (see [`crate::verify`]) can
+    /// run after the fact — e.g. in tests that only kept the report.
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        self.verify_with(&VerifyOptions::default())
+    }
+
+    /// Re-verify the executed schedule with explicit [`VerifyOptions`].
+    pub fn verify_with(&self, opts: &VerifyOptions) -> Vec<Diagnostic> {
+        let specs: Vec<StageSpec> = self
+            .stages
+            .iter()
+            .map(|s| StageSpec {
+                kind: s.kind,
+                label: s.label.clone(),
+                resource: s.resource,
+                deps: s.deps.clone(),
+            })
+            .collect();
+        verify_specs(&specs, opts)
+    }
+
     /// A byte-stable rendering of every *deterministic* field of the
     /// report: stage kinds, labels, resources, dependencies, modeled
     /// intervals (as exact bit patterns) and kernel counters, plus the
@@ -768,7 +980,11 @@ mod tests {
             log.lock().unwrap().push("first");
             outcome(1.0)
         });
-        g.add(StageKind::SecondTopK, Resource::Compute(0), &[b], |log| {
+        let c = g.add(StageKind::Concatenate, Resource::Compute(0), &[b], |log| {
+            log.lock().unwrap().push("concat");
+            outcome(0.0)
+        });
+        g.add(StageKind::SecondTopK, Resource::Compute(0), &[c], |log| {
             log.lock().unwrap().push("second");
             outcome(0.5)
         });
@@ -776,7 +992,7 @@ mod tests {
         let report = g.execute(&log);
         assert_eq!(
             log.into_inner().unwrap(),
-            vec!["delegate", "first", "second"]
+            vec!["delegate", "first", "concat", "second"]
         );
         assert_eq!(report.makespan_ms, 3.5);
         assert_eq!(report.serial_ms(), 3.5);
@@ -797,13 +1013,19 @@ mod tests {
         let mut g: StageGraph<'_, ()> = StageGraph::new();
         let lane = Resource::Transfer(TransferLane::HostToDevice(0));
         let l0 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(3.0));
-        let _c0 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[l0], |_| {
+        let c0 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[l0], |_| {
             outcome(4.0)
         });
         let l1 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(3.0));
-        g.add(StageKind::LocalTopK, Resource::Compute(0), &[l1], |_| {
+        let c1 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[l1], |_| {
             outcome(4.0)
         });
+        g.add(
+            StageKind::FinalTopK,
+            Resource::Compute(0),
+            &[c0, c1],
+            |_| outcome(0.0),
+        );
         let report = g.execute(&());
         assert_eq!(report.makespan_ms, 11.0);
         assert_eq!(report.serial_ms(), 14.0);
@@ -820,8 +1042,17 @@ mod tests {
     fn same_resource_stages_serialize_without_explicit_deps() {
         let mut g: StageGraph<'_, ()> = StageGraph::new();
         let lane = Resource::Transfer(TransferLane::HostToDevice(0));
-        g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
-        g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
+        let l0 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
+        let l1 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(2.0));
+        let c = g.add(
+            StageKind::LocalTopK,
+            Resource::Compute(0),
+            &[l0, l1],
+            |_| outcome(0.0),
+        );
+        g.add(StageKind::FinalTopK, Resource::Compute(0), &[c], |_| {
+            outcome(0.0)
+        });
         let report = g.execute(&());
         assert_eq!(report.stages[1].start_ms, 2.0);
         assert_eq!(report.makespan_ms, 4.0);
@@ -845,13 +1076,19 @@ mod tests {
     #[test]
     fn labels_and_kinds_are_reported() {
         let mut g: StageGraph<'_, ()> = StageGraph::new();
-        g.add_labeled(
+        let load = g.add_labeled(
             StageKind::ChunkLoad,
             "chunk 3 load",
             Resource::Transfer(TransferLane::HostToDevice(1)),
             &[],
             |_| outcome(1.0),
         );
+        let local = g.add(StageKind::LocalTopK, Resource::Compute(1), &[load], |_| {
+            outcome(1.0)
+        });
+        g.add(StageKind::FinalTopK, Resource::Compute(1), &[local], |_| {
+            outcome(0.5)
+        });
         let report = g.execute(&());
         assert_eq!(report.stages[0].label, "chunk 3 load");
         assert_eq!(report.stages[0].kind, StageKind::ChunkLoad);
@@ -924,11 +1161,56 @@ mod tests {
     }
 
     #[test]
+    fn explore_executor_matches_threaded_results_and_summary() {
+        let mut threaded_graph = StageGraph::new();
+        two_resource_graph(&mut threaded_graph);
+        let threaded_log = Mutex::new(Vec::new());
+        let threaded = threaded_graph.execute_with(&threaded_log, Executor::Threaded);
+
+        let mut explore_graph = StageGraph::new();
+        two_resource_graph(&mut explore_graph);
+        let explore_log = Mutex::new(Vec::new());
+        let explored = explore_graph.execute_with(&explore_log, Executor::Explore);
+
+        assert_eq!(
+            threaded_log.into_inner().unwrap(),
+            explore_log.into_inner().unwrap()
+        );
+        assert_eq!(
+            threaded.deterministic_summary(),
+            explored.deterministic_summary()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "per-resource dispatch is FIFO")]
+    fn execute_in_order_rejects_fifo_violations() {
+        let mut g: StageGraph<'_, ()> = StageGraph::new();
+        let lane = Resource::Transfer(TransferLane::HostToDevice(0));
+        let l0 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(1.0));
+        let l1 = g.add(StageKind::ChunkLoad, lane, &[], |_| outcome(1.0));
+        let c = g.add(
+            StageKind::LocalTopK,
+            Resource::Compute(0),
+            &[l0, l1],
+            |_| outcome(1.0),
+        );
+        g.add(StageKind::FinalTopK, Resource::Compute(0), &[c], |_| {
+            outcome(1.0)
+        });
+        // Stage 1 before stage 0 on the shared host→device lane: no worker
+        // could dispatch that.
+        g.execute_in_order(&(), &[1, 0, 2, 3]);
+    }
+
+    #[test]
+    #[allow(clippy::disallowed_methods)] // sleeps *are* the workload here
     fn threaded_executor_overlaps_real_wall_clock() {
-        // Two independent 25 ms sleeps on different resources: the
-        // threaded executor runs them concurrently, so the measured
-        // makespan lands below the ~50 ms serialized sum. Retried to shrug
-        // off scheduler jitter on loaded CI hosts.
+        // Two independent 25 ms sleeps on different resources (a chunk
+        // load feeding device 1, and device 0's own compute): the threaded
+        // executor runs them concurrently, so the measured makespan lands
+        // below the ~50 ms serialized sum. Retried to shrug off scheduler
+        // jitter on loaded CI hosts.
         let sleepy = |ms: u64| {
             move |_: &()| {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -938,13 +1220,22 @@ mod tests {
         let mut attempts = Vec::new();
         for _ in 0..3 {
             let mut g: StageGraph<'_, ()> = StageGraph::new();
-            g.add(
+            let load = g.add(
                 StageKind::ChunkLoad,
-                Resource::Transfer(TransferLane::HostToDevice(0)),
+                Resource::Transfer(TransferLane::HostToDevice(1)),
                 &[],
                 sleepy(25),
             );
-            g.add(StageKind::LocalTopK, Resource::Compute(0), &[], sleepy(25));
+            let c0 = g.add(StageKind::LocalTopK, Resource::Compute(0), &[], sleepy(25));
+            let c1 = g.add(StageKind::LocalTopK, Resource::Compute(1), &[load], |_| {
+                outcome(0.0)
+            });
+            g.add(
+                StageKind::FinalTopK,
+                Resource::Compute(0),
+                &[c0, c1],
+                |_| outcome(0.0),
+            );
             let report = g.execute(&());
             attempts.push((report.measured_makespan_ms, report.measured_serial_ms()));
             if report.measured_makespan_ms < report.measured_serial_ms() {
@@ -986,7 +1277,10 @@ mod tests {
         );
         // A dependent on another resource must not deadlock waiting for
         // the poisoned stage.
-        g.add(StageKind::LocalTopK, Resource::Compute(0), &[bad], |_| {
+        let local = g.add(StageKind::LocalTopK, Resource::Compute(0), &[bad], |_| {
+            outcome(1.0)
+        });
+        g.add(StageKind::FinalTopK, Resource::Compute(0), &[local], |_| {
             outcome(1.0)
         });
         g.execute(&());
@@ -1020,15 +1314,16 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // the sleep is the wall-clock noise under test
     fn deterministic_summary_excludes_measured_fields() {
         let mut g: StageGraph<'_, ()> = StageGraph::new();
-        g.add(StageKind::FirstTopK, Resource::Compute(0), &[], |_| {
+        g.add(StageKind::SecondTopK, Resource::Compute(0), &[], |_| {
             std::thread::sleep(std::time::Duration::from_millis(2));
             outcome(1.5)
         });
         let a = g.execute(&()).deterministic_summary();
         let mut g: StageGraph<'_, ()> = StageGraph::new();
-        g.add(StageKind::FirstTopK, Resource::Compute(0), &[], |_| {
+        g.add(StageKind::SecondTopK, Resource::Compute(0), &[], |_| {
             outcome(1.5)
         });
         let b = g.execute(&()).deterministic_summary();
@@ -1036,6 +1331,6 @@ mod tests {
             a, b,
             "wall-clock differences must not leak into the summary"
         );
-        assert!(a.contains("first_topk"));
+        assert!(a.contains("second_topk"));
     }
 }

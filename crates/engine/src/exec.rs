@@ -115,12 +115,30 @@ fn splice_unit_stages<K: TopKKey>(
         }
     }
     let calibration = CalibrationFit::fit(&stages);
-    StageReport {
+    let report = StageReport {
         stages,
         makespan_ms: macro_report.makespan_ms,
         measured_makespan_ms: macro_report.measured_makespan_ms,
         calibration,
+    };
+    // The macro graph was verified when it executed; splicing re-wires
+    // kinds, resources and dependencies, so debug builds re-check the
+    // composed schedule too (the index remapping is exactly the kind of
+    // arithmetic the verifier exists to catch).
+    #[cfg(debug_assertions)]
+    {
+        let diags = report.verify();
+        assert!(
+            diags.is_empty(),
+            "spliced unit stage report failed verification:\n{}",
+            diags
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
+    report
 }
 
 /// Run one fused unit's typed half as a real stage graph: the shared

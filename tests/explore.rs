@@ -1,0 +1,206 @@
+//! Schedule-space model-checker integration tests (`drtopk::core::explore`):
+//! the threaded executor's determinism claim is checked by *running* every
+//! dispatch order its per-resource FIFO workers could take and requiring
+//! bit-identical results — and a seeded concurrency bug (a missing
+//! dependency edge between stages on different resources) is detected as a
+//! cross-interleaving divergence that no single run could expose.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use drtopk::core::{
+    distributed_dr_topk_executor, distributed_dr_topk_explore, distributed_dr_topk_scheduled,
+    explore_schedules, DrTopKConfig, Executor, ExploreBudget, ReloadSchedule, Resource, StageGraph,
+    StageKind, StageOutcome,
+};
+use drtopk::prelude::*;
+use drtopk::sim::GpuCluster;
+
+fn bits<K: TopKKey>(values: &[K]) -> Vec<K::Bits> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Two independent two-stage chains on different compute queues joined by
+/// a final top-k. The join always dispatches last, so the schedule space
+/// is exactly the interleavings of the two FIFO chains: C(4,2) = 6.
+/// Stages accumulate into a commutative checksum, so every interleaving
+/// must fingerprint identically.
+fn two_chains(sum: &AtomicU64) -> (StageGraph<'_, ()>, ()) {
+    let mut g: StageGraph<()> = StageGraph::new();
+    let c0 = Resource::Compute(0);
+    let c1 = Resource::Compute(1);
+    let add = |amount: u64| {
+        move |_: &()| {
+            sum.fetch_add(amount, Ordering::SeqCst);
+            StageOutcome::default()
+        }
+    };
+    let a0 = g.add(StageKind::LocalTopK, c0, &[], add(1));
+    let a1 = g.add(StageKind::LocalMerge, c0, &[a0], add(2));
+    let b0 = g.add(StageKind::LocalTopK, c1, &[], add(10));
+    let b1 = g.add(StageKind::LocalMerge, c1, &[b0], add(20));
+    g.add(StageKind::FinalTopK, c0, &[a1, b1], add(100));
+    (g, ())
+}
+
+#[test]
+fn exhaustive_enumeration_covers_exactly_the_reachable_orders() {
+    let sum = AtomicU64::new(0);
+    let outcome = explore_schedules(
+        || two_chains(&sum),
+        |_, report| {
+            // The commutative checksum and the modeled schedule must agree
+            // across interleavings; reset between schedules.
+            (sum.swap(0, Ordering::SeqCst), report.stages.len())
+        },
+        ExploreBudget::default(),
+    )
+    .expect("a correct graph has no diverging interleaving");
+    assert_eq!(
+        outcome.schedules_run, 6,
+        "two FIFO chains interleave C(4,2) ways"
+    );
+    assert!(outcome.exhaustive);
+    assert_eq!(outcome.stages, 5);
+}
+
+#[test]
+fn enumeration_caps_report_non_exhaustive_coverage() {
+    let sum = AtomicU64::new(0);
+    let outcome = explore_schedules(
+        || two_chains(&sum),
+        |_, _| sum.swap(0, Ordering::SeqCst),
+        ExploreBudget::Exhaustive { max_schedules: 3 },
+    )
+    .expect("capped exploration still must not diverge");
+    assert_eq!(outcome.schedules_run, 3);
+    assert!(!outcome.exhaustive);
+}
+
+#[test]
+fn sampled_exploration_is_bounded_and_reproducible() {
+    let sum = AtomicU64::new(0);
+    let budget = ExploreBudget::Sampled {
+        schedules: 5,
+        seed: 7,
+    };
+    let outcome = explore_schedules(
+        || two_chains(&sum),
+        |_, _| sum.swap(0, Ordering::SeqCst),
+        budget,
+    )
+    .expect("sampled orders are valid dispatch orders");
+    assert_eq!(outcome.schedules_run, 5);
+    assert!(!outcome.exhaustive);
+}
+
+/// The seeded concurrency bug the static verifier *cannot* see: a reader
+/// on device 1 races a writer on device 0 because the dependency edge
+/// between them was dropped. The graph still verifies clean (the reader
+/// legitimately might not need the writer), every individual run looks
+/// fine — only comparing interleavings exposes it.
+#[test]
+fn missing_dependency_edge_is_detected_as_a_divergence() {
+    let value = AtomicU64::new(0);
+    let observed = AtomicU64::new(u64::MAX);
+    let err = explore_schedules(
+        || {
+            value.store(0, Ordering::SeqCst);
+            let mut g: StageGraph<()> = StageGraph::new();
+            let writer = g.add(StageKind::LocalTopK, Resource::Compute(0), &[], |_| {
+                value.store(42, Ordering::SeqCst);
+                StageOutcome::default()
+            });
+            // BUG under test: the reader must depend on `writer` but does
+            // not, so whichever worker dispatches first wins the race.
+            let reader = g.add(StageKind::LocalTopK, Resource::Compute(1), &[], |_| {
+                observed.store(value.load(Ordering::SeqCst), Ordering::SeqCst);
+                StageOutcome::default()
+            });
+            g.add(
+                StageKind::FinalTopK,
+                Resource::Compute(0),
+                &[writer, reader],
+                |_| StageOutcome::default(),
+            );
+            (g, ())
+        },
+        |_, _| observed.load(Ordering::SeqCst),
+        ExploreBudget::default(),
+    )
+    .expect_err("the racy read must diverge across interleavings");
+    assert_eq!(err.what, "result fingerprint");
+    assert!(err.schedule_index > 0, "schedule 0 is the reference");
+    assert_eq!(
+        err.order.len(),
+        3,
+        "the diverging order is a full dispatch order"
+    );
+}
+
+/// Model-check a real distributed out-of-core run: 2 devices × 2 chunks
+/// under the double-buffered schedule. The full schedule space (a few
+/// hundred orders) is enumerated and every interleaving must produce
+/// bit-identical winners and a byte-identical deterministic summary.
+#[test]
+fn distributed_out_of_core_run_model_checks_exhaustively() {
+    let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+    for d in cluster.devices() {
+        d.set_capacity_elems(1 << 8);
+    }
+    let data = topk_datagen::uniform(1 << 10, 0xBEEF);
+    let cfg = DrTopKConfig::default();
+    let (result, outcome) = distributed_dr_topk_explore(
+        &cluster,
+        &data,
+        16,
+        &cfg,
+        ReloadSchedule::DoubleBuffered,
+        ExploreBudget::default(),
+    )
+    .expect("no interleaving of a correct plan may diverge");
+    assert!(
+        outcome.exhaustive,
+        "the smoke graph's schedule space fits the default cap"
+    );
+    assert!(outcome.schedules_run > 1);
+    assert_eq!(outcome.stages, outcome.reference.stages.len());
+
+    let reference =
+        distributed_dr_topk_scheduled(&cluster, &data, 16, &cfg, ReloadSchedule::DoubleBuffered);
+    assert_eq!(bits(&result.values), bits(&reference.values));
+}
+
+/// `Executor::Explore` (the single adversarial anti-insertion-order probe)
+/// must agree with the threaded executor bit for bit, modeled field for
+/// modeled field.
+#[test]
+fn adversarial_executor_matches_threaded_on_a_distributed_run() {
+    let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+    for d in cluster.devices() {
+        d.set_capacity_elems(1 << 9);
+    }
+    let data = topk_datagen::normal(1 << 11, 17);
+    let cfg = DrTopKConfig::default();
+    let threaded = distributed_dr_topk_executor(
+        &cluster,
+        &data,
+        64,
+        &cfg,
+        ReloadSchedule::DoubleBuffered,
+        Executor::Threaded,
+    );
+    let adversarial = distributed_dr_topk_executor(
+        &cluster,
+        &data,
+        64,
+        &cfg,
+        ReloadSchedule::DoubleBuffered,
+        Executor::Explore,
+    );
+    assert_eq!(bits(&threaded.values), bits(&adversarial.values));
+    assert_eq!(
+        threaded.stages.deterministic_summary(),
+        adversarial.stages.deterministic_summary()
+    );
+    assert_eq!(threaded.total_ms, adversarial.total_ms);
+}
