@@ -17,6 +17,7 @@ use std::io::Write as _;
 
 use drtopk_bench_harness::*;
 use drtopk_core::{distributed_dr_topk_executor, DrTopKConfig, Executor, ReloadSchedule};
+use drtopk_obs::{Json, Snapshot};
 use gpu_sim::{Device, DeviceSpec, GpuCluster, InterconnectSpec};
 use topk_baselines::reference_topk;
 
@@ -81,12 +82,20 @@ fn main() {
                 fmt(f.slope),
                 fmt(f.intercept_ms),
                 fmt(f.r2),
+                fmt(f.mean_abs_residual_ms),
             ]
         })
         .collect();
     emit(
         "calibration_fit",
-        &["stage_kind", "samples", "slope", "intercept_ms", "r2"],
+        &[
+            "stage_kind",
+            "samples",
+            "slope",
+            "intercept_ms",
+            "r2",
+            "mean_abs_residual_ms",
+        ],
         &rows,
     );
     println!(
@@ -94,33 +103,42 @@ fn main() {
         report.makespan_ms, serial.stages.measured_makespan_ms, report.measured_makespan_ms, predicted,
     );
 
-    // Baseline JSON for trajectory tracking (hand-rolled: no serde in the
-    // offline workspace). Modeled fields are deterministic; measured and
-    // fitted fields are one sample of host wall-clock.
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"capacity\": {capacity},\n  \"devices\": {DEVICES},\n  \"k\": {K},\n  \"seed\": {},\n  \"n\": {n},\n",
-        seed()
-    ));
-    json.push_str(&format!(
-        "  \"modeled_makespan_ms\": {:.4},\n  \"measured_serial_ms\": {:.4},\n  \"measured_threaded_ms\": {:.4},\n  \"predicted_makespan_ms\": {:.4},\n  \"fits\": [\n",
-        report.makespan_ms,
-        serial.stages.measured_makespan_ms,
-        report.measured_makespan_ms,
-        predicted,
-    ));
-    for (i, f) in report.calibration.fits.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"stage_kind\": \"{}\", \"samples\": {}, \"slope\": {:.6}, \"intercept_ms\": {:.6}, \"r2\": {:.4}}}{}\n",
-            f.kind,
-            f.samples,
-            f.slope,
-            f.intercept_ms,
-            f.r2,
-            if i + 1 == report.calibration.fits.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    // Baseline JSON for trajectory tracking, under the shared obs snapshot
+    // schema. Modeled fields are deterministic; measured and fitted fields
+    // are one sample of host wall-clock.
+    let fit_objs: Vec<Json> = report
+        .calibration
+        .fits
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("stage_kind", Json::str(format!("{}", f.kind))),
+                ("samples", Json::Int(f.samples as i64)),
+                ("slope", Json::Num(f.slope)),
+                ("intercept_ms", Json::Num(f.intercept_ms)),
+                ("r2", Json::Num(f.r2)),
+                ("mean_abs_residual_ms", Json::Num(f.mean_abs_residual_ms)),
+            ])
+        })
+        .collect();
+    let json = Snapshot::new("calibration_fit")
+        .field("capacity", Json::Int(capacity as i64))
+        .field("devices", Json::Int(DEVICES as i64))
+        .field("k", Json::Int(K as i64))
+        .field("seed", Json::Int(seed() as i64))
+        .field("n", Json::Int(n as i64))
+        .field("modeled_makespan_ms", Json::Num(report.makespan_ms))
+        .field(
+            "measured_serial_ms",
+            Json::Num(serial.stages.measured_makespan_ms),
+        )
+        .field(
+            "measured_threaded_ms",
+            Json::Num(report.measured_makespan_ms),
+        )
+        .field("predicted_makespan_ms", Json::Num(predicted))
+        .field("fits", Json::Arr(fit_objs))
+        .to_pretty_string();
     let path = results_dir().join("calibration_fit.json");
     let mut file = std::fs::File::create(&path).expect("cannot create JSON file");
     file.write_all(json.as_bytes()).unwrap();

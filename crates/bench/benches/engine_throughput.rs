@@ -3,9 +3,11 @@
 //!
 //! Each cell runs the same batch twice — a cold pass (caches empty) and a
 //! warm pass (tuning plans + delegate vectors cached) — reporting modeled
-//! throughput, batch occupancy and the warm pass's cache hit rates. Beyond
-//! the CSV every harness writes, this target also records
-//! `bench_results/engine_throughput.json`; the committed
+//! throughput, batch occupancy, the warm pass's cache hit rates and the
+//! warm per-query latency percentiles (p50/p95/p99, from a batch-scoped
+//! [`Histogram`]). Beyond the CSV every harness writes, this target also
+//! records `bench_results/engine_throughput.json` under the shared
+//! `drtopk-obs` snapshot schema; the committed
 //! `engine_throughput_baseline.json` is the reference point for future
 //! trajectory tracking.
 
@@ -14,6 +16,7 @@ use std::io::Write as _;
 use drtopk_bench_harness::*;
 use drtopk_core::InnerAlgorithm;
 use drtopk_engine::{Direction, Query, QueryBatch, TopKEngine};
+use drtopk_obs::{Histogram, HistogramSummary, Json, Snapshot};
 use gpu_sim::{DeviceSpec, GpuCluster};
 use topk_datagen::{multi_query_workload, CorpusMix};
 
@@ -29,6 +32,7 @@ struct Cell {
     warm_delegate_hit: f64,
     cold_ms: f64,
     warm_ms: f64,
+    warm_latency: HistogramSummary,
 }
 
 fn main() {
@@ -76,6 +80,13 @@ fn main() {
             };
             let cold = run();
             let warm = run();
+            // Batch-scoped latency percentiles: the engine's own registry
+            // is cumulative (cold + warm), so a fresh histogram over the
+            // warm pass isolates the steady-state distribution.
+            let warm_hist = Histogram::new();
+            for r in &warm.results {
+                warm_hist.record(r.time_ms);
+            }
             cells.push(Cell {
                 batch: batch_size,
                 mix: mix_name,
@@ -86,6 +97,7 @@ fn main() {
                 warm_delegate_hit: warm.report.delegate_cache.hit_rate(),
                 cold_ms: cold.report.total_ms,
                 warm_ms: warm.report.total_ms,
+                warm_latency: warm_hist.summary(),
             });
         }
     }
@@ -103,6 +115,9 @@ fn main() {
                 fmt(c.warm_delegate_hit),
                 fmt(c.cold_ms),
                 fmt(c.warm_ms),
+                fmt(c.warm_latency.p50_ms),
+                fmt(c.warm_latency.p95_ms),
+                fmt(c.warm_latency.p99_ms),
             ]
         })
         .collect();
@@ -118,31 +133,39 @@ fn main() {
             "warm_delegate_hit_rate",
             "cold_total_ms",
             "warm_total_ms",
+            "warm_p50_ms",
+            "warm_p95_ms",
+            "warm_p99_ms",
         ],
         &rows,
     );
 
-    // Baseline JSON for trajectory tracking (hand-rolled: no serde in the
-    // offline workspace).
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"n\": {n},\n  \"devices\": {DEVICES},\n  \"k_max\": {k_max},\n  \"seed\": {},\n  \"cells\": [\n",
-        seed()
-    ));
-    for (i, c) in cells.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"batch_size\": {}, \"mix\": \"{}\", \"cold_qps\": {:.1}, \"warm_qps\": {:.1}, \"occupancy\": {:.2}, \"warm_plan_hit_rate\": {:.3}, \"warm_delegate_hit_rate\": {:.3}}}{}\n",
-            c.batch,
-            c.mix,
-            c.cold_qps,
-            c.warm_qps,
-            c.occupancy,
-            c.warm_plan_hit,
-            c.warm_delegate_hit,
-            if i + 1 == cells.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    // Baseline JSON for trajectory tracking, under the shared obs snapshot
+    // schema (versioned `schema` + `kind` header).
+    let cell_objs: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("batch_size", Json::Int(c.batch as i64)),
+                ("mix", Json::str(c.mix)),
+                ("cold_qps", Json::Num(c.cold_qps)),
+                ("warm_qps", Json::Num(c.warm_qps)),
+                ("occupancy", Json::Num(c.occupancy)),
+                ("warm_plan_hit_rate", Json::Num(c.warm_plan_hit)),
+                ("warm_delegate_hit_rate", Json::Num(c.warm_delegate_hit)),
+                ("cold_total_ms", Json::Num(c.cold_ms)),
+                ("warm_total_ms", Json::Num(c.warm_ms)),
+                ("warm_latency_ms", c.warm_latency.to_json()),
+            ])
+        })
+        .collect();
+    let json = Snapshot::new("engine_throughput")
+        .field("n", Json::Int(n as i64))
+        .field("devices", Json::Int(DEVICES as i64))
+        .field("k_max", Json::Int(k_max as i64))
+        .field("seed", Json::Int(seed() as i64))
+        .field("cells", Json::Arr(cell_objs))
+        .to_pretty_string();
     let path = results_dir().join("engine_throughput.json");
     let mut file = std::fs::File::create(&path).expect("cannot create JSON file");
     file.write_all(json.as_bytes()).unwrap();

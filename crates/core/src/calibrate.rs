@@ -54,6 +54,11 @@ pub struct KindFit {
     /// the measured durations have no variance to explain, e.g. a single
     /// sample).
     pub r2: f64,
+    /// Mean absolute residual `|measured − predict(modeled)|` over the
+    /// fitted samples, in measured milliseconds — the continuously-tracked
+    /// modeled-vs-calibrated drift signal behind the engine's
+    /// `stage_residual_ms` metric.
+    pub mean_abs_residual_ms: f64,
 }
 
 impl KindFit {
@@ -136,12 +141,19 @@ impl CalibrationFit {
                 } else {
                     1.0
                 };
+                let mean_abs_residual_ms = xs
+                    .iter()
+                    .zip(&ys)
+                    .map(|(x, y)| (y - (slope * x + intercept_ms).max(0.0)).abs())
+                    .sum::<f64>()
+                    / n;
                 KindFit {
                     kind,
                     samples: xs.len(),
                     slope,
                     intercept_ms,
                     r2,
+                    mean_abs_residual_ms,
                 }
             })
             .collect();
@@ -234,6 +246,23 @@ mod tests {
         assert!((f.intercept_ms - 1.0).abs() < 1e-9);
         assert!((f.r2 - 1.0).abs() < 1e-9);
         assert!((f.predict(3.0) - 7.0).abs() < 1e-9);
+        assert!(
+            f.mean_abs_residual_ms < 1e-9,
+            "an exact fit has no residual"
+        );
+    }
+
+    #[test]
+    fn residuals_measure_scatter_around_the_fit() {
+        // Equal modeled durations with measured 6 and 8: the ratio fit
+        // predicts 7 for both, so each sample is 1 ms off.
+        let stages = vec![
+            stage(StageKind::LocalMerge, (0.0, 2.0), (0.0, 6.0)),
+            stage(StageKind::LocalMerge, (2.0, 4.0), (6.0, 14.0)),
+        ];
+        let fit = CalibrationFit::fit(&stages);
+        let f = fit.for_kind(StageKind::LocalMerge).unwrap();
+        assert!((f.mean_abs_residual_ms - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -270,6 +299,7 @@ mod tests {
             slope: 1.0,
             intercept_ms: -5.0,
             r2: 1.0,
+            mean_abs_residual_ms: 0.0,
         };
         assert_eq!(f.predict(1.0), 0.0);
         assert_eq!(f.predict(10.0), 5.0);

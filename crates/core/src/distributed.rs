@@ -45,6 +45,7 @@
 
 use std::sync::Mutex;
 
+use drtopk_obs::TraceSink;
 use gpu_sim::{GpuCluster, KernelStats, TransferDirection};
 use topk_baselines::{reference_topk, Desc, TopKKey};
 
@@ -257,12 +258,47 @@ pub fn distributed_dr_topk_executor<K: TopKKey>(
     schedule: ReloadSchedule,
     executor: Executor,
 ) -> DistributedResult<K> {
+    run_distributed(cluster, data, k, config, schedule, executor, None)
+}
+
+/// [`distributed_dr_topk_executor`] with a [`TraceSink`] attached to the
+/// stage graph: the run's stages stream into `sink` as spans whose modeled
+/// intervals match the returned report's `stages` **bit-for-bit**, plus
+/// live executor events (dispatches, dependency-gate wakes, debug-build
+/// verifier passes). A deterministic
+/// [`TraceRecorder`](drtopk_obs::TraceRecorder) fed from this entry point
+/// exports byte-identical Chrome traces across runs and executors.
+pub fn distributed_dr_topk_observed<'a, K: TopKKey>(
+    cluster: &'a GpuCluster,
+    data: &'a [K],
+    k: usize,
+    config: &'a DrTopKConfig,
+    schedule: ReloadSchedule,
+    executor: Executor,
+    sink: &'a dyn TraceSink,
+) -> DistributedResult<K> {
+    run_distributed(cluster, data, k, config, schedule, executor, Some(sink))
+}
+
+/// Shared body of the executor-selecting entry points.
+fn run_distributed<'a, K: TopKKey>(
+    cluster: &'a GpuCluster,
+    data: &'a [K],
+    k: usize,
+    config: &'a DrTopKConfig,
+    schedule: ReloadSchedule,
+    executor: Executor,
+    sink: Option<&'a dyn TraceSink>,
+) -> DistributedResult<K> {
     let k = k.min(data.len());
     let num_devices = cluster.num_devices();
     if k == 0 || data.is_empty() {
         return empty_result(num_devices, schedule);
     }
-    let plan = build_distributed_graph(cluster, data, k, config, schedule);
+    let mut plan = build_distributed_graph(cluster, data, k, config, schedule);
+    if let Some(sink) = sink {
+        plan.graph.set_trace_sink(sink);
+    }
     #[cfg(debug_assertions)]
     {
         // The generic execute-time check runs with default options; the

@@ -66,8 +66,8 @@ pub use concat::{concatenate, Concatenated};
 pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{
     capacity_in_keys, distributed_dr_topk, distributed_dr_topk_executor,
-    distributed_dr_topk_explore, distributed_dr_topk_scheduled, partition_subvectors,
-    DistributedResult, ReloadSchedule,
+    distributed_dr_topk_explore, distributed_dr_topk_observed, distributed_dr_topk_scheduled,
+    partition_subvectors, DistributedResult, ReloadSchedule,
 };
 pub use explore::{explore_schedules, Divergence, ExploreBudget, ExploreOutcome};
 pub use first_topk::{first_topk, FirstTopK};

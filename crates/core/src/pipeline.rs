@@ -241,6 +241,19 @@ impl PhaseBreakdown {
             + self.second_topk_ms
             + self.transfer_ms
     }
+
+    /// `(phase name, ms)` pairs in pipeline order — the one place the
+    /// field list is enumerated, so JSON snapshot exporters (benches, the
+    /// engine report) cannot drift from the struct.
+    pub fn entries(&self) -> [(&'static str, f64); 5] {
+        [
+            ("delegate_ms", self.delegate_ms),
+            ("first_topk_ms", self.first_topk_ms),
+            ("concat_ms", self.concat_ms),
+            ("second_topk_ms", self.second_topk_ms),
+            ("transfer_ms", self.transfer_ms),
+        ]
+    }
 }
 
 /// Workload statistics: the vector sizes each phase operated on (the

@@ -62,6 +62,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use drtopk_obs::{EventKind, ExecEvent, SpanRecord, TraceSink};
 use gpu_sim::{KernelStats, StreamSet};
 
 use crate::calibrate::CalibrationFit;
@@ -178,6 +179,19 @@ pub enum Resource {
     Transfer(TransferLane),
 }
 
+impl Resource {
+    /// Stable track label used by trace exports: `compute[d]` for compute
+    /// queues, `h2d[d]` / `d2h[d]` / `ic[d]` for the transfer lanes.
+    pub fn label(&self) -> String {
+        match self {
+            Resource::Compute(d) => format!("compute[{d}]"),
+            Resource::Transfer(TransferLane::HostToDevice(d)) => format!("h2d[{d}]"),
+            Resource::Transfer(TransferLane::DeviceToHost(d)) => format!("d2h[{d}]"),
+            Resource::Transfer(TransferLane::Interconnect(d)) => format!("ic[{d}]"),
+        }
+    }
+}
+
 /// What executing one stage produced: the kernel counters it accumulated
 /// and its modeled duration. Buffers travel through the graph's context,
 /// not through the outcome.
@@ -267,6 +281,21 @@ fn ms_since(epoch: Instant) -> f64 {
     epoch.elapsed().as_secs_f64() * 1e3
 }
 
+/// Emit a live executor event iff a sink is attached *and* wants events
+/// (deterministic recorders do not — event timing is wall-clock). The
+/// label is only cloned on the enabled path.
+fn emit_event(sink: Option<&dyn TraceSink>, kind: EventKind, label: &str, at_ms: f64) {
+    if let Some(s) = sink {
+        if s.wants_events() {
+            s.event(ExecEvent {
+                kind,
+                label: label.to_string(),
+                at_ms,
+            });
+        }
+    }
+}
+
 /// A DAG of [`Stage`](StageKind)s over a caller-owned context `C`.
 ///
 /// Stages must be added in a topological order (every dependency's
@@ -278,6 +307,9 @@ fn ms_since(epoch: Instant) -> f64 {
 /// closure's return value is only the stage's instrumentation.
 pub struct StageGraph<'g, C> {
     stages: Vec<StageNode<'g, C>>,
+    /// Optional telemetry receiver; `None` (the default) costs one branch
+    /// per emission site and nothing else.
+    sink: Option<&'g dyn TraceSink>,
 }
 
 impl<'g, C> Default for StageGraph<'g, C> {
@@ -289,7 +321,19 @@ impl<'g, C> Default for StageGraph<'g, C> {
 impl<'g, C> StageGraph<'g, C> {
     /// An empty graph.
     pub fn new() -> Self {
-        StageGraph { stages: Vec::new() }
+        StageGraph {
+            stages: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Attach a [`TraceSink`]: every `execute*` entry point will then
+    /// record one span per executed stage (via
+    /// [`StageReport::record_into`]) and live executor events — dispatches,
+    /// dependency-gate wakes, and debug-build verifier passes. Detached
+    /// graphs skip all of it.
+    pub fn set_trace_sink(&mut self, sink: &'g dyn TraceSink) {
+        self.sink = Some(sink);
     }
 
     /// Number of stages added so far.
@@ -386,7 +430,10 @@ impl<'g, C> StageGraph<'g, C> {
     }
 
     /// Debug-build gate: panic before running any closure when the graph
-    /// fails verification. Release builds skip the check entirely.
+    /// fails verification. Release builds skip the check entirely. A clean
+    /// pass is reported to an attached sink as a
+    /// [`EventKind::VerifierPass`] event (at `t = 0`: verification precedes
+    /// the executor epoch).
     fn debug_verify(&self) {
         #[cfg(debug_assertions)]
         {
@@ -400,6 +447,14 @@ impl<'g, C> StageGraph<'g, C> {
                     .collect::<Vec<_>>()
                     .join("\n")
             );
+            if self.sink.is_some() {
+                emit_event(
+                    self.sink,
+                    EventKind::VerifierPass,
+                    &format!("{} stage(s) verified", self.stages.len()),
+                    0.0,
+                );
+            }
         }
     }
 
@@ -465,12 +520,20 @@ impl<'g, C> StageGraph<'g, C> {
     /// and the threaded executor's single-resource short circuit (which has
     /// already verified the graph).
     fn run_serial(self, ctx: &C) -> StageReport {
+        let sink = self.sink;
         let (metas, runs) = self.into_parts();
         let epoch = Instant::now();
         let records = runs
             .into_iter()
-            .map(|run| {
+            .enumerate()
+            .map(|(i, run)| {
                 let measured_start_ms = ms_since(epoch);
+                emit_event(
+                    sink,
+                    EventKind::Dispatch,
+                    &metas[i].label,
+                    measured_start_ms,
+                );
                 let outcome = run(ctx);
                 RunRecord {
                     outcome,
@@ -479,7 +542,7 @@ impl<'g, C> StageGraph<'g, C> {
                 }
             })
             .collect();
-        build_report(metas, records)
+        finish_report(metas, records, sink)
     }
 
     /// One worker per distinct resource; dependencies gate handoff through
@@ -503,6 +566,7 @@ impl<'g, C> StageGraph<'g, C> {
             // thread machinery (and keep plain panic propagation).
             return self.run_serial(ctx);
         }
+        let sink = self.sink;
         let (metas, runs) = self.into_parts();
         let n = metas.len();
         type Worklist<'g, C> = Vec<(usize, BoxedStage<'g, C>)>;
@@ -530,6 +594,7 @@ impl<'g, C> StageGraph<'g, C> {
                 scope.spawn(move || {
                     for (i, run) in work {
                         let mut dep_poisoned;
+                        let mut gated = false;
                         {
                             let mut guard = slots.lock().unwrap();
                             'scan: loop {
@@ -537,6 +602,7 @@ impl<'g, C> StageGraph<'g, C> {
                                 for &dep in &metas[i].deps {
                                     match guard[dep] {
                                         Slot::Pending => {
+                                            gated = true;
                                             guard = progressed.wait(guard).unwrap();
                                             continue 'scan;
                                         }
@@ -547,10 +613,24 @@ impl<'g, C> StageGraph<'g, C> {
                                 break;
                             }
                         }
+                        if gated {
+                            emit_event(
+                                sink,
+                                EventKind::DepGateWake,
+                                &metas[i].label,
+                                ms_since(epoch),
+                            );
+                        }
                         let slot = if dep_poisoned {
                             Slot::Poisoned
                         } else {
                             let measured_start_ms = ms_since(epoch);
+                            emit_event(
+                                sink,
+                                EventKind::Dispatch,
+                                &metas[i].label,
+                                measured_start_ms,
+                            );
                             match std::panic::catch_unwind(AssertUnwindSafe(|| run(ctx))) {
                                 Ok(outcome) => Slot::Done(RunRecord {
                                     outcome,
@@ -587,7 +667,7 @@ impl<'g, C> StageGraph<'g, C> {
                 }
             })
             .collect();
-        build_report(metas, records)
+        finish_report(metas, records, sink)
     }
 
     /// Execute the stage closures serially in an explicit dispatch `order`
@@ -606,6 +686,7 @@ impl<'g, C> StageGraph<'g, C> {
     /// runs on the calling thread.
     pub fn execute_in_order(self, ctx: &C, order: &[usize]) -> StageReport {
         self.debug_verify();
+        let sink = self.sink;
         let (metas, runs) = self.into_parts();
         let n = metas.len();
         assert_eq!(
@@ -641,6 +722,12 @@ impl<'g, C> StageGraph<'g, C> {
         for &i in order {
             let run = runs[i].take().expect("order is a permutation");
             let measured_start_ms = ms_since(epoch);
+            emit_event(
+                sink,
+                EventKind::Dispatch,
+                &metas[i].label,
+                measured_start_ms,
+            );
             let outcome = run(ctx);
             records[i] = Some(RunRecord {
                 outcome,
@@ -652,7 +739,7 @@ impl<'g, C> StageGraph<'g, C> {
             .into_iter()
             .map(|r| r.expect("every stage was dispatched"))
             .collect();
-        build_report(metas, records)
+        finish_report(metas, records, sink)
     }
 
     /// The deterministic [`Executor::Explore`] schedule: at every step,
@@ -680,6 +767,22 @@ impl<'g, C> StageGraph<'g, C> {
         }
         order
     }
+}
+
+/// [`build_report`] plus span emission: every executor funnels through
+/// here, so an attached sink sees exactly the report's stages, in insertion
+/// order — which is what makes deterministic traces byte-identical across
+/// executors.
+fn finish_report(
+    metas: Vec<StageMeta>,
+    records: Vec<RunRecord>,
+    sink: Option<&dyn TraceSink>,
+) -> StageReport {
+    let report = build_report(metas, records);
+    if let Some(sink) = sink {
+        report.record_into(sink);
+    }
+    report
 }
 
 /// Deterministic modeled replay: schedule every stage in insertion order on
@@ -921,6 +1024,63 @@ impl StageReport {
             );
         }
         out
+    }
+
+    /// Emit every stage as a [`SpanRecord`] into a [`TraceSink`], in
+    /// insertion (= replay) order with unshifted intervals — so recorded
+    /// spans carry the report's modeled `start_ms`/`end_ms` **bit-for-bit**.
+    /// `queue_wait_ms` is the modeled gap between a stage's readiness (all
+    /// dependencies complete) and its start, i.e. time spent waiting for
+    /// its resource.
+    pub fn record_into(&self, sink: &dyn TraceSink) {
+        self.record_shifted(sink, 0.0);
+    }
+
+    /// Like [`StageReport::record_into`] but with every interval (modeled
+    /// *and* measured) shifted by `offset_ms` — used by the engine to place
+    /// per-unit stage reports onto the batch timeline at their scheduled
+    /// worker start times. An offset of exactly `0.0` preserves the
+    /// original `f64` bit patterns.
+    pub fn record_shifted(&self, sink: &dyn TraceSink, offset_ms: f64) {
+        for (i, s) in self.stages.iter().enumerate() {
+            let ready_ms = s
+                .deps
+                .iter()
+                .map(|&d| self.stages[d].end_ms)
+                .fold(0.0, f64::max);
+            sink.span(SpanRecord {
+                seq: i,
+                kind: s.kind.name().to_string(),
+                label: s.label.clone(),
+                track: s.resource.label(),
+                deps: s.deps.clone(),
+                start_ms: s.start_ms + offset_ms,
+                end_ms: s.end_ms + offset_ms,
+                measured_start_ms: s.measured_start_ms + offset_ms,
+                measured_end_ms: s.measured_end_ms + offset_ms,
+                queue_wait_ms: (s.start_ms - ready_ms).max(0.0),
+            });
+        }
+    }
+
+    /// Per-resource busy time and occupancy, in first-occurrence order:
+    /// `(resource, busy_ms, busy_ms / makespan_ms)`. This is the modeled
+    /// view of how idle each executor worker was — ROADMAP item 5's
+    /// transfer-lane workers show up here as low-occupancy rows.
+    pub fn resource_occupancy(&self) -> Vec<(Resource, f64, f64)> {
+        let mut rows: Vec<(Resource, f64, f64)> = Vec::new();
+        for s in &self.stages {
+            match rows.iter_mut().find(|(r, _, _)| *r == s.resource) {
+                Some((_, busy, _)) => *busy += s.duration_ms(),
+                None => rows.push((s.resource, s.duration_ms(), 0.0)),
+            }
+        }
+        if self.makespan_ms > 0.0 {
+            for (_, busy, occ) in &mut rows {
+                *occ = *busy / self.makespan_ms;
+            }
+        }
+        rows
     }
 
     /// Derive the paper-phase breakdown from the stage kinds:
@@ -1180,6 +1340,85 @@ mod tests {
             threaded.deterministic_summary(),
             explored.deterministic_summary()
         );
+    }
+
+    #[test]
+    fn attached_recorder_sees_the_report_bit_for_bit() {
+        let rec = drtopk_obs::TraceRecorder::deterministic();
+        let mut g = StageGraph::new();
+        two_resource_graph(&mut g);
+        g.set_trace_sink(&rec);
+        let log = Mutex::new(Vec::new());
+        let report = g.execute(&log);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), report.stages.len());
+        for (span, stage) in spans.iter().zip(&report.stages) {
+            assert_eq!(span.start_ms.to_bits(), stage.start_ms.to_bits());
+            assert_eq!(span.end_ms.to_bits(), stage.end_ms.to_bits());
+            assert_eq!(span.kind, stage.kind.name());
+            assert_eq!(span.label, stage.label);
+            assert_eq!(span.track, stage.resource.label());
+            assert_eq!(span.deps, stage.deps);
+            assert!(span.queue_wait_ms >= 0.0);
+        }
+        // Deterministic mode: no events, measured fields zeroed.
+        assert!(rec.events().is_empty());
+        assert!(spans.iter().all(|s| s.measured_end_ms == 0.0));
+    }
+
+    #[test]
+    fn deterministic_traces_are_byte_identical_across_executors() {
+        let trace_of = |executor: Executor| {
+            let rec = drtopk_obs::TraceRecorder::deterministic();
+            let mut g = StageGraph::new();
+            two_resource_graph(&mut g);
+            g.set_trace_sink(&rec);
+            let log = Mutex::new(Vec::new());
+            g.execute_with(&log, executor);
+            rec.chrome_trace_json()
+        };
+        let serial = trace_of(Executor::Serial);
+        assert_eq!(serial, trace_of(Executor::Threaded));
+        assert_eq!(serial, trace_of(Executor::Explore));
+        drtopk_obs::validate_chrome_trace(&serial).unwrap();
+    }
+
+    #[test]
+    fn full_recorder_collects_dispatch_events() {
+        let rec = drtopk_obs::TraceRecorder::new();
+        let mut g = StageGraph::new();
+        two_resource_graph(&mut g);
+        g.set_trace_sink(&rec);
+        let log = Mutex::new(Vec::new());
+        g.execute_with(&log, Executor::Threaded);
+        let dispatches = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == drtopk_obs::EventKind::Dispatch)
+            .count();
+        assert_eq!(dispatches, 5, "one dispatch per stage");
+        // In debug builds the verifier gate reports its pass too.
+        #[cfg(debug_assertions)]
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.kind == drtopk_obs::EventKind::VerifierPass));
+    }
+
+    #[test]
+    fn resource_occupancy_accounts_every_resource() {
+        let mut g = StageGraph::new();
+        two_resource_graph(&mut g);
+        let log = Mutex::new(Vec::new());
+        let report = g.execute(&log);
+        let rows = report.resource_occupancy();
+        assert_eq!(rows.len(), 2);
+        let busy_total: f64 = rows.iter().map(|(_, busy, _)| busy).sum();
+        assert!((busy_total - report.serial_ms()).abs() < 1e-9);
+        for &(resource, busy, occ) in &rows {
+            assert!(occ > 0.0 && occ <= 1.0, "{resource:?} occupancy {occ}");
+            assert!((occ - busy / report.makespan_ms).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The engine facade: configuration, the cluster, and the cache behind a
 //! `Mutex`, with `run_batch` tying planner → scheduler → report together.
 
-use drtopk_core::DrTopKConfig;
+use std::sync::Arc;
+
+use drtopk_core::{DrTopKConfig, StageKind};
+use drtopk_obs::{EventKind, ExecEvent, MetricName, MetricsRegistry, MetricsSnapshot, TraceSink};
 use gpu_sim::{DeviceSpec, GpuCluster};
 use parking_lot::Mutex;
 use topk_baselines::TopKKey;
@@ -73,6 +76,8 @@ pub struct TopKEngine {
     cluster: GpuCluster,
     config: EngineConfig,
     cache: Mutex<PlanCache>,
+    metrics: MetricsRegistry,
+    recorder: Mutex<Option<Arc<dyn TraceSink>>>,
 }
 
 impl TopKEngine {
@@ -86,10 +91,14 @@ impl TopKEngine {
         let cache = Mutex::new(PlanCache::with_delegate_capacity(
             config.delegate_cache_capacity,
         ));
+        let kinds: Vec<&'static str> = StageKind::ALL.iter().map(|k| k.name()).collect();
+        let metrics = MetricsRegistry::new(cluster.num_devices(), &kinds);
         TopKEngine {
             cluster,
             config,
             cache,
+            metrics,
+            recorder: Mutex::new(None),
         }
     }
 
@@ -116,6 +125,33 @@ impl TopKEngine {
     /// Cumulative delegate cache counters since engine creation.
     pub fn delegate_cache_report(&self) -> CacheReport {
         self.cache.lock().delegate_report()
+    }
+
+    /// The engine's cumulative metrics registry (caches, latency
+    /// percentiles, worker occupancy, calibration drift). Always live —
+    /// updates are lock-free atomics and cost a few nanoseconds per batch.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of [`TopKEngine::metrics`] with percentile
+    /// summaries and sustained QPS computed.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Attach a trace sink: every subsequent batch re-emits its composed
+    /// stage schedules as spans on the modeled batch timeline, plus
+    /// executor events (cache hits and misses). Replaces any previously
+    /// attached sink. With no sink attached, tracing costs nothing.
+    pub fn attach_recorder(&self, sink: Arc<dyn TraceSink>) {
+        *self.recorder.lock() = Some(sink);
+    }
+
+    /// Detach the trace sink attached by [`TopKEngine::attach_recorder`],
+    /// returning it (so callers can export what it captured).
+    pub fn detach_recorder(&self) -> Option<Arc<dyn TraceSink>> {
+        self.recorder.lock().take()
     }
 
     /// Plan and execute one batch, returning per-query results (in query
@@ -170,11 +206,86 @@ impl TopKEngine {
             &mut self.cache.lock(),
         );
 
-        let exec = execute_plan(&self.cluster, batch, &plan, &self.config.base, &self.cache)?;
+        // Hold the sink Arc across execution so a concurrent detach cannot
+        // drop it mid-batch; the mutex itself is only held for the clone.
+        let recorder: Option<Arc<dyn TraceSink>> = self.recorder.lock().clone();
+        let sink: Option<&dyn TraceSink> = recorder.as_deref();
+        let emit_cache_events = |label: &str, hits: u64, misses: u64| {
+            let Some(sink) = sink.filter(|s| s.wants_events()) else {
+                return;
+            };
+            for _ in 0..hits {
+                sink.event(ExecEvent {
+                    kind: EventKind::CacheHit,
+                    label: label.to_string(),
+                    at_ms: 0.0,
+                });
+            }
+            for _ in 0..misses {
+                sink.event(ExecEvent {
+                    kind: EventKind::CacheMiss,
+                    label: label.to_string(),
+                    at_ms: 0.0,
+                });
+            }
+        };
+        emit_cache_events("plan", plan.plan_hits, plan.plan_misses);
+
+        let exec = execute_plan(
+            &self.cluster,
+            batch,
+            &plan,
+            &self.config.base,
+            &self.cache,
+            sink,
+        )?;
+        emit_cache_events(
+            "delegate",
+            exec.delegate_cache.hits,
+            exec.delegate_cache.misses,
+        );
 
         let num_queries = batch.len();
         let num_units = plan.units.len();
         let total_ms = exec.pool_ms + exec.sharded_ms;
+
+        // Fold the batch into the cumulative registry (lock-free atomics).
+        let m = &self.metrics;
+        m.counter(MetricName::QueriesServed).add(num_queries as u64);
+        m.counter(MetricName::BatchesServed).inc();
+        m.counter(MetricName::ShardedQueries)
+            .add(plan.sharded_queries() as u64);
+        m.counter(MetricName::PlanCacheHits).add(plan.plan_hits);
+        m.counter(MetricName::PlanCacheMisses).add(plan.plan_misses);
+        m.counter(MetricName::DelegateCacheHits)
+            .add(exec.delegate_cache.hits);
+        m.counter(MetricName::DelegateCacheMisses)
+            .add(exec.delegate_cache.misses);
+        m.counter(MetricName::DelegatePassesRun)
+            .add(exec.delegate_passes_run as u64);
+        m.counter(MetricName::DelegatePassesSaved)
+            .add(exec.delegate_passes_saved as u64);
+        m.add_engine_busy_ms(total_ms);
+        m.histogram(MetricName::BatchMakespanMs).record(total_ms);
+        for r in &exec.results {
+            m.histogram(MetricName::QueryLatencyMs).record(r.time_ms);
+        }
+        for (slot, &busy) in exec.worker_loads.iter().enumerate() {
+            m.add_worker_busy_ms(slot, busy);
+            m.set_worker_occupancy(
+                slot,
+                if exec.pool_ms > 0.0 {
+                    busy / exec.pool_ms
+                } else {
+                    0.0
+                },
+            );
+            m.set_worker_queue_depth(slot, exec.worker_units[slot] as f64);
+        }
+        for &(kind, residual) in &exec.kind_residual_ms {
+            m.set_stage_residual_ms(kind.name(), residual);
+        }
+
         let report = EngineReport {
             num_queries,
             num_units,
@@ -211,6 +322,7 @@ impl TopKEngine {
                 0.0
             },
             stats: exec.stats,
+            metrics: self.metrics.snapshot(),
         };
         Ok(BatchOutput {
             results: exec.results,
@@ -438,6 +550,83 @@ mod tests {
         let EngineError::Device { device, message } = err;
         assert!(device < 2);
         assert!(message.contains("exceeds"), "got: {message}");
+    }
+
+    #[test]
+    fn metrics_accumulate_across_batches_and_report_percentiles() {
+        let eng = engine(2);
+        let data = topk_datagen::uniform(1 << 14, 31);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(3, &data);
+        batch.push_topk(c, 16);
+        batch.push_topk(c, 64);
+        let out1 = eng.run_batch(&batch).unwrap();
+        let out2 = eng.run_batch(&batch).unwrap();
+
+        use drtopk_obs::MetricName as M;
+        // the report snapshot is cumulative: batch 2 sees both batches
+        assert_eq!(out1.report.metrics.counter(M::QueriesServed), 2);
+        assert_eq!(out2.report.metrics.counter(M::QueriesServed), 4);
+        assert_eq!(out2.report.metrics.counter(M::BatchesServed), 2);
+        assert_eq!(out2.report.metrics.counter(M::PlanCacheHits), 1);
+        assert_eq!(out2.report.metrics.counter(M::DelegateCacheHits), 1);
+
+        let snap = eng.metrics_snapshot();
+        assert_eq!(snap, out2.report.metrics);
+        assert_eq!(snap.query_latency_ms.count, 4);
+        assert!(snap.query_latency_ms.p50_ms > 0.0);
+        assert!(snap.query_latency_ms.p99_ms >= snap.query_latency_ms.p50_ms);
+        assert!(snap.sustained_qps > 0.0);
+        // one worker ran the single fused unit, the other stayed idle —
+        // the ROADMAP item-5 blind spot is now visible per slot
+        assert_eq!(snap.workers.len(), 2);
+        let busy: Vec<f64> = snap.workers.iter().map(|w| w.busy_ms).collect();
+        assert!(busy.iter().any(|&b| b > 0.0));
+        assert!(busy.contains(&0.0));
+        let occupied = snap.workers.iter().find(|w| w.busy_ms > 0.0).unwrap();
+        assert!((occupied.occupancy - 1.0).abs() < 1e-12);
+        // spot-check the JSON export round-trips under the shared schema
+        let json = snap.to_json().to_pretty_string();
+        let parsed = drtopk_obs::Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(drtopk_obs::SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn attached_recorder_captures_batch_spans_and_cache_events() {
+        use drtopk_obs::{validate_chrome_trace, EventKind, TraceRecorder};
+        let eng = engine(2);
+        let data = topk_datagen::uniform(1 << 14, 17);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(9, &data);
+        batch.push_topk(c, 32);
+        eng.run_batch(&batch).unwrap(); // untraced warm-up
+
+        let rec = std::sync::Arc::new(TraceRecorder::new());
+        eng.attach_recorder(rec.clone());
+        let out = eng.run_batch(&batch).unwrap();
+        assert!(eng.detach_recorder().is_some());
+
+        let spans = rec.spans();
+        assert!(!spans.is_empty(), "traced batch produced no spans");
+        // warm batch: plan + delegate caches both hit
+        let hits = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::CacheHit)
+            .count();
+        assert!(hits >= 2, "expected plan + delegate cache hits, got {hits}");
+        // modeled span timeline ends exactly at the batch makespan
+        let end = spans.iter().map(|s| s.end_ms).fold(0.0f64, f64::max);
+        assert!((end - out.report.total_ms).abs() < 1e-9);
+        // and the exported trace is well-formed Chrome JSON
+        validate_chrome_trace(&rec.chrome_trace_json()).unwrap();
+
+        // detached: the next batch is silent
+        eng.run_batch(&batch).unwrap();
+        assert_eq!(rec.spans().len(), spans.len());
     }
 
     #[test]

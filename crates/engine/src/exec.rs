@@ -24,6 +24,7 @@ use drtopk_core::{
     CalibrationFit, DelegateVector, DrTopKConfig, DrTopKResult, ExecutedStage, PhaseBreakdown,
     Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,
 };
+use drtopk_obs::TraceSink;
 use gpu_sim::{Device, GpuCluster, KernelStats};
 use parking_lot::Mutex;
 use topk_baselines::{Desc, TopKKey};
@@ -65,6 +66,50 @@ pub(crate) struct ExecOutput<K: TopKKey> {
     /// Sum of the sharded runs' *serialized* stage cost — what they would
     /// have taken with no transfer/compute overlap.
     pub sharded_serial_ms: f64,
+    /// Modeled busy time of each pool worker under the deterministic list
+    /// schedule (index = device slot). Feeds the worker busy/occupancy
+    /// metrics — the ROADMAP's "idle transfer-lane worker" blind spot.
+    pub worker_loads: Vec<f64>,
+    /// Fused units each pool worker executed under the list schedule.
+    pub worker_units: Vec<usize>,
+    /// Per-[`StageKind`] modeled-vs-measured drift: the sample-weighted
+    /// mean absolute calibration residual across every unit and sharded
+    /// stage schedule of the batch.
+    pub kind_residual_ms: Vec<(StageKind, f64)>,
+}
+
+/// Sample-weighted accumulator for per-kind calibration residuals.
+#[derive(Default)]
+struct ResidualAccum {
+    by_kind: Vec<(StageKind, f64, usize)>,
+}
+
+impl ResidualAccum {
+    fn absorb(&mut self, fit: &CalibrationFit) {
+        for f in &fit.fits {
+            if f.samples == 0 {
+                continue;
+            }
+            match self.by_kind.iter_mut().find(|(k, _, _)| *k == f.kind) {
+                Some((_, sum, n)) => {
+                    *sum += f.mean_abs_residual_ms * f.samples as f64;
+                    *n += f.samples;
+                }
+                None => self.by_kind.push((
+                    f.kind,
+                    f.mean_abs_residual_ms * f.samples as f64,
+                    f.samples,
+                )),
+            }
+        }
+    }
+
+    fn weighted_means(self) -> Vec<(StageKind, f64)> {
+        self.by_kind
+            .into_iter()
+            .map(|(k, sum, n)| (k, sum / n as f64))
+            .collect()
+    }
 }
 
 /// Compose the unit-level stage report from the macro graph's schedule.
@@ -319,12 +364,20 @@ fn run_fused_unit<K: TopKKey>(
 }
 
 /// Execute a plan over the cluster.
+///
+/// When `sink` is present, every unit's composed stage schedule is
+/// re-emitted as trace spans on the *modeled* batch timeline: fused units
+/// at their deterministic list-schedule offsets (re-tagged with the modeled
+/// worker's device so trace tracks match the schedule the report
+/// describes), sharded runs after the pool phase. Tracing clones the unit
+/// reports; with no sink attached nothing extra is allocated.
 pub(crate) fn execute_plan<K: TopKKey>(
     cluster: &GpuCluster,
     batch: &QueryBatch<'_, K>,
     plan: &ExecutionPlan,
     base: &DrTopKConfig,
     cache: &Mutex<PlanCache>,
+    sink: Option<&dyn TraceSink>,
 ) -> Result<ExecOutput<K>, EngineError> {
     let fused_indices: Vec<usize> = plan
         .units
@@ -389,9 +442,11 @@ pub(crate) fn execute_plan<K: TopKKey>(
     let mut delegate_passes_run = 0usize;
     let mut delegate_passes_saved = 0usize;
     let mut delegate_cache = CacheReport::default();
+    let mut residuals = ResidualAccum::default();
     // Modeled cost of each fused unit, in unit order, for the deterministic
-    // makespan computation below.
-    let mut unit_costs: Vec<(usize, f64)> = Vec::new();
+    // makespan computation below; the stage schedule rides along (cloned)
+    // only when a trace sink wants spans.
+    let mut unit_costs: Vec<(usize, f64, Option<StageReport>)> = Vec::new();
 
     for outcomes in per_device {
         for outcome in outcomes {
@@ -409,7 +464,12 @@ pub(crate) fn execute_plan<K: TopKKey>(
             phase_ms.second_topk_ms += unit_phases.second_topk_ms;
             phase_ms.transfer_ms += unit_phases.transfer_ms;
             stats += outcome.unit_stages.stats();
-            unit_costs.push((outcome.unit, outcome.unit_stages.makespan_ms));
+            residuals.absorb(&outcome.unit_stages.calibration);
+            unit_costs.push((
+                outcome.unit,
+                outcome.unit_stages.makespan_ms,
+                sink.map(|_| outcome.unit_stages.clone()),
+            ));
 
             let delegate_users = unit.planned.iter().filter(|p| p.use_delegates).count();
             let cacheable = batch.corpora()[unit.corpus].id.is_some();
@@ -441,16 +501,28 @@ pub(crate) fn execute_plan<K: TopKKey>(
     // fused units in plan order onto the workers, each unit going to the
     // earliest-available (least-loaded) worker — exactly what the shared
     // queue does in modeled time, but independent of host-thread timing.
-    unit_costs.sort_unstable_by_key(|&(unit, _)| unit);
+    unit_costs.sort_unstable_by_key(|&(unit, _, _)| unit);
     let mut worker_loads = vec![0.0f64; cluster.num_devices()];
-    for &(_, cost) in &unit_costs {
+    let mut worker_units = vec![0usize; cluster.num_devices()];
+    for (_, cost, traced) in &unit_costs {
         let earliest = worker_loads
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
             .map(|(i, _)| i)
             .expect("cluster has devices");
+        if let (Some(sink), Some(report)) = (sink, traced) {
+            // Replay the unit's stages on the modeled timeline: shifted to
+            // this worker's start offset and re-tagged with the *modeled*
+            // worker (the wall-clock queue may have used a different one).
+            let mut replay = report.clone();
+            for s in &mut replay.stages {
+                s.resource = Resource::Compute(earliest);
+            }
+            replay.record_shifted(sink, worker_loads[earliest]);
+        }
         worker_loads[earliest] += cost;
+        worker_units[earliest] += 1;
     }
     let pool_ms = worker_loads.iter().fold(0.0f64, |a, &b| a.max(b));
 
@@ -502,6 +574,13 @@ pub(crate) fn execute_plan<K: TopKKey>(
                     distributed_dr_topk(cluster, as_desc(corpus.data), q.k, &cfg).into_native()
                 }
             };
+            if let Some(sink) = sink {
+                // Sharded runs own the whole cluster after the pool phase;
+                // their spans keep the distributed resource tracks
+                // (compute / copy lanes / interconnect per device).
+                d.stages.record_shifted(sink, pool_ms + sharded_ms);
+            }
+            residuals.absorb(&d.stages.calibration);
             sharded_ms += d.total_ms;
             sharded_serial_ms += d.stages.serial_ms();
             stats += d.stats;
@@ -549,5 +628,8 @@ pub(crate) fn execute_plan<K: TopKKey>(
         pool_ms,
         sharded_ms,
         sharded_serial_ms,
+        worker_loads,
+        worker_units,
+        kind_residual_ms: residuals.weighted_means(),
     })
 }

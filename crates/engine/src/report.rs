@@ -1,6 +1,7 @@
 //! Per-query results and the engine-level statistics report.
 
 use drtopk_core::PhaseBreakdown;
+use drtopk_obs::MetricsSnapshot;
 use gpu_sim::KernelStats;
 use topk_baselines::TopKKey;
 
@@ -125,6 +126,12 @@ pub struct EngineReport {
     /// Kernel counters summed across the whole batch (shared passes
     /// included once).
     pub stats: KernelStats,
+    /// Snapshot of the engine's cumulative metrics registry taken right
+    /// after this batch was folded in: latency percentiles (p50/p95/p99),
+    /// sustained QPS over engine-busy time, per-worker occupancy and
+    /// per-kind calibration residuals. Cumulative across the engine's
+    /// lifetime, unlike the batch-scoped fields above.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Per-query results (indexed like the batch's queries) plus the

@@ -56,6 +56,7 @@ impl Event {
 #[derive(Debug, Clone, Default)]
 pub struct Stream {
     cursor_ms: f64,
+    busy_ms: f64,
 }
 
 impl Stream {
@@ -68,6 +69,18 @@ impl Stream {
     /// would start.
     pub fn cursor_ms(&self) -> f64 {
         self.cursor_ms
+    }
+
+    /// Total modeled time spent executing launched work, excluding stalls
+    /// introduced by [`Stream::wait_event`].
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Modeled time the stream spent stalled waiting on events from other
+    /// streams: `cursor_ms() - busy_ms()`.
+    pub fn idle_ms(&self) -> f64 {
+        (self.cursor_ms - self.busy_ms).max(0.0)
     }
 
     /// Record an event at the stream's current cursor (fires once
@@ -93,6 +106,7 @@ impl Stream {
             "stage durations must be finite and non-negative, got {duration_ms}"
         );
         self.cursor_ms += duration_ms;
+        self.busy_ms += duration_ms;
         self.record()
     }
 }
@@ -116,6 +130,11 @@ impl<R: Eq + Hash + Copy> StreamSet<R> {
     /// The stream of `resource`, created at cursor zero on first use.
     pub fn stream_mut(&mut self, resource: R) -> &mut Stream {
         self.streams.entry(resource).or_default()
+    }
+
+    /// The stream of `resource` if it has received work, without creating it.
+    pub fn get(&self, resource: &R) -> Option<&Stream> {
+        self.streams.get(resource)
     }
 
     /// The latest cursor across every stream — the modeled makespan of all
@@ -202,6 +221,31 @@ mod tests {
         set.stream_mut(R::Compute).launch(1.0);
         assert_eq!(set.len(), 2);
         assert_eq!(set.makespan_ms(), 7.0);
+    }
+
+    #[test]
+    fn busy_time_excludes_event_stalls() {
+        let mut copy = Stream::new();
+        let mut compute = Stream::new();
+        let loaded = copy.launch(10.0);
+        compute.launch(1.0);
+        compute.wait_event(&loaded); // stalls [1, 10)
+        compute.launch(2.0);
+        assert_eq!(compute.cursor_ms(), 12.0);
+        assert_eq!(compute.busy_ms(), 3.0);
+        assert_eq!(compute.idle_ms(), 9.0);
+        // the copy stream never waited: fully busy
+        assert_eq!(copy.idle_ms(), 0.0);
+    }
+
+    #[test]
+    fn stream_set_get_is_read_only() {
+        let mut set: StreamSet<u8> = StreamSet::new();
+        assert!(set.get(&0).is_none());
+        set.stream_mut(0).launch(2.0);
+        assert_eq!(set.get(&0).unwrap().busy_ms(), 2.0);
+        assert!(set.get(&1).is_none(), "get must not create streams");
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! A tiny, dependency-free JSON layer shared by every exporter in the repo.
+//!
+//! The workspace builds offline, so there is no serde. This module provides
+//! the three things the observability stack actually needs:
+//!
+//! * [`Json`] — an *order-preserving* value type with a deterministic writer
+//!   (objects serialize their keys in insertion order, floats use Rust's
+//!   shortest round-trip formatting), so identical values produce
+//!   byte-identical text and CI can diff exports.
+//! * [`Json::parse`] — a minimal recursive-descent parser, enough to
+//!   validate and introspect files this crate (or a bench) wrote.
+//! * [`validate_chrome_trace`] — a structural checker for Chrome Trace
+//!   Event Format files produced by
+//!   [`TraceRecorder::chrome_trace_json`](crate::TraceRecorder::chrome_trace_json).
+//!
+//! Every export carries [`SCHEMA_VERSION`] in a `"schema"` field (see
+//! [`Snapshot`]) so downstream tooling can detect format drift.
+
+/// Version tag stamped into every JSON snapshot this crate produces.
+///
+/// Bump the suffix when a snapshot's structure changes incompatibly.
+pub const SCHEMA_VERSION: &str = "drtopk-obs/v1";
+
+/// An ordered JSON value.
+///
+/// Unlike map-based representations, object members keep their insertion
+/// order, which makes the serialized form deterministic — a requirement for
+/// byte-diffing traces and baselines in CI.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, kept exact (no float round-trip) up to `i64` range.
+    Int(i64),
+    /// A finite floating-point number. Non-finite values are serialized as
+    /// `null` (JSON has no representation for them).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: `(key, value)` pairs in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value (convenience for `Json::Str(s.into())`).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a member of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value of an `Int` or `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes on a single line with no whitespace.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation — the format used for
+    /// committed baselines and snapshot files.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) => write_f64(*x, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Numbers always parse into [`Json::Num`] (the reader cannot know the
+    /// writer meant an integer); use [`Json::as_f64`] for lookups. Returns a
+    /// human-readable error naming the byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Integral floats print with a trailing `.0` so the value's type is
+        // stable across the write/parse round trip.
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+/// Builder for a versioned snapshot object.
+///
+/// Every snapshot opens with `"schema": "drtopk-obs/v1"` and a `"kind"`
+/// discriminator, then whatever fields the producer appends — benches and
+/// the engine share this shape instead of hand-rolling JSON.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    members: Vec<(String, Json)>,
+}
+
+impl Snapshot {
+    /// Starts a snapshot of the given kind (e.g. `"engine_throughput"`).
+    pub fn new(kind: &str) -> Snapshot {
+        Snapshot {
+            members: vec![
+                ("schema".to_string(), Json::str(SCHEMA_VERSION)),
+                ("kind".to_string(), Json::str(kind)),
+            ],
+        }
+    }
+
+    /// Appends a field; returns `self` for chaining.
+    pub fn field(mut self, key: &str, value: Json) -> Snapshot {
+        self.members.push((key.to_string(), value));
+        self
+    }
+
+    /// Finishes the snapshot as a [`Json`] object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.members)
+    }
+
+    /// Finishes and pretty-prints the snapshot.
+    pub fn to_pretty_string(self) -> String {
+        self.build().to_pretty_string()
+    }
+}
+
+/// Structural summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in `traceEvents` (spans + instants + metadata).
+    pub events: usize,
+    /// Number of `"X"` (complete span) events.
+    pub spans: usize,
+    /// Number of distinct `(pid, tid)` tracks that carry spans.
+    pub tracks: usize,
+    /// Number of distinct `pid` groups that carry spans (1 when the trace is
+    /// modeled-only, 2 when a measured track group is present).
+    pub span_pids: usize,
+}
+
+/// Validates a Chrome Trace Event Format document structurally.
+///
+/// Checks that the text is well-formed JSON, that `traceEvents` is an array
+/// of objects each carrying `ph`/`pid`/`tid`/`name`, that every `"X"` span
+/// has finite `ts >= 0` and `dur >= 0`, and that *modeled* spans (pid 1,
+/// the recorder's modeled process) on each `(pid, tid)` track are monotone
+/// and non-overlapping in emission order — the recorder emits per-track
+/// spans in schedule order, so out-of-order modeled spans indicate a
+/// corrupted trace. Measured mirror spans (pid 2) are exempt: they are
+/// wall-clock samples from runs whose epochs need not compose into one
+/// coherent timeline (e.g. engine batch replays), so they may overlap.
+/// Returns counts for further assertions.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let root = Json::parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    let mut spans = 0usize;
+    // (pid, tid) -> end of the last span seen on that track, in µs.
+    let mut track_ends: Vec<((i64, i64), f64)> = Vec::new();
+    let mut span_pids: Vec<i64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `ph`"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing `pid`"))? as i64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing `tid`"))? as i64;
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing `name`"));
+        }
+        if ph != "X" {
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("span {i}: missing `ts`"))?;
+        let dur = ev
+            .get("dur")
+            .and_then(Json::as_f64)
+            .ok_or(format!("span {i}: missing `dur`"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("span {i}: bad ts {ts}"));
+        }
+        if !dur.is_finite() || dur < 0.0 {
+            return Err(format!("span {i}: bad dur {dur}"));
+        }
+        spans += 1;
+        if !span_pids.contains(&pid) {
+            span_pids.push(pid);
+        }
+        const EPS_US: f64 = 1e-3;
+        match track_ends.iter_mut().find(|(key, _)| *key == (pid, tid)) {
+            Some((_, end)) => {
+                if pid == 1 && ts + EPS_US < *end {
+                    return Err(format!(
+                        "span {i}: overlaps previous span on modeled track ({pid},{tid}): \
+                         ts {ts} < prior end {end}"
+                    ));
+                }
+                *end = (ts + dur).max(*end);
+            }
+            None => track_ends.push(((pid, tid), ts + dur)),
+        }
+    }
+    Ok(TraceCheck {
+        events: events.len(),
+        spans,
+        tracks: track_ends.len(),
+        span_pids: span_pids.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_parser() {
+        let value = Json::obj(vec![
+            ("schema", Json::str(SCHEMA_VERSION)),
+            ("count", Json::Int(42)),
+            ("ratio", Json::Num(0.25)),
+            ("whole", Json::Num(3.0)),
+            (
+                "tags",
+                Json::Arr(vec![Json::str("a"), Json::Bool(true), Json::Null]),
+            ),
+            ("nested", Json::obj(vec![("k", Json::Int(-7))])),
+        ]);
+        for text in [value.to_compact_string(), value.to_pretty_string()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.get("schema").unwrap().as_str(), Some(SCHEMA_VERSION));
+            assert_eq!(back.get("count").unwrap().as_f64(), Some(42.0));
+            assert_eq!(back.get("ratio").unwrap().as_f64(), Some(0.25));
+            assert_eq!(back.get("whole").unwrap().as_f64(), Some(3.0));
+            assert_eq!(back.get("tags").unwrap().as_array().unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let build = || {
+            Json::obj(vec![
+                ("b", Json::Num(1.5)),
+                ("a", Json::Int(2)),
+                ("s", Json::str("x\"y\n")),
+            ])
+        };
+        assert_eq!(build().to_compact_string(), build().to_compact_string());
+        assert_eq!(
+            build().to_compact_string(),
+            "{\"b\":1.5,\"a\":2,\"s\":\"x\\\"y\\n\"}"
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode \u{263a}";
+        let text = Json::str(s).to_compact_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn snapshot_carries_schema_and_kind() {
+        let snap = Snapshot::new("unit_test").field("n", Json::Int(3)).build();
+        assert_eq!(snap.get("schema").unwrap().as_str(), Some(SCHEMA_VERSION));
+        assert_eq!(snap.get("kind").unwrap().as_str(), Some("unit_test"));
+        assert_eq!(snap.get("n").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn validator_accepts_a_minimal_trace() {
+        let text = r#"{"traceEvents":[
+            {"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"modeled"}},
+            {"ph":"X","pid":1,"tid":1,"name":"a","ts":0.0,"dur":5.0},
+            {"ph":"X","pid":1,"tid":1,"name":"b","ts":5.0,"dur":1.0},
+            {"ph":"X","pid":1,"tid":2,"name":"c","ts":2.0,"dur":1.0}
+        ],"displayTimeUnit":"ms"}"#;
+        let check = validate_chrome_trace(text).unwrap();
+        assert_eq!(check.events, 4);
+        assert_eq!(check.spans, 3);
+        assert_eq!(check.tracks, 2);
+        assert_eq!(check.span_pids, 1);
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_spans_on_one_track() {
+        let text = r#"{"traceEvents":[
+            {"ph":"X","pid":1,"tid":1,"name":"a","ts":0.0,"dur":5.0},
+            {"ph":"X","pid":1,"tid":1,"name":"b","ts":3.0,"dur":1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_spans() {
+        for bad in [
+            r#"{"traceEvents":[{"ph":"X","pid":1,"tid":1,"ts":0.0,"dur":1.0}]}"#,
+            r#"{"traceEvents":[{"ph":"X","pid":1,"tid":1,"name":"a","dur":1.0}]}"#,
+            r#"{"traceEvents":[{"ph":"X","pid":1,"tid":1,"name":"a","ts":-1.0,"dur":1.0}]}"#,
+            r#"{"nothing":[]}"#,
+            "not json",
+        ] {
+            assert!(validate_chrome_trace(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

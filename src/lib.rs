@@ -20,6 +20,10 @@
 //!   ([`drtopk_engine`]): planner, scheduler and plan cache that fuse
 //!   same-corpus queries into shared delegate passes and shard
 //!   over-capacity corpora across the cluster.
+//! * [`obs`] — observability ([`drtopk_obs`]): stage-graph tracing with
+//!   Chrome Trace (Perfetto) export, the lock-free metrics registry behind
+//!   `EngineReport::metrics`, and the shared versioned JSON snapshot
+//!   schema (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@
 pub use bmw_baseline as bmw;
 pub use drtopk_core as core;
 pub use drtopk_engine as engine;
+pub use drtopk_obs as obs;
 pub use gpu_sim as sim;
 pub use topk_baselines as baselines;
 pub use topk_datagen as datagen;
@@ -58,6 +63,7 @@ pub mod prelude {
         DrTopKResult, InnerAlgorithm, Mode, RecallTarget,
     };
     pub use drtopk_engine::{QueryBatch, TopKEngine};
+    pub use drtopk_obs::{MetricName, MetricsRegistry, TraceRecorder, TraceSink};
     pub use gpu_sim::{Device, DeviceSpec, KernelStats};
     pub use topk_baselines::{
         bitonic_topk, bucket_topk, priority_queue_topk, radix_topk, sort_and_choose_topk, Desc,

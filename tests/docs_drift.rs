@@ -7,11 +7,16 @@
 //!   `docs/PAPER_MAP.md`'s stage table.
 //! * Every [`DiagnosticCode`] must appear in `docs/DIAGNOSTICS.md` with
 //!   its code string, kebab-case name and variant name.
+//! * Every [`MetricName`] must have a row (backticked snake_case name) in
+//!   `docs/OBSERVABILITY.md`'s metric catalog, and every row there must
+//!   name a live metric.
 
 use drtopk::core::{DiagnosticCode, StageKind};
+use drtopk::obs::MetricName;
 
 const PAPER_MAP: &str = include_str!("../docs/PAPER_MAP.md");
 const DIAGNOSTICS: &str = include_str!("../docs/DIAGNOSTICS.md");
+const OBSERVABILITY: &str = include_str!("../docs/OBSERVABILITY.md");
 
 /// Compile-time exhaustiveness: the `match` must name every variant, so a
 /// new `StageKind` cannot ship without this function (and therefore the
@@ -48,6 +53,29 @@ fn diagnostic_code_index(code: DiagnosticCode) -> usize {
     }
 }
 
+/// And for the metric catalog: `MetricsRegistry::snapshot()` matches the
+/// enum exhaustively on the export side; this is the documentation side.
+fn metric_name_index(name: MetricName) -> usize {
+    match name {
+        MetricName::PlanCacheHits => 0,
+        MetricName::PlanCacheMisses => 1,
+        MetricName::DelegateCacheHits => 2,
+        MetricName::DelegateCacheMisses => 3,
+        MetricName::DelegatePassesRun => 4,
+        MetricName::DelegatePassesSaved => 5,
+        MetricName::QueriesServed => 6,
+        MetricName::BatchesServed => 7,
+        MetricName::ShardedQueries => 8,
+        MetricName::EngineBusyMs => 9,
+        MetricName::QueryLatencyMs => 10,
+        MetricName::BatchMakespanMs => 11,
+        MetricName::WorkerBusyMs => 12,
+        MetricName::WorkerOccupancy => 13,
+        MetricName::WorkerQueueDepth => 14,
+        MetricName::StageResidualMs => 15,
+    }
+}
+
 #[test]
 fn all_constants_are_complete_and_ordered() {
     // `ALL` must cover every variant exactly once, in declaration order —
@@ -64,6 +92,13 @@ fn all_constants_are_complete_and_ordered() {
             diagnostic_code_index(code),
             i,
             "DiagnosticCode::ALL out of order at {i}"
+        );
+    }
+    for (i, name) in MetricName::ALL.into_iter().enumerate() {
+        assert_eq!(
+            metric_name_index(name),
+            i,
+            "MetricName::ALL out of order at {i}"
         );
     }
 }
@@ -98,6 +133,18 @@ fn every_diagnostic_code_is_documented() {
 }
 
 #[test]
+fn every_metric_is_documented_in_the_catalog() {
+    for name in MetricName::ALL {
+        let needle = format!("| `{}` |", name.name());
+        assert!(
+            OBSERVABILITY.contains(&needle),
+            "docs/OBSERVABILITY.md has no metric-catalog row for {needle}; \
+             extend the table"
+        );
+    }
+}
+
+#[test]
 fn diagnostics_doc_has_no_stale_codes() {
     // The reverse direction: a documented V0xx code must exist in the
     // source. Scan the table's code column for backticked V-codes.
@@ -113,6 +160,23 @@ fn diagnostics_doc_has_no_stale_codes() {
         assert!(
             known.contains(&code),
             "docs/DIAGNOSTICS.md documents {code}, which no DiagnosticCode produces"
+        );
+    }
+}
+
+#[test]
+fn observability_doc_has_no_stale_metrics() {
+    // Reverse direction for the metric catalog: every backticked table row
+    // in docs/OBSERVABILITY.md must name a metric the registry exports.
+    let known: Vec<String> = MetricName::ALL.iter().map(|m| format!("`{m}`")).collect();
+    for line in OBSERVABILITY.lines() {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let name = format!("`{}`", &rest[..rest.find('`').unwrap_or(0)]);
+        assert!(
+            known.contains(&name),
+            "docs/OBSERVABILITY.md documents {name}, which no MetricName produces"
         );
     }
 }
