@@ -1,0 +1,140 @@
+//! Row-wise matrix top-k throughput: modeled cost of [`topk_rows`] over a
+//! `rows × cols` sweep against the same rows run as independent `dr_topk`
+//! calls — the fused-plan claim in numbers: delegate passes scale with
+//! row-blocks, modeled time and global-memory transactions undercut the
+//! per-row loop.
+//!
+//! Every cell self-verifies each row against the CPU reference before its
+//! numbers are reported. Beyond the CSV every harness writes, this target
+//! records `bench_results/rows_throughput.json` under the shared
+//! `drtopk-obs` snapshot schema; the committed
+//! `rows_throughput_baseline.json` is the reference point for trajectory
+//! tracking.
+
+use std::io::Write as _;
+
+use drtopk_bench_harness::*;
+use drtopk_core::{topk_rows, DrTopKConfig, RowK, RowMatrix};
+use drtopk_obs::{Json, Snapshot};
+use gpu_sim::{DeviceSpec, GpuCluster};
+
+const DEVICES: usize = 2;
+const K: usize = 8;
+
+struct Cell {
+    rows: usize,
+    cols: usize,
+    fused_ms: f64,
+    independent_ms: f64,
+    delegate_passes: usize,
+    num_blocks: usize,
+    fused_txn: u64,
+    independent_txn: u64,
+    rows_per_s: f64,
+}
+
+fn main() {
+    let cluster = GpuCluster::homogeneous(DEVICES, DeviceSpec::v100s());
+    let dev = device();
+    let cfg = DrTopKConfig::default();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for rows in [64usize, 512, 4096] {
+        for cols in [128usize, 2048] {
+            let data = topk_datagen::uniform(rows * cols, seed() ^ (rows * cols) as u64);
+            let matrix = RowMatrix::new(&data, rows, cols);
+
+            let fused = topk_rows(&cluster, matrix, &RowK::Uniform(K), &cfg);
+            let mut independent_ms = 0.0;
+            let mut independent_txn = 0u64;
+            for r in 0..rows {
+                let single = run_drtopk_checked(&dev, matrix.row(r), K, &cfg);
+                assert_eq!(
+                    fused.rows[r].values, single.values,
+                    "{rows}x{cols} row {r}: fused plan must match the per-row pipeline"
+                );
+                independent_ms += single.time_ms;
+                independent_txn += single.stats.total_transactions();
+            }
+
+            cells.push(Cell {
+                rows,
+                cols,
+                fused_ms: fused.time_ms,
+                independent_ms,
+                delegate_passes: fused.delegate_passes,
+                num_blocks: fused.num_blocks,
+                fused_txn: fused.stats.total_transactions(),
+                independent_txn,
+                rows_per_s: rows as f64 / (fused.time_ms / 1e3),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.rows.to_string(),
+                c.cols.to_string(),
+                fmt(c.fused_ms),
+                fmt(c.independent_ms),
+                fmt(c.independent_ms / c.fused_ms),
+                c.delegate_passes.to_string(),
+                c.num_blocks.to_string(),
+                c.fused_txn.to_string(),
+                c.independent_txn.to_string(),
+                fmt(c.rows_per_s),
+            ]
+        })
+        .collect();
+    emit(
+        "rows_throughput",
+        &[
+            "rows",
+            "cols",
+            "fused_ms",
+            "independent_ms",
+            "speedup",
+            "delegate_passes",
+            "num_blocks",
+            "fused_transactions",
+            "independent_transactions",
+            "rows_per_s",
+        ],
+        &table,
+    );
+
+    // Baseline JSON for trajectory tracking, under the shared obs snapshot
+    // schema (versioned `schema` + `kind` header).
+    let cell_objs: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("rows", Json::Int(c.rows as i64)),
+                ("cols", Json::Int(c.cols as i64)),
+                ("fused_ms", Json::Num(c.fused_ms)),
+                ("independent_ms", Json::Num(c.independent_ms)),
+                ("speedup", Json::Num(c.independent_ms / c.fused_ms)),
+                ("delegate_passes", Json::Int(c.delegate_passes as i64)),
+                ("num_blocks", Json::Int(c.num_blocks as i64)),
+                ("fused_transactions", Json::Int(c.fused_txn as i64)),
+                (
+                    "independent_transactions",
+                    Json::Int(c.independent_txn as i64),
+                ),
+                ("rows_per_s", Json::Num(c.rows_per_s)),
+            ])
+        })
+        .collect();
+    let json = Snapshot::new("rows_throughput")
+        .field("devices", Json::Int(DEVICES as i64))
+        .field("k", Json::Int(K as i64))
+        .field("seed", Json::Int(seed() as i64))
+        .field("cells", Json::Arr(cell_objs))
+        .to_pretty_string();
+    let path = results_dir().join("rows_throughput.json");
+    let mut file = std::fs::File::create(&path).expect("cannot create JSON file");
+    file.write_all(json.as_bytes()).unwrap();
+    println!("[written to {}]", path.display());
+}

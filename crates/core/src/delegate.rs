@@ -91,9 +91,11 @@ impl<K: TopKKey> DelegateVector<K> {
 
 /// Extract the top `beta` values of `slice` in descending key order (β is
 /// tiny — 1 to 4 — so a simple insertion pass beats sorting). Comparisons
-/// run in the key's order-preserving radix space.
+/// run in the key's order-preserving radix space. Shared with the row-block
+/// fused pass ([`crate::rows`]), which extracts per-row delegates inside a
+/// single kernel launch.
 #[inline]
-fn top_beta_of<K: TopKKey>(slice: &[K], beta: usize, out: &mut Vec<K>) {
+pub(crate) fn top_beta_of<K: TopKKey>(slice: &[K], beta: usize, out: &mut Vec<K>) {
     out.clear();
     for &x in slice {
         let xb = x.to_bits();

@@ -56,6 +56,7 @@ pub mod explore;
 pub mod first_topk;
 pub mod pipeline;
 pub mod radix_flags;
+pub mod rows;
 pub mod stages;
 pub mod tuning;
 pub mod verify;
@@ -78,6 +79,9 @@ pub use pipeline::{
 pub use radix_flags::{
     flag_radix_select_by_key, flag_radix_select_kth, flag_radix_topk, FlagSelectConfig,
     FlagSelectOutcome,
+};
+pub use rows::{
+    topk_rows, topk_rows_explore, topk_rows_min, topk_rows_on, RowK, RowMatrix, RowTopKResult,
 };
 pub use stages::{
     ExecutedStage, Executor, Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,

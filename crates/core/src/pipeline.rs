@@ -199,7 +199,7 @@ impl DrTopKConfig {
         }
     }
 
-    fn resolve_skip_last(&self) -> bool {
+    pub(crate) fn resolve_skip_last(&self) -> bool {
         self.skip_last_first_pass.unwrap_or(false)
     }
 }

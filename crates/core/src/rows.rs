@@ -1,0 +1,956 @@
+//! Row-wise matrix top-k: the whole `rows × cols` matrix planned as **one
+//! stage graph** (going beyond the paper; see RTop-K / RadiK in
+//! `PAPERS.md`).
+//!
+//! The paper's pipeline answers top-k over one vector. The dominant
+//! consumers of GPU top-k in 2026 — MoE gating, beam search, sparse
+//! attention — need the top-k of *every row* of an activation matrix, with
+//! tiny per-row k and huge row counts. Running the single-vector pipeline
+//! once per row would launch a delegate pass per row; [`topk_rows`] instead
+//! packs rows into per-device **row-blocks** and runs **one fused pass per
+//! block**: a single kernel launch that reads each block's row slab once
+//! (coalesced) and extracts, per row, either the row's per-subrange
+//! delegates (the exact and approximate paths) or the row's sorted top-k
+//! directly (rows whose shape makes the single-vector pipeline fall back to
+//! its inner algorithm). The remaining phases — first top-k, concatenation,
+//! second top-k — run once per block over the rows that need them, so an
+//! `R`-row matrix on `D` devices runs at most `⌈R / rows_per_block⌉`
+//! delegate passes instead of `R`.
+//!
+//! Per-row results are **bit-identical** to running [`dr_topk`] (or
+//! [`dr_topk_min`] through [`RowTopKResult::into_native`]) on each row
+//! independently: every row is planned with the same [`PlannedQuery`]
+//! machinery and executed with the same delegate extraction
+//! (`top_beta_of` per subrange), the same `first_topk` / `concatenate`
+//! phases and the same second-top-k skip rule.
+//!
+//! [`dr_topk`]: crate::pipeline::dr_topk
+//! [`dr_topk_min`]: crate::pipeline::dr_topk_min
+
+// Approved `std::sync` lock holder (see clippy.toml + ARCHITECTURE.md):
+// the row-block stage-graph context keeps its per-block phase buffers in
+// mutex slots, as the executor's `&C` sharing rule requires.
+#![allow(clippy::disallowed_types)]
+
+use gpu_sim::{Device, GpuCluster, KernelStats};
+use std::cmp::Reverse;
+use std::sync::Mutex;
+use topk_baselines::{Desc, TopKKey, TopKResult};
+
+use crate::concat::{concatenate, Concatenated};
+use crate::delegate::{top_beta_of, DelegateVector};
+use crate::explore::{explore_schedules, Divergence, ExploreBudget, ExploreOutcome};
+use crate::first_topk::{first_topk, FirstTopK};
+use crate::pipeline::{as_desc, DrTopKConfig, PhaseBreakdown, PlannedQuery};
+use crate::stages::{Executor, Resource, StageGraph, StageKind, StageOutcome, StageReport};
+
+/// A borrowed row-major `rows × cols` matrix.
+///
+/// Invariant (checked by [`RowMatrix::new`]): `data.len() == rows * cols`;
+/// row `r` is `data[r * cols .. (r + 1) * cols]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RowMatrix<'a, K: TopKKey = u32> {
+    /// The backing storage, row-major.
+    pub data: &'a [K],
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns (elements per row).
+    pub cols: usize,
+}
+
+impl<'a, K: TopKKey> RowMatrix<'a, K> {
+    /// Wrap a row-major slice as a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn new(data: &'a [K], rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "row-major matrix: data length must be rows * cols"
+        );
+        RowMatrix { data, rows, cols }
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &'a [K] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reinterpret the matrix through the order-reversing [`Desc`] adapter
+    /// (no copy): max-machinery over the result answers per-row *min*
+    /// queries. See [`as_desc`].
+    pub fn as_desc(&self) -> RowMatrix<'a, Desc<K>> {
+        RowMatrix {
+            data: as_desc(self.data),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+/// Per-row k specification: one k for every row, or an explicit k per row.
+///
+/// Ks larger than `cols` are clamped per row (exactly as
+/// [`PlannedQuery::plan`] clamps `k` to the input length); `k = 0` rows
+/// return empty selections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowK {
+    /// The same k for every row.
+    Uniform(usize),
+    /// `ks[r]` is row `r`'s k; the vector length must equal the row count.
+    PerRow(Vec<usize>),
+}
+
+impl RowK {
+    /// Row `r`'s requested k (before clamping to `cols`).
+    pub fn get(&self, row: usize) -> usize {
+        match self {
+            RowK::Uniform(k) => *k,
+            RowK::PerRow(ks) => ks[row],
+        }
+    }
+
+    /// Assert the specification covers exactly `rows` rows.
+    pub fn validate(&self, rows: usize) {
+        if let RowK::PerRow(ks) = self {
+            assert_eq!(
+                ks.len(),
+                rows,
+                "per-row k vector length must equal the row count"
+            );
+        }
+    }
+}
+
+/// Result of a [`topk_rows`] run.
+#[derive(Debug, Clone)]
+pub struct RowTopKResult<K: TopKKey = u32> {
+    /// Per-row selections, in row order. Values and `kth_value` are
+    /// bit-identical to running the single-vector pipeline on each row;
+    /// per-row `stats`/`time_ms` are zero — kernel counters are accounted
+    /// at block granularity in [`stats`](RowTopKResult::stats) and
+    /// [`stages`](RowTopKResult::stages), because a fused pass's cost has
+    /// no meaningful per-row attribution.
+    pub rows: Vec<TopKResult<K>>,
+    /// Number of row-blocks the matrix was split into.
+    pub num_blocks: usize,
+    /// Rows per block the run was planned with.
+    pub rows_per_block: usize,
+    /// Number of fused delegate passes that ran — one per block that had
+    /// any work, never one per row (≤ `⌈rows / rows_per_block⌉`).
+    pub delegate_passes: usize,
+    /// Per-phase modeled times, derived from the executed schedule.
+    pub breakdown: PhaseBreakdown,
+    /// Kernel counters accumulated across every stage of the run.
+    pub stats: KernelStats,
+    /// Modeled makespan of the whole matrix in milliseconds.
+    pub time_ms: f64,
+    /// The executed stage schedule (row-span labels identify each block's
+    /// stages in traces).
+    pub stages: StageReport,
+    /// Minimum plan-time expected recall across rows: 1.0 when every row
+    /// ran an exact plan, the weakest row's modeled recall otherwise.
+    pub predicted_recall: f64,
+}
+
+impl<K: TopKKey> RowTopKResult<Desc<K>> {
+    /// Unwrap a result computed in [`Desc`] space back to native keys
+    /// (each row ascending, for smallest-direction queries).
+    pub fn into_native(self) -> RowTopKResult<K> {
+        RowTopKResult {
+            rows: self
+                .rows
+                .into_iter()
+                .map(|r| TopKResult {
+                    values: r.values.into_iter().map(|d| d.0).collect(),
+                    kth_value: r.kth_value.0,
+                    stats: r.stats,
+                    time_ms: r.time_ms,
+                })
+                .collect(),
+            num_blocks: self.num_blocks,
+            rows_per_block: self.rows_per_block,
+            delegate_passes: self.delegate_passes,
+            breakdown: self.breakdown,
+            stats: self.stats,
+            time_ms: self.time_ms,
+            stages: self.stages,
+            predicted_recall: self.predicted_recall,
+        }
+    }
+}
+
+/// Which execution path a row's plan resolved to — the row-block mirror of
+/// the single-vector pipeline's routing in
+/// [`dr_topk_planned`](crate::pipeline::dr_topk_planned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowPath {
+    /// `k = 0` or an empty row: the selection is empty, no kernel touches it.
+    Skip,
+    /// The plan fell back to the inner algorithm (tiny row, k ≥ row, k not
+    /// smaller than the delegate vector). The fused pass answers it from
+    /// the slab read directly.
+    Direct,
+    /// The exact delegate pipeline: delegates → first top-k →
+    /// concatenation → second top-k.
+    Exact,
+    /// The recall-targeted approximate path: per-bucket candidates →
+    /// second top-k.
+    Approx,
+}
+
+/// The planned layout of a matrix run: per-row plans and paths plus the
+/// block geometry. Computed once; borrowed by every stage closure (and
+/// rebuilt-from by the schedule explorer).
+struct RowLayout {
+    /// Per-row resolved plan (k clamped, α pinned, mode normalised).
+    plans: Vec<PlannedQuery>,
+    /// Per-row execution path derived from the plan.
+    paths: Vec<RowPath>,
+    /// Rows per block.
+    rows_per_block: usize,
+    /// Total blocks (`⌈rows / rows_per_block⌉`).
+    num_blocks: usize,
+    /// Minimum plan-time recall across non-skip rows (1.0 when none).
+    predicted_recall: f64,
+}
+
+impl RowLayout {
+    fn block_span(&self, b: usize, rows: usize) -> (usize, usize) {
+        let start = b * self.rows_per_block;
+        let end = ((b + 1) * self.rows_per_block).min(rows);
+        (start, end)
+    }
+}
+
+fn layout_rows<K: TopKKey>(
+    matrix: &RowMatrix<'_, K>,
+    ks: &RowK,
+    config: &DrTopKConfig,
+    rows_per_block: usize,
+) -> RowLayout {
+    ks.validate(matrix.rows);
+    let rows_per_block = rows_per_block.max(1);
+    // Plans depend only on (cols, k, config); memoise by k so a uniform-k
+    // matrix plans once, not once per row.
+    let mut memo: std::collections::BTreeMap<usize, PlannedQuery> =
+        std::collections::BTreeMap::new();
+    let mut plans = Vec::with_capacity(matrix.rows);
+    let mut paths = Vec::with_capacity(matrix.rows);
+    let mut predicted_recall = 1.0f64;
+    for r in 0..matrix.rows {
+        let k = ks.get(r);
+        let planned = memo
+            .entry(k)
+            .or_insert_with(|| PlannedQuery::plan(matrix.cols, k, config))
+            .clone();
+        let path = if planned.k == 0 || matrix.cols == 0 {
+            RowPath::Skip
+        } else if !planned.use_delegates {
+            RowPath::Direct
+        } else if planned.config.mode.strict_target().is_some() {
+            RowPath::Approx
+        } else {
+            RowPath::Exact
+        };
+        if path != RowPath::Skip {
+            predicted_recall = predicted_recall.min(planned.predicted_recall);
+        }
+        plans.push(planned);
+        paths.push(path);
+    }
+    RowLayout {
+        plans,
+        paths,
+        rows_per_block,
+        num_blocks: matrix.rows.div_ceil(rows_per_block),
+        predicted_recall,
+    }
+}
+
+/// What the fused pass produced for one row.
+enum RowPass<K: TopKKey> {
+    /// The row's delegate (or per-bucket candidate) vector, extracted
+    /// inside the fused kernel — identical values/ids to
+    /// [`build_delegate_vector`](crate::delegate::build_delegate_vector)
+    /// on the row alone.
+    Delegates(DelegateVector<K>),
+    /// A fallback row's answer, sorted descending in radix space and
+    /// truncated to k — bit-identical to the values an exact inner
+    /// algorithm returns for the row.
+    Sorted(Vec<K>),
+}
+
+/// Per-block phase buffers, one slot per local row.
+struct BlockState<K: TopKKey> {
+    pass: Vec<Option<RowPass<K>>>,
+    first: Vec<Option<FirstTopK<K>>>,
+    concat: Vec<Option<Concatenated<K>>>,
+    out: Vec<Option<(Vec<K>, K)>>,
+}
+
+/// The row-block stage-graph context: one mutex per block, so blocks on
+/// different devices never contend.
+struct RowsCtx<K: TopKKey> {
+    blocks: Vec<Mutex<BlockState<K>>>,
+}
+
+/// Build the matrix's stage graph: per block with any work, a fused pass
+/// stage, then (when the block has exact-path rows) first-top-k and
+/// concatenation stages, then always a terminal second-top-k stage.
+/// Returns the graph, its context and the number of fused pass stages.
+fn build_rows_graph<'a, K: TopKKey>(
+    devices: &'a [&'a Device],
+    matrix: RowMatrix<'a, K>,
+    layout: &'a RowLayout,
+) -> (StageGraph<'a, RowsCtx<K>>, RowsCtx<K>, usize) {
+    let mut graph: StageGraph<'a, RowsCtx<K>> = StageGraph::new();
+    let mut blocks = Vec::with_capacity(layout.num_blocks);
+    let mut passes = 0usize;
+
+    for b in 0..layout.num_blocks {
+        let (start, end) = layout.block_span(b, matrix.rows);
+        let block_len = end - start;
+        blocks.push(Mutex::new(BlockState {
+            pass: (0..block_len).map(|_| None).collect(),
+            first: (0..block_len).map(|_| None).collect(),
+            concat: (0..block_len).map(|_| None).collect(),
+            out: (0..block_len).map(|_| None).collect(),
+        }));
+
+        let paths = &layout.paths[start..end];
+        if paths.iter().all(|p| *p == RowPath::Skip) {
+            continue; // nothing to compute; the gather fills defaults
+        }
+        let has_exact = paths.contains(&RowPath::Exact);
+        let has_approx = paths.contains(&RowPath::Approx);
+        let device_idx = b % devices.len();
+        let device = devices[device_idx];
+        let resource = Resource::Compute(device_idx);
+
+        // Phase 1: the fused pass — one kernel launch for the whole block.
+        // Kind mirrors the single-vector pipeline's phase-1 stage: a
+        // delegate construction when any row runs the exact pipeline, the
+        // approximate candidate pass when the block is purely approximate
+        // (pure-fallback blocks keep the construction kind: the pass still
+        // *is* the block's one slab-reading pass).
+        let pass_kind = if !has_exact && has_approx {
+            StageKind::BucketTopKPrime
+        } else {
+            StageKind::DelegateConstruction
+        };
+        passes += 1;
+        let pass_id = graph.add_labeled(
+            pass_kind,
+            format!("rows {start}..{end} fused pass"),
+            resource,
+            &[],
+            move |ctx: &RowsCtx<K>| {
+                let kv_words = 1 + std::mem::size_of::<K>() / std::mem::size_of::<u32>();
+                let num_warps = block_len.clamp(1, 1 << 14);
+                let launch = device.launch("drtopk_rows_fused_pass", num_warps, |kctx| {
+                    let local = kctx.chunk_of(block_len);
+                    let mut out: Vec<(usize, RowPass<K>)> = Vec::new();
+                    let mut scratch: Vec<K> = Vec::new();
+                    let mut i = local.start;
+                    while i < local.end {
+                        if layout.paths[start + i] == RowPath::Skip {
+                            i += 1;
+                            continue;
+                        }
+                        // Extend to the contiguous run of active rows: the
+                        // warp reads the whole slab with ONE coalesced
+                        // access — this is the fused pass's transaction
+                        // saving over per-row pipeline runs.
+                        let mut j = i + 1;
+                        while j < local.end && layout.paths[start + j] != RowPath::Skip {
+                            j += 1;
+                        }
+                        let slab_start = (start + i) * matrix.cols;
+                        let slab_end = (start + j) * matrix.cols;
+                        let slab = kctx.read_coalesced(&matrix.data[slab_start..slab_end]);
+                        kctx.record_alu(slab.len() as u64);
+                        for l in i..j {
+                            let r = start + l;
+                            let row = &slab[(l - i) * matrix.cols..(l - i + 1) * matrix.cols];
+                            let planned = &layout.plans[r];
+                            match layout.paths[r] {
+                                RowPath::Skip => unreachable!("runs exclude skip rows"),
+                                RowPath::Direct => {
+                                    // The inner algorithm's exact answer is
+                                    // the unique descending top-k sequence
+                                    // in radix space; produce it straight
+                                    // from the slab.
+                                    let mut vals = row.to_vec();
+                                    vals.sort_unstable_by_key(|v| Reverse(v.to_bits()));
+                                    vals.truncate(planned.k);
+                                    kctx.record_store_coalesced::<u32>(kv_words * vals.len());
+                                    out.push((l, RowPass::Sorted(vals)));
+                                }
+                                RowPath::Exact | RowPath::Approx => {
+                                    let alpha = planned.alpha;
+                                    let subrange_size = 1usize << alpha;
+                                    let beta = planned.config.beta;
+                                    let num_subranges = matrix.cols.div_ceil(subrange_size);
+                                    let mut values = Vec::with_capacity(num_subranges * beta);
+                                    let mut ids = Vec::with_capacity(num_subranges * beta);
+                                    for s in 0..num_subranges {
+                                        let sub_end = ((s + 1) * subrange_size).min(matrix.cols);
+                                        top_beta_of(
+                                            &row[s * subrange_size..sub_end],
+                                            beta,
+                                            &mut scratch,
+                                        );
+                                        for &v in &scratch {
+                                            values.push(v);
+                                            ids.push(s as u32);
+                                        }
+                                    }
+                                    kctx.record_store_coalesced::<u32>(kv_words * values.len());
+                                    out.push((
+                                        l,
+                                        RowPass::Delegates(DelegateVector {
+                                            values,
+                                            subrange_ids: ids,
+                                            beta,
+                                            subrange_size,
+                                            num_subranges,
+                                            method: planned.config.construction.resolve(alpha),
+                                            stats: KernelStats::default(),
+                                            time_ms: 0.0,
+                                        }),
+                                    ));
+                                }
+                            }
+                        }
+                        i = j;
+                    }
+                    out
+                });
+                let mut block = ctx.blocks[b].lock().unwrap();
+                for (l, pass) in launch.output.into_iter().flatten() {
+                    block.pass[l] = Some(pass);
+                }
+                StageOutcome {
+                    stats: launch.stats,
+                    time_ms: launch.time_ms,
+                }
+            },
+        );
+
+        // Phases 2 and 3 exist only when the block has exact-path rows.
+        let mut second_dep = pass_id;
+        if has_exact {
+            let first_id = graph.add_labeled(
+                StageKind::FirstTopK,
+                format!("rows {start}..{end} first top-k"),
+                resource,
+                &[pass_id],
+                move |ctx: &RowsCtx<K>| {
+                    let mut stats = KernelStats::default();
+                    let mut time_ms = 0.0;
+                    let mut block = ctx.blocks[b].lock().unwrap();
+                    let BlockState { pass, first, .. } = &mut *block;
+                    for l in 0..block_len {
+                        let r = start + l;
+                        if layout.paths[r] != RowPath::Exact {
+                            continue;
+                        }
+                        let planned = &layout.plans[r];
+                        let Some(RowPass::Delegates(dv)) = pass[l].as_ref() else {
+                            unreachable!("the fused pass built this row's delegates")
+                        };
+                        let f =
+                            first_topk(device, dv, planned.k, planned.config.resolve_skip_last());
+                        stats.merge(&f.stats);
+                        time_ms += f.time_ms;
+                        first[l] = Some(f);
+                    }
+                    StageOutcome { stats, time_ms }
+                },
+            );
+            let concat_id = graph.add_labeled(
+                StageKind::Concatenate,
+                format!("rows {start}..{end} concatenate"),
+                resource,
+                &[first_id],
+                move |ctx: &RowsCtx<K>| {
+                    let mut stats = KernelStats::default();
+                    let mut time_ms = 0.0;
+                    let mut block = ctx.blocks[b].lock().unwrap();
+                    let BlockState {
+                        pass,
+                        first,
+                        concat,
+                        ..
+                    } = &mut *block;
+                    for l in 0..block_len {
+                        let r = start + l;
+                        if layout.paths[r] != RowPath::Exact {
+                            continue;
+                        }
+                        let planned = &layout.plans[r];
+                        let Some(RowPass::Delegates(dv)) = pass[l].as_ref() else {
+                            unreachable!("the fused pass built this row's delegates")
+                        };
+                        let f = first[l].as_ref().expect("first top-k ran for this row");
+                        let c = concatenate(
+                            device,
+                            matrix.row(r),
+                            dv.subrange_size,
+                            &f.fully_taken_subranges,
+                            &f.partial_delegate_values,
+                            f.threshold,
+                            planned.config.filtering,
+                        );
+                        stats.merge(&c.stats);
+                        time_ms += c.time_ms;
+                        concat[l] = Some(c);
+                    }
+                    StageOutcome { stats, time_ms }
+                },
+            );
+            second_dep = concat_id;
+        }
+
+        // Phase 4: the terminal second top-k settles every row of the block.
+        graph.add_labeled(
+            StageKind::SecondTopK,
+            format!("rows {start}..{end} second top-k"),
+            resource,
+            &[second_dep],
+            move |ctx: &RowsCtx<K>| {
+                let mut stats = KernelStats::default();
+                let mut time_ms = 0.0;
+                let mut block = ctx.blocks[b].lock().unwrap();
+                let BlockState {
+                    pass,
+                    first,
+                    concat,
+                    out,
+                } = &mut *block;
+                for l in 0..block_len {
+                    let r = start + l;
+                    let planned = &layout.plans[r];
+                    match layout.paths[r] {
+                        RowPath::Skip => {
+                            out[l] = Some((Vec::new(), K::default()));
+                        }
+                        RowPath::Direct => {
+                            let Some(RowPass::Sorted(vals)) = pass[l].take() else {
+                                unreachable!("the fused pass answered this row")
+                            };
+                            let kth = vals.last().copied().unwrap_or_default();
+                            out[l] = Some((vals, kth));
+                        }
+                        RowPath::Approx => {
+                            let Some(RowPass::Delegates(dv)) = pass[l].as_ref() else {
+                                unreachable!("the fused pass built this row's candidates")
+                            };
+                            let inner = planned.config.inner.run(device, &dv.values, planned.k);
+                            stats.merge(&inner.stats);
+                            time_ms += inner.time_ms;
+                            out[l] = Some((inner.values, inner.kth_value));
+                        }
+                        RowPath::Exact => {
+                            let f = first[l].as_ref().expect("first top-k ran for this row");
+                            let c = concat[l].as_ref().expect("concatenation ran for this row");
+                            // Same skip rule as the single-vector pipeline
+                            // (Figure 8b): the taken delegates alone answer
+                            // the query exactly.
+                            let skipped = f.fully_taken_subranges.is_empty()
+                                && f.exact_threshold
+                                && c.elements.len() == planned.k;
+                            if skipped {
+                                let mut vals = c.elements.clone();
+                                vals.sort_unstable_by_key(|v| Reverse(v.to_bits()));
+                                let kth = vals.last().copied().unwrap_or_default();
+                                out[l] = Some((vals, kth));
+                            } else {
+                                let inner =
+                                    planned.config.inner.run(device, &c.elements, planned.k);
+                                stats.merge(&inner.stats);
+                                time_ms += inner.time_ms;
+                                out[l] = Some((inner.values, inner.kth_value));
+                            }
+                        }
+                    }
+                }
+                StageOutcome { stats, time_ms }
+            },
+        );
+    }
+
+    (graph, RowsCtx { blocks }, passes)
+}
+
+/// Assemble the per-row results and schedule-derived aggregates.
+fn gather_result<K: TopKKey>(
+    layout: &RowLayout,
+    rows: usize,
+    ctx: RowsCtx<K>,
+    report: StageReport,
+    passes: usize,
+) -> RowTopKResult<K> {
+    let mut out_rows = Vec::with_capacity(rows);
+    for (b, block) in ctx.blocks.into_iter().enumerate() {
+        let block = block.into_inner().unwrap();
+        let (start, end) = layout.block_span(b, rows);
+        debug_assert_eq!(block.out.len(), end - start);
+        for slot in block.out {
+            let (values, kth_value) = slot.unwrap_or_else(|| (Vec::new(), K::default()));
+            out_rows.push(TopKResult {
+                values,
+                kth_value,
+                stats: KernelStats::default(),
+                time_ms: 0.0,
+            });
+        }
+    }
+    RowTopKResult {
+        rows: out_rows,
+        num_blocks: layout.num_blocks,
+        rows_per_block: layout.rows_per_block,
+        delegate_passes: passes,
+        breakdown: report.phase_breakdown(),
+        stats: report.stats(),
+        time_ms: report.makespan_ms,
+        predicted_recall: layout.predicted_recall,
+        stages: report,
+    }
+}
+
+/// Row-wise top-k-largest over every row of `matrix`, planned as one stage
+/// graph with `⌈rows / num_devices⌉` rows per block (one block per device).
+///
+/// Each row's values are bit-identical to
+/// [`dr_topk`](crate::pipeline::dr_topk) on that row with the same
+/// `config`; see the module docs for how the fused per-block pass achieves
+/// that with one delegate pass per block instead of one per row.
+///
+/// ```
+/// use drtopk_core::{topk_rows, DrTopKConfig, RowK, RowMatrix};
+/// use gpu_sim::{DeviceSpec, GpuCluster};
+///
+/// let cluster = GpuCluster::homogeneous(2, DeviceSpec::v100s());
+/// let data: Vec<u32> = (0..8 * 1024u32).map(|x| x.wrapping_mul(2654435761)).collect();
+/// let matrix = RowMatrix::new(&data, 8, 1024);
+/// let result = topk_rows(&cluster, matrix, &RowK::Uniform(4), &DrTopKConfig::default());
+/// assert_eq!(result.rows.len(), 8);
+/// for (r, row) in result.rows.iter().enumerate() {
+///     assert_eq!(row.values, topk_baselines::reference_topk(matrix.row(r), 4));
+/// }
+/// assert!(result.delegate_passes <= 2, "one fused pass per device, not per row");
+/// ```
+pub fn topk_rows<K: TopKKey>(
+    cluster: &GpuCluster,
+    matrix: RowMatrix<'_, K>,
+    ks: &RowK,
+    config: &DrTopKConfig,
+) -> RowTopKResult<K> {
+    let devices: Vec<&Device> = cluster.devices().iter().collect();
+    topk_rows_on(&devices, matrix, ks, config, None, Executor::Threaded)
+}
+
+/// Row-wise top-k-**smallest**: each row's k minimum elements, ascending —
+/// the row-matrix analogue of [`dr_topk_min`](crate::pipeline::dr_topk_min)
+/// (batched k-NN shortlists, distance matrices). Runs [`topk_rows`] through
+/// the zero-copy [`Desc`] reinterpretation.
+pub fn topk_rows_min<K: TopKKey>(
+    cluster: &GpuCluster,
+    matrix: RowMatrix<'_, K>,
+    ks: &RowK,
+    config: &DrTopKConfig,
+) -> RowTopKResult<K> {
+    topk_rows(cluster, matrix.as_desc(), ks, config).into_native()
+}
+
+/// The fully parameterised entry point: explicit device set, block size and
+/// executor. `rows_per_block = None` defaults to `⌈rows / devices⌉` (one
+/// block per device); block `b` runs on `devices[b % devices.len()]`.
+///
+/// This is the seam the batching engine uses to run a row-matrix unit on
+/// one assigned worker device, and what the executor-matrix tests use to
+/// pin serial/threaded equivalence.
+pub fn topk_rows_on<K: TopKKey>(
+    devices: &[&Device],
+    matrix: RowMatrix<'_, K>,
+    ks: &RowK,
+    config: &DrTopKConfig,
+    rows_per_block: Option<usize>,
+    executor: Executor,
+) -> RowTopKResult<K> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let rpb = rows_per_block.unwrap_or_else(|| matrix.rows.div_ceil(devices.len()).max(1));
+    let layout = layout_rows(&matrix, ks, config, rpb);
+    if layout.paths.iter().all(|p| *p == RowPath::Skip) {
+        // Nothing to compute (no rows, empty rows, or every k = 0).
+        return RowTopKResult {
+            rows: vec![
+                TopKResult {
+                    values: Vec::new(),
+                    kth_value: K::default(),
+                    stats: KernelStats::default(),
+                    time_ms: 0.0,
+                };
+                matrix.rows
+            ],
+            num_blocks: layout.num_blocks,
+            rows_per_block: layout.rows_per_block,
+            delegate_passes: 0,
+            breakdown: PhaseBreakdown::default(),
+            stats: KernelStats::default(),
+            time_ms: 0.0,
+            stages: StageReport::default(),
+            predicted_recall: 1.0,
+        };
+    }
+    let (graph, ctx, passes) = build_rows_graph(devices, matrix, &layout);
+    let report = graph.execute_with(&ctx, executor);
+    gather_result(&layout, matrix.rows, ctx, report, passes)
+}
+
+/// Model-check a row-matrix graph's schedule space, then run it.
+///
+/// Enumerate (or sample, per `budget`) the dispatch orders the per-resource
+/// workers could take for this matrix's stage graph and require byte-equal
+/// [`deterministic_summary`](StageReport::deterministic_summary) strings
+/// and bit-equal per-row winners across all of them (see [`crate::explore`]).
+/// On success the run's result and the coverage summary are returned; the
+/// first diverging interleaving aborts with a [`Divergence`].
+pub fn topk_rows_explore<K: TopKKey>(
+    devices: &[&Device],
+    matrix: RowMatrix<'_, K>,
+    ks: &RowK,
+    config: &DrTopKConfig,
+    rows_per_block: Option<usize>,
+    budget: ExploreBudget,
+) -> Result<(RowTopKResult<K>, ExploreOutcome), Box<Divergence>> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let rpb = rows_per_block.unwrap_or_else(|| matrix.rows.div_ceil(devices.len()).max(1));
+    let layout = layout_rows(&matrix, ks, config, rpb);
+    if layout.paths.iter().all(|p| *p == RowPath::Skip) {
+        let outcome = ExploreOutcome {
+            schedules_run: 0,
+            exhaustive: true,
+            stages: 0,
+            reference: StageReport::default(),
+        };
+        let result = topk_rows_on(devices, matrix, ks, config, Some(rpb), Executor::Threaded);
+        return Ok((result, outcome));
+    }
+    let outcome = explore_schedules(
+        || {
+            let (graph, ctx, _) = build_rows_graph(devices, matrix, &layout);
+            (graph, ctx)
+        },
+        |ctx: &RowsCtx<K>, _| {
+            // Bit patterns of every row's winners + threshold: the
+            // schedule-invariance witness.
+            ctx.blocks
+                .iter()
+                .map(|block| {
+                    let block = block.lock().unwrap();
+                    block
+                        .out
+                        .iter()
+                        .map(|slot| {
+                            slot.as_ref().map(|(vals, kth)| {
+                                (
+                                    vals.iter().map(|v| v.to_bits()).collect::<Vec<K::Bits>>(),
+                                    kth.to_bits(),
+                                )
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        },
+        budget,
+    )?;
+    let result = topk_rows_on(devices, matrix, ks, config, Some(rpb), Executor::Threaded);
+    Ok((result, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{dr_topk, dr_topk_min};
+    use gpu_sim::DeviceSpec;
+    use topk_baselines::{reference_topk, reference_topk_min};
+
+    fn cluster(n: usize) -> GpuCluster {
+        GpuCluster::homogeneous(n, DeviceSpec::v100s())
+    }
+
+    #[test]
+    fn rows_match_per_row_pipeline_bitwise() {
+        let c = cluster(2);
+        let cols = 1 << 12;
+        let rows = 6;
+        let data = topk_datagen::uniform(rows * cols, 7);
+        let matrix = RowMatrix::new(&data, rows, cols);
+        let cfg = DrTopKConfig::default();
+        let got = topk_rows(&c, matrix, &RowK::Uniform(64), &cfg);
+        assert_eq!(got.rows.len(), rows);
+        for r in 0..rows {
+            let single = dr_topk(c.device(0), matrix.row(r), 64, &cfg);
+            assert_eq!(got.rows[r].values, single.values, "row {r}");
+            assert_eq!(got.rows[r].kth_value, single.kth_value, "row {r}");
+        }
+        assert!(got.delegate_passes <= 2);
+        assert_eq!(got.num_blocks, 2);
+    }
+
+    #[test]
+    fn per_row_k_mixes_paths_in_one_matrix() {
+        let c = cluster(2);
+        let cols = 2048;
+        let rows = 5;
+        let data = topk_datagen::customized(rows * cols, 3);
+        let matrix = RowMatrix::new(&data, rows, cols);
+        let cfg = DrTopKConfig::default();
+        // k = 0 (skip), tiny k (delegates), k = cols (fallback sort),
+        // k > cols (clamped), half (fallback)
+        let ks = RowK::PerRow(vec![0, 16, cols, cols + 100, cols / 2]);
+        let got = topk_rows(&c, matrix, &ks, &cfg);
+        for r in 0..rows {
+            let k = ks.get(r);
+            let single = dr_topk(c.device(0), matrix.row(r), k, &cfg);
+            assert_eq!(got.rows[r].values, single.values, "row {r} k={k}");
+            assert_eq!(got.rows[r].kth_value, single.kth_value, "row {r} k={k}");
+        }
+        assert!(got.rows[0].values.is_empty());
+        assert_eq!(got.rows[2].values.len(), cols);
+        assert_eq!(got.rows[3].values.len(), cols);
+    }
+
+    #[test]
+    fn min_direction_matches_reference() {
+        let c = cluster(1);
+        let cols = 1 << 11;
+        let rows = 4;
+        let data: Vec<f32> = topk_datagen::uniform(rows * cols, 11)
+            .into_iter()
+            .map(|x| (x % 100_000) as f32 * 0.25)
+            .collect();
+        let matrix = RowMatrix::new(&data, rows, cols);
+        let got = topk_rows_min(&c, matrix, &RowK::Uniform(10), &DrTopKConfig::default());
+        for r in 0..rows {
+            assert_eq!(got.rows[r].values, reference_topk_min(matrix.row(r), 10));
+            let single = dr_topk_min(c.device(0), matrix.row(r), 10, &DrTopKConfig::default());
+            assert_eq!(got.rows[r].values, single.values);
+        }
+    }
+
+    #[test]
+    fn approx_mode_matches_per_row_approx() {
+        let c = cluster(2);
+        let cols = 1 << 14;
+        let rows = 4;
+        let data = topk_datagen::uniform(rows * cols, 19);
+        let matrix = RowMatrix::new(&data, rows, cols);
+        let cfg = DrTopKConfig::approx(0.9);
+        let got = topk_rows(&c, matrix, &RowK::Uniform(32), &cfg);
+        assert!(got.predicted_recall >= 0.9);
+        for r in 0..rows {
+            let single = dr_topk(c.device(0), matrix.row(r), 32, &cfg);
+            assert_eq!(got.rows[r].values, single.values, "row {r}");
+        }
+    }
+
+    #[test]
+    fn graph_passes_static_verification() {
+        let c = cluster(2);
+        let cols = 1 << 10;
+        let rows = 7;
+        let data = topk_datagen::uniform(rows * cols, 23);
+        let matrix = RowMatrix::new(&data, rows, cols);
+        // mixed paths in one graph: approx rows and fallback rows together
+        let ks = RowK::PerRow(vec![8, 0, cols / 2, 8, 8, cols, 8]);
+        let layout = layout_rows(&matrix, &ks, &DrTopKConfig::default(), 2);
+        let devices: Vec<&Device> = c.devices().iter().collect();
+        let (graph, _ctx, passes) = build_rows_graph(&devices, matrix, &layout);
+        let diags = crate::verify::verify_specs(&graph.specs(), &Default::default());
+        assert!(diags.is_empty(), "row-block graph must verify: {diags:?}");
+        assert!(passes <= 4, "4 blocks of 2 rows; {passes} passes");
+    }
+
+    #[test]
+    fn empty_and_degenerate_matrices() {
+        let c = cluster(1);
+        let got = topk_rows::<u32>(
+            &c,
+            RowMatrix::new(&[], 0, 128),
+            &RowK::Uniform(4),
+            &DrTopKConfig::default(),
+        );
+        assert!(got.rows.is_empty());
+        assert_eq!(got.delegate_passes, 0);
+
+        let got = topk_rows::<u32>(
+            &c,
+            RowMatrix::new(&[], 4, 0),
+            &RowK::Uniform(4),
+            &DrTopKConfig::default(),
+        );
+        assert_eq!(got.rows.len(), 4);
+        assert!(got.rows.iter().all(|r| r.values.is_empty()));
+
+        let data = topk_datagen::uniform(4 * 256, 1);
+        let got = topk_rows(
+            &c,
+            RowMatrix::new(&data, 4, 256),
+            &RowK::Uniform(0),
+            &DrTopKConfig::default(),
+        );
+        assert!(got.rows.iter().all(|r| r.values.is_empty()));
+        assert_eq!(got.delegate_passes, 0);
+    }
+
+    #[test]
+    fn explore_validates_a_small_row_graph() {
+        let c = cluster(2);
+        let cols = 1 << 10;
+        let rows = 4;
+        let data = topk_datagen::uniform(rows * cols, 31);
+        let matrix = RowMatrix::new(&data, rows, cols);
+        let devices: Vec<&Device> = c.devices().iter().collect();
+        let (result, outcome) = topk_rows_explore(
+            &devices,
+            matrix,
+            &RowK::Uniform(16),
+            &DrTopKConfig::default(),
+            Some(2),
+            ExploreBudget::default(),
+        )
+        .expect("row graphs are schedule-invariant");
+        assert!(outcome.exhaustive);
+        assert!(outcome.schedules_run >= 2, "two blocks must interleave");
+        for r in 0..rows {
+            assert_eq!(result.rows[r].values, reference_topk(matrix.row(r), 16));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows * cols")]
+    fn shape_mismatch_panics() {
+        let data = vec![1u32; 10];
+        RowMatrix::new(&data, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-row k vector length")]
+    fn per_row_k_length_mismatch_panics() {
+        let c = cluster(1);
+        let data = vec![1u32; 12];
+        topk_rows(
+            &c,
+            RowMatrix::new(&data, 3, 4),
+            &RowK::PerRow(vec![1, 2]),
+            &DrTopKConfig::default(),
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //!   uniform sprinkle across the rest of the range.
 
 use crate::parallel_fill;
+use crate::realworld::chunk_seed;
+use crate::rng::Xoshiro256StarStar;
 
 /// Mean of the ND distribution (`10^8`), as specified in the paper.
 pub const NORMAL_MEAN: f64 = 1.0e8;
@@ -132,6 +134,72 @@ pub fn zipf(n: usize, max_value: u32, exponent: f64, seed: u64) -> Vec<u32> {
     })
 }
 
+/// Largest number of boosted "hot" experts per row of
+/// [`moe_gating_logits`] (each row draws 1..=this many, capped by the
+/// expert count).
+pub const MOE_MAX_HOT_EXPERTS: usize = 4;
+
+/// Base logit boost applied to each hot expert of a row (before the
+/// temperature scaling); each boost is jittered up to 2× so hot experts
+/// are clearly separated from the Gaussian bulk without being ties.
+pub const MOE_HOT_BOOST: f32 = 4.0;
+
+/// A row-major `rows × experts` matrix of MoE router logits — the
+/// softmax-input shape that row-wise top-k gating consumes
+/// (`drtopk_core::topk_rows` over this matrix picks each token's experts).
+///
+/// Each row is i.i.d. standard-normal logits plus 1–[`MOE_MAX_HOT_EXPERTS`]
+/// boosted hot experts (the dominant-expert structure routers actually
+/// produce), all divided by `temperature`: a low temperature sharpens the
+/// winners, a high one flattens the row toward uniform — the logits are
+/// exactly what a `softmax(z / T)` gate would consume.
+///
+/// Deterministic in `(rows, experts, temperature, seed)` and independent
+/// of thread count: the Gaussian bulk rides the chunked
+/// [`parallel_fill`](crate) streams and the hot-expert pass derives one
+/// RNG stream per row.
+///
+/// # Panics
+///
+/// Panics when `temperature` is not a finite positive number.
+pub fn moe_gating_logits(rows: usize, experts: usize, temperature: f32, seed: u64) -> Vec<f32> {
+    assert!(
+        temperature.is_finite() && temperature > 0.0,
+        "temperature must be a finite positive number"
+    );
+    let mut out: Vec<f32> = parallel_fill(rows * experts, seed, |rng, out| {
+        let mut i = 0;
+        while i < out.len() {
+            let (a, b) = rng.next_normal_pair();
+            out[i] = a as f32;
+            i += 1;
+            if i < out.len() {
+                out[i] = b as f32;
+                i += 1;
+            }
+        }
+    });
+    if experts > 0 {
+        // A distinct stream namespace from the bulk fill (chunk indices
+        // start at 0 there too), so row streams never alias chunk streams.
+        const HOT_STREAM: u64 = 0x6d6f655f686f74; // "moe_hot"
+        for r in 0..rows {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(chunk_seed(seed ^ HOT_STREAM, r));
+            let hot = 1 + rng.next_bounded(MOE_MAX_HOT_EXPERTS.min(experts) as u64) as usize;
+            let row = &mut out[r * experts..(r + 1) * experts];
+            for _ in 0..hot {
+                let e = rng.next_bounded(experts as u64) as usize;
+                row[e] += MOE_HOT_BOOST * (1.0 + rng.next_f64() as f32);
+            }
+        }
+    }
+    let inv_t = 1.0 / temperature;
+    for v in &mut out {
+        *v *= inv_t;
+    }
+    out
+}
+
 fn to_u32(x: f64) -> u32 {
     if x <= 0.0 {
         0
@@ -235,6 +303,36 @@ mod tests {
         // but the tail exists: a top-k query has real work to do
         assert!(large > 0);
         assert!(zipf(0, 100, 1.0, 1).is_empty());
+    }
+
+    #[test]
+    fn moe_gating_logits_shape_determinism_and_temperature() {
+        let rows = 64;
+        let experts = 128;
+        let a = moe_gating_logits(rows, experts, 1.0, 9);
+        assert_eq!(a.len(), rows * experts);
+        assert_eq!(a, moe_gating_logits(rows, experts, 1.0, 9));
+        assert_ne!(a, moe_gating_logits(rows, experts, 1.0, 10));
+        // temperature only rescales: T = 2 halves every logit
+        let cool = moe_gating_logits(rows, experts, 2.0, 9);
+        for (x, y) in a.iter().zip(&cool) {
+            assert!((x * 0.5 - y).abs() < 1e-6);
+        }
+        // every row has a clear hot expert well above the N(0,1) bulk
+        for r in 0..rows {
+            let row = &a[r * experts..(r + 1) * experts];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert!(max >= MOE_HOT_BOOST, "row {r} max {max}");
+        }
+        // degenerate shapes are fine
+        assert!(moe_gating_logits(0, experts, 1.0, 1).is_empty());
+        assert!(moe_gating_logits(rows, 0, 1.0, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be")]
+    fn moe_gating_logits_rejects_zero_temperature() {
+        moe_gating_logits(4, 4, 0.0, 1);
     }
 
     #[test]

@@ -183,6 +183,7 @@ impl TopKEngine {
         if batch.is_empty() {
             return Ok(BatchOutput {
                 results: Vec::new(),
+                row_results: Vec::new(),
                 report: EngineReport::default(),
             });
         }
@@ -247,11 +248,17 @@ impl TopKEngine {
 
         let num_queries = batch.len();
         let num_units = plan.units.len();
+        let row_queries = batch.row_queries().len();
+        // Rows count as queries: the metric catalog stays its closed
+        // 16-variant self, row throughput rides the existing counters.
+        let rows_served: usize = exec.row_results.iter().map(|r| r.rows.len()).sum();
+        let total_selections = num_queries + rows_served;
         let total_ms = exec.pool_ms + exec.sharded_ms;
 
         // Fold the batch into the cumulative registry (lock-free atomics).
         let m = &self.metrics;
-        m.counter(MetricName::QueriesServed).add(num_queries as u64);
+        m.counter(MetricName::QueriesServed)
+            .add(total_selections as u64);
         m.counter(MetricName::BatchesServed).inc();
         m.counter(MetricName::ShardedQueries)
             .add(plan.sharded_queries() as u64);
@@ -268,6 +275,9 @@ impl TopKEngine {
         m.add_engine_busy_ms(total_ms);
         m.histogram(MetricName::BatchMakespanMs).record(total_ms);
         for r in &exec.results {
+            m.histogram(MetricName::QueryLatencyMs).record(r.time_ms);
+        }
+        for r in &exec.row_results {
             m.histogram(MetricName::QueryLatencyMs).record(r.time_ms);
         }
         for (slot, &busy) in exec.worker_loads.iter().enumerate() {
@@ -291,15 +301,22 @@ impl TopKEngine {
             num_units,
             fused_units: plan.fused_units(),
             sharded_queries: plan.sharded_queries(),
+            row_queries,
+            rows_served,
             approx_queries: batch
                 .queries()
                 .iter()
                 .filter(|q| q.mode.strict_target().is_some())
-                .count(),
+                .count()
+                + batch
+                    .row_queries()
+                    .iter()
+                    .filter(|q| q.mode.strict_target().is_some())
+                    .count(),
             batch_occupancy: if num_units == 0 {
                 0.0
             } else {
-                num_queries as f64 / num_units as f64
+                (num_queries + row_queries) as f64 / num_units as f64
             },
             plan_cache: CacheReport {
                 hits: plan.plan_hits,
@@ -317,7 +334,7 @@ impl TopKEngine {
             },
             total_ms,
             throughput_qps: if total_ms > 0.0 {
-                num_queries as f64 / (total_ms / 1e3)
+                total_selections as f64 / (total_ms / 1e3)
             } else {
                 0.0
             },
@@ -326,6 +343,7 @@ impl TopKEngine {
         };
         Ok(BatchOutput {
             results: exec.results,
+            row_results: exec.row_results,
             report,
         })
     }
@@ -627,6 +645,83 @@ mod tests {
         // detached: the next batch is silent
         eng.run_batch(&batch).unwrap();
         assert_eq!(rec.spans().len(), spans.len());
+    }
+
+    #[test]
+    fn row_queries_run_alongside_vector_queries() {
+        use drtopk_core::RowK;
+        let eng = engine(2);
+        let rows = 8;
+        let cols = 1 << 11;
+        let data = topk_datagen::uniform(rows * cols, 41);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(5, &data);
+        batch.push_topk(c, 32); // whole-corpus vector query coexists
+        let rq = batch.push_rows(c, rows, cols, RowK::Uniform(6));
+        let rq_min = batch.push_rows_min(c, rows, cols, RowK::Uniform(3));
+        let out = eng.run_batch(&batch).unwrap();
+
+        assert_eq!(out.results[0].values, reference_topk(&data, 32));
+        assert_eq!(out.row_results.len(), 2);
+        let largest = &out.row_results[rq];
+        let smallest = &out.row_results[rq_min];
+        assert_eq!(largest.rows.len(), rows);
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            assert_eq!(largest.rows[r].values, reference_topk(row, 6), "row {r}");
+            assert_eq!(
+                smallest.rows[r].values,
+                reference_topk_min(row, 3),
+                "row {r} min"
+            );
+        }
+        // one fused pass per row-block, not one per row
+        assert!(largest.delegate_passes <= largest.num_blocks);
+        assert!(largest.delegate_passes < rows);
+        assert_eq!(largest.predicted_recall, 1.0);
+
+        // report: rows count as queries without widening the metric set
+        assert_eq!(out.report.num_queries, 1);
+        assert_eq!(out.report.row_queries, 2);
+        assert_eq!(out.report.rows_served, 2 * rows);
+        assert_eq!(out.report.fused_units, 1);
+        // largest and smallest row directions are separate units
+        assert_eq!(out.report.num_units, 3);
+        use drtopk_obs::MetricName as M;
+        assert_eq!(
+            out.report.metrics.counter(M::QueriesServed),
+            (1 + 2 * rows) as u64
+        );
+        assert_eq!(out.report.metrics.query_latency_ms.count, 3);
+        assert!(out.report.delegate_passes_run > largest.delegate_passes);
+        assert!(out.report.throughput_qps > 0.0);
+        assert!(out.report.total_ms > 0.0);
+    }
+
+    #[test]
+    fn row_query_spans_appear_in_traces() {
+        use drtopk_core::RowK;
+        use drtopk_obs::TraceRecorder;
+        let eng = engine(2);
+        let rows = 4;
+        let cols = 1 << 10;
+        let data = topk_datagen::uniform(rows * cols, 43);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(6, &data);
+        batch.push_rows(c, rows, cols, RowK::Uniform(4));
+        let rec = std::sync::Arc::new(TraceRecorder::new());
+        eng.attach_recorder(rec.clone());
+        let out = eng.run_batch(&batch).unwrap();
+        eng.detach_recorder();
+        let spans = rec.spans();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.label.contains("rows ") && s.label.contains("fused pass")),
+            "row-span labels must appear in traces"
+        );
+        let end = spans.iter().map(|s| s.end_ms).fold(0.0f64, f64::max);
+        assert!((end - out.report.total_ms).abs() < 1e-9);
     }
 
     #[test]

@@ -21,8 +21,9 @@ use std::sync::Arc;
 
 use drtopk_core::{
     as_desc, build_delegate_vector, capacity_in_keys, distributed_dr_topk, dr_topk_planned,
-    CalibrationFit, DelegateVector, DrTopKConfig, DrTopKResult, ExecutedStage, PhaseBreakdown,
-    Resource, StageGraph, StageId, StageKind, StageOutcome, StageReport,
+    topk_rows_on, CalibrationFit, DelegateVector, DrTopKConfig, DrTopKResult, ExecutedStage,
+    Executor, PhaseBreakdown, Resource, RowMatrix, RowTopKResult, StageGraph, StageId, StageKind,
+    StageOutcome, StageReport,
 };
 use drtopk_obs::TraceSink;
 use gpu_sim::{Device, GpuCluster, KernelStats};
@@ -30,9 +31,9 @@ use parking_lot::Mutex;
 use topk_baselines::{Desc, TopKKey};
 
 use crate::engine::EngineError;
-use crate::plan::{ExecutionPlan, FusedUnit, PlanCache, PlanUnit};
-use crate::query::{Direction, QueryBatch};
-use crate::report::{CacheReport, ExecPath, QueryResult};
+use crate::plan::{ExecutionPlan, FusedUnit, PlanCache, PlanUnit, RowUnit};
+use crate::query::{Direction, QueryBatch, RowQuery};
+use crate::report::{CacheReport, ExecPath, QueryResult, RowQueryResult};
 
 /// What executing one fused unit produced.
 struct FusedOutcome<K: TopKKey> {
@@ -47,10 +48,30 @@ struct FusedOutcome<K: TopKKey> {
     delegate_from_cache: bool,
 }
 
+/// What executing one row-matrix unit produced.
+struct RowsOutcome<K: TopKKey> {
+    unit: usize,
+    /// `(row-query index, result)` per member.
+    results: Vec<(usize, RowQueryResult<K>)>,
+    /// The members' row-block schedules composed serially on the worker's
+    /// device.
+    unit_stages: StageReport,
+    /// Fused per-block delegate passes the unit ran across its members.
+    delegate_passes: usize,
+}
+
+/// One pool worker's result for one unit drawn from the shared queue.
+enum PoolOutcome<K: TopKKey> {
+    Fused(FusedOutcome<K>),
+    Rows(RowsOutcome<K>),
+}
+
 /// Everything `run_batch` needs back from execution; cache counters are
 /// snapshotted by the caller around this call.
 pub(crate) struct ExecOutput<K: TopKKey> {
     pub results: Vec<QueryResult<K>>,
+    /// One result per row-matrix query, in row-query order.
+    pub row_results: Vec<RowQueryResult<K>>,
     pub phase_ms: PhaseBreakdown,
     pub stats: KernelStats,
     pub delegate_passes_run: usize,
@@ -363,6 +384,120 @@ fn run_fused_unit<K: TopKKey>(
     }
 }
 
+/// Compose a row unit's stage report: the members' row-block schedules
+/// run back-to-back on the worker's device, so each member's stages are
+/// shifted onto the unit's serial timeline, re-tagged with the worker, and
+/// the per-kind calibration is refit over the composition. Dependencies
+/// stay within each member (row-block graphs are self-contained), only
+/// re-indexed into the composed stage list.
+fn splice_row_stages(members: &[StageReport], device: usize) -> StageReport {
+    let mut stages: Vec<ExecutedStage> = Vec::new();
+    let mut offset_ms = 0.0f64;
+    let mut measured_offset_ms = 0.0f64;
+    for member in members {
+        let base_idx = stages.len();
+        for inner in &member.stages {
+            stages.push(ExecutedStage {
+                kind: inner.kind,
+                label: inner.label.clone(),
+                resource: Resource::Compute(device),
+                deps: inner.deps.iter().map(|d| d + base_idx).collect(),
+                start_ms: inner.start_ms + offset_ms,
+                end_ms: inner.end_ms + offset_ms,
+                measured_start_ms: inner.measured_start_ms + measured_offset_ms,
+                measured_end_ms: inner.measured_end_ms + measured_offset_ms,
+                stats: inner.stats,
+            });
+        }
+        offset_ms += member.makespan_ms;
+        measured_offset_ms += member.measured_makespan_ms;
+    }
+    let calibration = CalibrationFit::fit(&stages);
+    let report = StageReport {
+        stages,
+        makespan_ms: offset_ms,
+        measured_makespan_ms: measured_offset_ms,
+        calibration,
+    };
+    #[cfg(debug_assertions)]
+    {
+        let diags = report.verify();
+        assert!(
+            diags.is_empty(),
+            "spliced row unit stage report failed verification:\n{}",
+            diags
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    report
+}
+
+/// Run one row-matrix unit on its assigned worker device: each member
+/// reinterprets the corpus as its own `rows × cols` matrix and runs the
+/// row-block stage graph through [`topk_rows_on`] (direction dispatched
+/// through the order-reversing [`Desc`] adapter, like vector queries).
+fn run_rows_unit<K: TopKKey>(
+    device: &Device,
+    device_idx: usize,
+    data: &[K],
+    unit_idx: usize,
+    unit: &RowUnit,
+    row_queries: &[RowQuery],
+    base: &DrTopKConfig,
+) -> RowsOutcome<K> {
+    let mut member_reports: Vec<StageReport> = Vec::with_capacity(unit.members.len());
+    let mut results: Vec<(usize, RowQueryResult<K>)> = Vec::with_capacity(unit.members.len());
+    let mut delegate_passes = 0usize;
+    for &qi in &unit.members {
+        let q = &row_queries[qi];
+        let cfg = DrTopKConfig {
+            inner: q.inner,
+            mode: q.mode,
+            ..base.clone()
+        };
+        let matrix = RowMatrix::new(data, q.rows, q.cols);
+        let devices = [device];
+        let r: RowTopKResult<K> = match q.direction {
+            Direction::Largest => {
+                topk_rows_on(&devices, matrix, &q.ks, &cfg, None, Executor::Threaded)
+            }
+            Direction::Smallest => topk_rows_on(
+                &devices,
+                matrix.as_desc(),
+                &q.ks,
+                &cfg,
+                None,
+                Executor::Threaded,
+            )
+            .into_native(),
+        };
+        delegate_passes += r.delegate_passes;
+        results.push((
+            qi,
+            RowQueryResult {
+                rows: r.rows,
+                time_ms: r.time_ms,
+                stats: r.stats,
+                breakdown: r.breakdown,
+                delegate_passes: r.delegate_passes,
+                num_blocks: r.num_blocks,
+                predicted_recall: r.predicted_recall,
+                unit: unit_idx,
+            },
+        ));
+        member_reports.push(r.stages);
+    }
+    RowsOutcome {
+        unit: unit_idx,
+        results,
+        unit_stages: splice_row_stages(&member_reports, device_idx),
+        delegate_passes,
+    }
+}
+
 /// Execute a plan over the cluster.
 ///
 /// When `sink` is present, every unit's composed stage schedule is
@@ -379,54 +514,72 @@ pub(crate) fn execute_plan<K: TopKKey>(
     cache: &Mutex<PlanCache>,
     sink: Option<&dyn TraceSink>,
 ) -> Result<ExecOutput<K>, EngineError> {
-    let fused_indices: Vec<usize> = plan
+    let pool_indices: Vec<usize> = plan
         .units
         .iter()
         .enumerate()
-        .filter_map(|(i, u)| matches!(u, PlanUnit::Fused(_)).then_some(i))
+        .filter_map(|(i, u)| matches!(u, PlanUnit::Fused(_) | PlanUnit::Rows(_)).then_some(i))
         .collect();
 
-    // Fused worker pool: one worker per device, pulling units from a
-    // shared queue (dynamic load balance in host wall-clock). The *modeled*
-    // makespan is computed afterwards by deterministic list scheduling, so
-    // reports do not vary with host-thread timing.
+    // Worker pool: one worker per device, pulling fused and row-matrix
+    // units from a shared queue (dynamic load balance in host wall-clock).
+    // The *modeled* makespan is computed afterwards by deterministic list
+    // scheduling, so reports do not vary with host-thread timing.
     let next_unit = AtomicUsize::new(0);
     let per_device = cluster
         .try_run_on_all(|device_idx, device| {
-            let mut outcomes: Vec<FusedOutcome<K>> = Vec::new();
+            let mut outcomes: Vec<PoolOutcome<K>> = Vec::new();
             loop {
                 let slot = next_unit.fetch_add(1, Ordering::Relaxed);
-                let Some(&unit_idx) = fused_indices.get(slot) else {
+                let Some(&unit_idx) = pool_indices.get(slot) else {
                     break;
                 };
-                let PlanUnit::Fused(unit) = &plan.units[unit_idx] else {
-                    unreachable!("fused_indices only holds fused units");
-                };
-                let corpus = &batch.corpora()[unit.corpus];
                 // Heterogeneous clusters (or an overridden shard
                 // threshold) can hand a worker a corpus its device cannot
                 // hold; that is a per-device error, not a batch panic.
                 // `capacity_elems` is in u32 units, the corpus in keys.
-                let device_keys = capacity_in_keys::<K>(device.capacity_elems());
-                if corpus.data.len() > device_keys {
-                    return Err(format!(
-                        "corpus {} ({} keys) exceeds this device's capacity of {} keys",
-                        unit.corpus,
-                        corpus.data.len(),
-                        device_keys
-                    ));
+                let check_capacity = |corpus_idx: usize, len: usize| {
+                    let device_keys = capacity_in_keys::<K>(device.capacity_elems());
+                    if len > device_keys {
+                        Err(format!(
+                            "corpus {corpus_idx} ({len} keys) exceeds this device's capacity of {device_keys} keys"
+                        ))
+                    } else {
+                        Ok(())
+                    }
+                };
+                match &plan.units[unit_idx] {
+                    PlanUnit::Fused(unit) => {
+                        let corpus = &batch.corpora()[unit.corpus];
+                        check_capacity(unit.corpus, corpus.data.len())?;
+                        outcomes.push(PoolOutcome::Fused(run_fused_unit(
+                            device,
+                            device_idx,
+                            corpus.data,
+                            corpus.id,
+                            unit_idx,
+                            unit,
+                            base,
+                            cache,
+                        )));
+                    }
+                    PlanUnit::Rows(unit) => {
+                        let corpus = &batch.corpora()[unit.corpus];
+                        check_capacity(unit.corpus, corpus.data.len())?;
+                        outcomes.push(PoolOutcome::Rows(run_rows_unit(
+                            device,
+                            device_idx,
+                            corpus.data,
+                            unit_idx,
+                            unit,
+                            batch.row_queries(),
+                            base,
+                        )));
+                    }
+                    PlanUnit::Sharded(_) => {
+                        unreachable!("pool_indices only holds pool units")
+                    }
                 }
-                let outcome = run_fused_unit(
-                    device,
-                    device_idx,
-                    corpus.data,
-                    corpus.id,
-                    unit_idx,
-                    unit,
-                    base,
-                    cache,
-                );
-                outcomes.push(outcome);
             }
             Ok(outcomes)
         })
@@ -437,6 +590,8 @@ pub(crate) fn execute_plan<K: TopKKey>(
 
     let num_queries = batch.len();
     let mut results: Vec<Option<QueryResult<K>>> = (0..num_queries).map(|_| None).collect();
+    let mut row_results: Vec<Option<RowQueryResult<K>>> =
+        (0..batch.row_queries().len()).map(|_| None).collect();
     let mut phase_ms = PhaseBreakdown::default();
     let mut stats = KernelStats::default();
     let mut delegate_passes_run = 0usize;
@@ -449,7 +604,33 @@ pub(crate) fn execute_plan<K: TopKKey>(
     let mut unit_costs: Vec<(usize, f64, Option<StageReport>)> = Vec::new();
 
     for outcomes in per_device {
-        for outcome in outcomes {
+        for pool_outcome in outcomes {
+            let outcome = match pool_outcome {
+                PoolOutcome::Fused(outcome) => outcome,
+                PoolOutcome::Rows(outcome) => {
+                    // One instrumentation point for row units too: phases,
+                    // counters and the unit's modeled cost come off the
+                    // composed member schedules.
+                    let unit_phases = outcome.unit_stages.phase_breakdown();
+                    phase_ms.delegate_ms += unit_phases.delegate_ms;
+                    phase_ms.first_topk_ms += unit_phases.first_topk_ms;
+                    phase_ms.concat_ms += unit_phases.concat_ms;
+                    phase_ms.second_topk_ms += unit_phases.second_topk_ms;
+                    phase_ms.transfer_ms += unit_phases.transfer_ms;
+                    stats += outcome.unit_stages.stats();
+                    residuals.absorb(&outcome.unit_stages.calibration);
+                    delegate_passes_run += outcome.delegate_passes;
+                    unit_costs.push((
+                        outcome.unit,
+                        outcome.unit_stages.makespan_ms,
+                        sink.map(|_| outcome.unit_stages.clone()),
+                    ));
+                    for (query_idx, result) in outcome.results {
+                        row_results[query_idx] = Some(result);
+                    }
+                    continue;
+                }
+            };
             let PlanUnit::Fused(unit) = &plan.units[outcome.unit] else {
                 unreachable!()
             };
@@ -619,6 +800,10 @@ pub(crate) fn execute_plan<K: TopKKey>(
         results: results
             .into_iter()
             .map(|r| r.expect("every query is covered by exactly one plan unit"))
+            .collect(),
+        row_results: row_results
+            .into_iter()
+            .map(|r| r.expect("every row query is covered by exactly one row unit"))
             .collect(),
         phase_ms,
         stats,

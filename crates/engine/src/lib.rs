@@ -39,7 +39,13 @@
 //!   deduplicated (identical queries are answered once) but distinct
 //!   sharded queries do not yet share a delegate pass — the distributed
 //!   pipeline has no planned-query seam; that is the natural next
-//!   extension.
+//!   extension. **Row-matrix queries** ([`QueryBatch::push_rows`]) fuse by
+//!   the same `(corpus, direction, mode)` key into [`RowUnit`]s: each runs
+//!   on one pool device as a row-block stage graph
+//!   ([`drtopk_core::topk_rows`]) — one fused delegate pass per row-block,
+//!   never one per row — and its result carries one per-row selection
+//!   ([`RowQueryResult`]). Rows count as queries in the metrics and
+//!   throughput, without widening the metric catalog.
 //! * **Scheduler** ([`TopKEngine::run_batch`]) — a worker pool with one
 //!   simulated [`gpu_sim::Device`] per worker; fused units are pulled from
 //!   a shared queue for dynamic load balance. This is the scheduling idea
@@ -94,7 +100,8 @@ pub mod report;
 
 pub use engine::{EngineConfig, EngineError, TopKEngine};
 pub use plan::{
-    DelegateCacheEntry, ExecutionPlan, FusedUnit, PlanCache, PlanUnit, ShardedUnit, TuningPlan,
+    DelegateCacheEntry, ExecutionPlan, FusedUnit, PlanCache, PlanUnit, RowUnit, ShardedUnit,
+    TuningPlan,
 };
-pub use query::{Corpus, Direction, Query, QueryBatch};
-pub use report::{BatchOutput, CacheReport, EngineReport, ExecPath, QueryResult};
+pub use query::{Corpus, Direction, Query, QueryBatch, RowQuery};
+pub use report::{BatchOutput, CacheReport, EngineReport, ExecPath, QueryResult, RowQueryResult};

@@ -345,6 +345,25 @@ pub struct ShardedUnit {
     pub query: usize,
 }
 
+/// A group of same-corpus, same-direction, same-mode **row-matrix**
+/// queries scheduled together on one pool device.
+///
+/// Each member runs as its own row-block stage graph (members may reshape
+/// the corpus differently, e.g. `8×1024` vs `4×2048`), planned internally
+/// by [`drtopk_core::topk_rows`]'s per-row machinery — the planner's job
+/// here is grouping and scheduling, not per-row tuning.
+#[derive(Debug, Clone)]
+pub struct RowUnit {
+    /// Corpus index within the batch.
+    pub corpus: usize,
+    /// Direction shared by every member of the unit.
+    pub direction: Direction,
+    /// Mode shared by every member of the unit.
+    pub mode: Mode,
+    /// Indices (into the batch's row-query list) of the member queries.
+    pub members: Vec<usize>,
+}
+
 /// One independently schedulable piece of a batch.
 #[derive(Debug, Clone)]
 pub enum PlanUnit {
@@ -352,6 +371,9 @@ pub enum PlanUnit {
     Fused(FusedUnit),
     /// Over-capacity query: runs across the whole cluster.
     Sharded(ShardedUnit),
+    /// Row-matrix group: runs on one device of the worker pool as
+    /// row-block stage graphs.
+    Rows(RowUnit),
 }
 
 /// The planner's output for one batch.
@@ -359,7 +381,8 @@ pub enum PlanUnit {
 pub struct ExecutionPlan {
     /// All units: fused first, in `(corpus index, direction)` order
     /// (deterministic, independent of query submission order), then
-    /// sharded units in query order.
+    /// sharded units in query order, then row-matrix units in
+    /// `(corpus index, direction)` order.
     pub units: Vec<PlanUnit>,
     /// Tuning-plan cache hits during this planning pass.
     pub plan_hits: u64,
@@ -381,6 +404,14 @@ impl ExecutionPlan {
         self.units
             .iter()
             .filter(|u| matches!(u, PlanUnit::Sharded(_)))
+            .count()
+    }
+
+    /// Number of row-matrix units.
+    pub fn row_units(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u, PlanUnit::Rows(_)))
             .count()
     }
 }
@@ -472,6 +503,34 @@ pub(crate) fn plan_batch<K: TopKKey>(
         }));
     }
     units.extend(sharded.into_iter().map(PlanUnit::Sharded));
+
+    // Row-matrix queries fuse by the same (corpus, direction, mode) key.
+    // Per-row tuning happens inside the row-block machinery at execution
+    // (α depends on each member's `cols`, which members of one corpus may
+    // reshape differently), so planning only groups and orders them.
+    let mut row_groups: BTreeMap<(usize, bool, Mode), Vec<usize>> = BTreeMap::new();
+    for (idx, q) in batch.row_queries.iter().enumerate() {
+        row_groups
+            .entry((q.corpus, q.direction == Direction::Smallest, q.mode))
+            .or_default()
+            .push(idx);
+    }
+    units.extend(
+        row_groups
+            .into_iter()
+            .map(|((corpus, smallest, mode), members)| {
+                PlanUnit::Rows(RowUnit {
+                    corpus,
+                    direction: if smallest {
+                        Direction::Smallest
+                    } else {
+                        Direction::Largest
+                    },
+                    mode,
+                    members,
+                })
+            }),
+    );
 
     ExecutionPlan {
         units,
@@ -574,6 +633,35 @@ mod tests {
         };
         assert!(!unit.needs_delegates);
         assert_eq!(unit.k_max, 100);
+    }
+
+    #[test]
+    fn row_queries_group_by_corpus_direction_and_mode() {
+        let data: Vec<u32> = (0..1 << 12).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(3, &data);
+        batch.push_topk(c, 8); // vector traffic coexists
+        batch.push_rows(c, 16, 256, drtopk_core::RowK::Uniform(4));
+        batch.push_rows(c, 8, 512, drtopk_core::RowK::Uniform(2)); // same key, other shape
+        batch.push_rows_min(c, 16, 256, drtopk_core::RowK::Uniform(4));
+        let mut cache = PlanCache::default();
+        let plan = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        assert_eq!(plan.fused_units(), 1);
+        assert_eq!(
+            plan.row_units(),
+            2,
+            "largest pair fuses, smallest is its own unit"
+        );
+        let PlanUnit::Rows(largest) = &plan.units[1] else {
+            panic!("expected the largest-direction row unit after the fused unit")
+        };
+        assert_eq!(largest.members, vec![0, 1]);
+        assert_eq!(largest.direction, Direction::Largest);
+        let PlanUnit::Rows(smallest) = &plan.units[2] else {
+            panic!("expected the smallest-direction row unit last")
+        };
+        assert_eq!(smallest.members, vec![2]);
+        assert_eq!(smallest.direction, Direction::Smallest);
     }
 
     fn build_entry(data: &[u32]) -> Arc<drtopk_core::DelegateVector<u32>> {

@@ -7,7 +7,7 @@
 //! `k`, and different second-phase algorithms — the planner sorts out what
 //! can be fused and what cannot.
 
-use drtopk_core::{InnerAlgorithm, Mode, RecallTarget};
+use drtopk_core::{InnerAlgorithm, Mode, RecallTarget, RowK};
 use topk_baselines::TopKKey;
 
 /// Which end of the key order a query selects.
@@ -40,6 +40,34 @@ pub struct Query {
     pub mode: Mode,
 }
 
+/// One row-matrix top-k query: the corpus reinterpreted as a row-major
+/// `rows × cols` matrix, selecting every row's top-k in one planned unit
+/// (see [`drtopk_core::topk_rows`]).
+///
+/// Row queries are fused by `(corpus, direction, mode)` exactly like
+/// vector queries and run on one pool device as a single row-block stage
+/// graph — one fused delegate pass per row-block, never one per row. They
+/// always run corpus-resident: a corpus larger than the worker device's
+/// memory surfaces a per-device [`crate::EngineError`] (there is no
+/// sharded row path yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowQuery {
+    /// Index of the corpus this query selects over.
+    pub corpus: usize,
+    /// Number of matrix rows; `rows * cols` must equal the corpus length.
+    pub rows: usize,
+    /// Number of matrix columns (elements per row).
+    pub cols: usize,
+    /// Uniform or per-row k (clamped per row, exactly like vector queries).
+    pub ks: RowK,
+    /// Largest or smallest, applied to every row.
+    pub direction: Direction,
+    /// The algorithm that runs each row's second top-k.
+    pub inner: InnerAlgorithm,
+    /// Exact selection or a recall target, applied to every row.
+    pub mode: Mode,
+}
+
 /// A corpus registered with a batch: a borrowed key slice plus a
 /// caller-provided stable identity used by the engine's delegate cache.
 ///
@@ -61,6 +89,7 @@ pub struct Corpus<'a, K: TopKKey> {
 pub struct QueryBatch<'a, K: TopKKey> {
     pub(crate) corpora: Vec<Corpus<'a, K>>,
     pub(crate) queries: Vec<Query>,
+    pub(crate) row_queries: Vec<RowQuery>,
 }
 
 impl<'a, K: TopKKey> QueryBatch<'a, K> {
@@ -69,6 +98,7 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
         QueryBatch {
             corpora: Vec::new(),
             queries: Vec::new(),
+            row_queries: Vec::new(),
         }
     }
 
@@ -151,6 +181,66 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
         })
     }
 
+    /// Append a row-matrix query; returns its index, which is also the
+    /// index of its result in [`crate::BatchOutput::row_results`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the corpus index is out of range, when `rows * cols`
+    /// does not equal the corpus length, or when a
+    /// [`RowK::PerRow`] vector's length differs from `rows`.
+    pub fn push_row_query(&mut self, query: RowQuery) -> usize {
+        assert!(
+            query.corpus < self.corpora.len(),
+            "row query references corpus {} but only {} corpora are registered",
+            query.corpus,
+            self.corpora.len()
+        );
+        let len = self.corpora[query.corpus].data.len();
+        assert_eq!(
+            query.rows * query.cols,
+            len,
+            "row query shape {}x{} must cover corpus {} exactly ({} keys)",
+            query.rows,
+            query.cols,
+            query.corpus,
+            len
+        );
+        query.ks.validate(query.rows);
+        self.row_queries.push(query);
+        self.row_queries.len() - 1
+    }
+
+    /// Convenience: append a row-wise top-k-**largest** query over the
+    /// corpus viewed as a row-major `rows × cols` matrix, with the default
+    /// flag-radix inner algorithm.
+    pub fn push_rows(&mut self, corpus: usize, rows: usize, cols: usize, ks: RowK) -> usize {
+        self.push_row_query(RowQuery {
+            corpus,
+            rows,
+            cols,
+            ks,
+            direction: Direction::Largest,
+            inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Exact,
+        })
+    }
+
+    /// Convenience: append a row-wise top-k-**smallest** query (each row's
+    /// k minimum elements, ascending) with the default flag-radix inner
+    /// algorithm.
+    pub fn push_rows_min(&mut self, corpus: usize, rows: usize, cols: usize, ks: RowK) -> usize {
+        self.push_row_query(RowQuery {
+            corpus,
+            rows,
+            cols,
+            ks,
+            direction: Direction::Smallest,
+            inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Exact,
+        })
+    }
+
     /// The registered corpora.
     pub fn corpora(&self) -> &[Corpus<'a, K>] {
         &self.corpora
@@ -161,14 +251,20 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
         &self.queries
     }
 
-    /// Number of queries in the batch.
+    /// The queued row-matrix queries.
+    pub fn row_queries(&self) -> &[RowQuery] {
+        &self.row_queries
+    }
+
+    /// Number of single-vector queries in the batch (row-matrix queries
+    /// are counted separately by [`QueryBatch::row_queries`]).
     pub fn len(&self) -> usize {
         self.queries.len()
     }
 
-    /// True when the batch holds no queries.
+    /// True when the batch holds no queries of either kind.
     pub fn is_empty(&self) -> bool {
-        self.queries.is_empty()
+        self.queries.is_empty() && self.row_queries.is_empty()
     }
 }
 
@@ -199,5 +295,39 @@ mod tests {
     fn out_of_range_corpus_panics_at_push() {
         let mut batch = QueryBatch::<u32>::new();
         batch.push_topk(0, 10);
+    }
+
+    #[test]
+    fn row_queries_validate_and_index() {
+        let data: Vec<u32> = (0..128).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        assert_eq!(batch.push_rows(c, 8, 16, RowK::Uniform(4)), 0);
+        assert_eq!(
+            batch.push_rows_min(c, 4, 32, RowK::PerRow(vec![1, 2, 3, 4])),
+            1
+        );
+        assert_eq!(batch.row_queries().len(), 2);
+        assert_eq!(batch.len(), 0, "row queries are counted separately");
+        assert!(!batch.is_empty());
+        assert_eq!(batch.row_queries()[1].direction, Direction::Smallest);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover corpus")]
+    fn row_query_shape_mismatch_panics() {
+        let data: Vec<u32> = (0..100).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_rows(c, 8, 16, RowK::Uniform(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-row k vector length")]
+    fn row_query_bad_per_row_k_panics() {
+        let data: Vec<u32> = (0..128).collect();
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(1, &data);
+        batch.push_rows(c, 8, 16, RowK::PerRow(vec![1, 2]));
     }
 }

@@ -3,7 +3,7 @@
 use drtopk_core::PhaseBreakdown;
 use drtopk_obs::MetricsSnapshot;
 use gpu_sim::KernelStats;
-use topk_baselines::TopKKey;
+use topk_baselines::{TopKKey, TopKResult};
 
 /// Hit/miss counters of one cache (or one batch's slice of it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,6 +68,33 @@ pub struct QueryResult<K: TopKKey> {
     pub path: ExecPath,
 }
 
+/// Result of one row-matrix query of a batch (see
+/// [`crate::QueryBatch::push_rows`]).
+#[derive(Debug, Clone)]
+pub struct RowQueryResult<K: TopKKey> {
+    /// Per-row selections, in row order — bit-identical to running the
+    /// single-vector pipeline on each row (per-row `stats`/`time_ms` are
+    /// zero; kernel counters are accounted at block granularity in
+    /// [`stats`](RowQueryResult::stats)).
+    pub rows: Vec<TopKResult<K>>,
+    /// Modeled time of this query's row-block stage graph.
+    pub time_ms: f64,
+    /// Kernel counters accumulated across the query's stages.
+    pub stats: KernelStats,
+    /// Per-phase modeled times, derived from the executed schedule.
+    pub breakdown: PhaseBreakdown,
+    /// Fused delegate passes the query ran — one per row-block with work,
+    /// never one per row.
+    pub delegate_passes: usize,
+    /// Row-blocks the matrix was split into.
+    pub num_blocks: usize,
+    /// Minimum plan-time expected recall across the rows (1.0 when every
+    /// row ran an exact plan).
+    pub predicted_recall: f64,
+    /// Index of the row unit in the batch's execution plan.
+    pub unit: usize,
+}
+
 /// Engine-level statistics for one batch.
 #[derive(Debug, Clone, Default)]
 pub struct EngineReport {
@@ -79,6 +106,13 @@ pub struct EngineReport {
     pub fused_units: usize,
     /// Queries routed through the sharded (whole-cluster) path.
     pub sharded_queries: usize,
+    /// Row-matrix queries in the batch (counted separately from
+    /// `num_queries`; each result carries one [`TopKResult`] per row).
+    pub row_queries: usize,
+    /// Total matrix rows selected across every row-matrix query — rows
+    /// count as queries in the cumulative metrics and the batch
+    /// throughput, without widening the metric catalog.
+    pub rows_served: usize,
     /// Queries that requested a recall target below 1.0 (they fuse into
     /// their own units, separately from exact traffic).
     pub approx_queries: usize,
@@ -90,7 +124,8 @@ pub struct EngineReport {
     pub plan_cache: CacheReport,
     /// Delegate cache activity during this batch.
     pub delegate_cache: CacheReport,
-    /// Delegate construction passes actually executed.
+    /// Delegate construction passes actually executed, including the
+    /// fused per-row-block passes of row-matrix queries.
     pub delegate_passes_run: usize,
     /// Delegate passes that fusion + caching avoided (delegate-using
     /// queries served without their own construction pass).
@@ -121,7 +156,8 @@ pub struct EngineReport {
     /// earliest-available worker, in plan order), plus the sharded portion
     /// (which uses every device). Independent of host-thread timing.
     pub total_ms: f64,
-    /// Modeled throughput, queries per second.
+    /// Modeled throughput in selections per second: vector queries plus
+    /// every matrix row served, over the batch makespan.
     pub throughput_qps: f64,
     /// Kernel counters summed across the whole batch (shared passes
     /// included once).
@@ -140,6 +176,8 @@ pub struct EngineReport {
 pub struct BatchOutput<K: TopKKey> {
     /// One result per query, in query order.
     pub results: Vec<QueryResult<K>>,
+    /// One result per row-matrix query, in row-query order.
+    pub row_results: Vec<RowQueryResult<K>>,
     /// Engine-level statistics for the batch.
     pub report: EngineReport,
 }

@@ -7,8 +7,9 @@
 //!   warps, memory-transaction accounting and the timing model.
 //! * [`core`] — the paper's contribution ([`drtopk_core`]): delegate vector
 //!   construction, β delegates, delegate-filtered concatenation, α tuning,
-//!   the flag-based in-place radix top-k, distributed Dr. Top-k, and the
-//!   recall-targeted approximate mode that goes beyond the paper.
+//!   the flag-based in-place radix top-k, distributed Dr. Top-k, and — going
+//!   beyond the paper — the recall-targeted approximate mode and the
+//!   row-wise matrix top-k (`topk_rows`) for MoE-gating-shaped workloads.
 //! * [`baselines`] — the state-of-the-art algorithms Dr. Top-k assists and
 //!   is compared with ([`topk_baselines`]): radix, bucket, bitonic,
 //!   sort-and-choose and a CPU priority-queue reference.
@@ -59,10 +60,11 @@ pub use topk_datagen as datagen;
 pub mod prelude {
     pub use bmw_baseline::{BmwIndex, BmwStats};
     pub use drtopk_core::{
-        dr_topk, dr_topk_approx, dr_topk_min, dr_topk_with_stats, measured_recall, DrTopKConfig,
-        DrTopKResult, InnerAlgorithm, Mode, RecallTarget,
+        dr_topk, dr_topk_approx, dr_topk_min, dr_topk_with_stats, measured_recall, topk_rows,
+        topk_rows_min, DrTopKConfig, DrTopKResult, InnerAlgorithm, Mode, RecallTarget, RowK,
+        RowMatrix, RowTopKResult,
     };
-    pub use drtopk_engine::{QueryBatch, TopKEngine};
+    pub use drtopk_engine::{QueryBatch, RowQuery, TopKEngine};
     pub use drtopk_obs::{MetricName, MetricsRegistry, TraceRecorder, TraceSink};
     pub use gpu_sim::{Device, DeviceSpec, KernelStats};
     pub use topk_baselines::{

@@ -13,9 +13,9 @@ use gpu_sim::KernelStats;
 use proptest::prelude::*;
 use topk_baselines::reference_topk;
 
-fn device() -> Device {
-    Device::with_host_threads(DeviceSpec::v100s(), 2)
-}
+mod common;
+
+use common::device;
 
 /// Exact-vs-`Approx { 1.0 }` bit-identity for one key type.
 fn assert_exact_target_identical<K: TopKKey>(data: &[K], k: usize) {

@@ -2,14 +2,13 @@
 //! workspace must return exactly the same multiset of values as the CPU
 //! reference, across distributions, k values and configurations.
 
+mod common;
+
+use common::device;
 use drtopk::core::{dr_topk, DrTopKConfig, InnerAlgorithm};
 use drtopk::prelude::*;
 use topk_baselines::{reference_topk, BaselineAlgorithm};
 use topk_datagen::Distribution;
-
-fn device() -> Device {
-    Device::with_host_threads(DeviceSpec::v100s(), 4)
-}
 
 #[test]
 fn every_algorithm_agrees_on_every_distribution() {

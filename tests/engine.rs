@@ -4,15 +4,13 @@
 //! be observably cheaper than per-query loops in global-memory
 //! transactions.
 
+mod common;
+
+use common::engine;
 use drtopk::core::{dr_topk, dr_topk_min, DrTopKConfig};
 use drtopk::engine::{Direction, EngineConfig, Query, QueryBatch, TopKEngine};
 use drtopk::prelude::*;
-use drtopk::sim::GpuCluster;
 use proptest::prelude::*;
-
-fn engine(devices: usize) -> TopKEngine {
-    TopKEngine::new(GpuCluster::homogeneous(devices, DeviceSpec::v100s()))
-}
 
 /// Run `specs` (k, largest?) through one fused batch and through N
 /// independent single-query calls, comparing bit patterns (so float NaNs
@@ -310,7 +308,7 @@ fn mixed_exact_and_approx_traffic_fuses_separately_and_meets_targets() {
 fn engine_delegate_cache_capacity_zero_disables_caching() {
     let data = topk_datagen::uniform(1 << 13, 1);
     let eng = TopKEngine::with_config(
-        GpuCluster::homogeneous(1, DeviceSpec::v100s()),
+        drtopk::sim::GpuCluster::homogeneous(1, DeviceSpec::v100s()),
         EngineConfig {
             delegate_cache_capacity: 0,
             ..EngineConfig::default()

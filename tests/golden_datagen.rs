@@ -206,6 +206,91 @@ fn golden_values_for_f32_generators() {
     }
 }
 
+/// Freeze the MoE gating-logit generator the same way: exact bit sums
+/// (whole matrix and the first/last rows, so a row-boundary bug can't hide
+/// in the total) plus reference per-row top-2 shortlists, at two
+/// `(rows, experts, temperature, seed)` points. Re-derive after an
+/// intentional change with, e.g.:
+///
+/// ```ignore
+/// let d = topk_datagen::moe_gating_logits(32, 64, 1.0, 0x5eed);
+/// println!("{}", d.iter().map(|x| x.to_bits() as u64).sum::<u64>());
+/// println!("{:?}", topk_baselines::reference_topk(&d[..64], 2));
+/// ```
+#[test]
+fn golden_values_for_moe_gating_logits() {
+    struct GoldenMoe {
+        rows: usize,
+        experts: usize,
+        temperature: f32,
+        seed: u64,
+        bit_sum: u64,
+        row0_bit_sum: u64,
+        rowlast_bit_sum: u64,
+        first4: [f32; 4],
+        row0_top2: [f32; 2],
+        rowlast_top2: [f32; 2],
+    }
+    let golden = [
+        GoldenMoe {
+            rows: 32,
+            experts: 64,
+            temperature: 1.0,
+            seed: 0x5eed,
+            bit_sum: 4_212_347_153_078,
+            row0_bit_sum: 136_495_123_541,
+            rowlast_bit_sum: 127_618_118_488,
+            first4: [6.8413, -0.38786918, 0.8460462, 0.5486199],
+            row0_top2: [6.8413, 6.526089],
+            rowlast_top2: [8.544676, 4.279567],
+        },
+        GoldenMoe {
+            rows: 8,
+            experts: 16,
+            temperature: 0.5,
+            seed: 7,
+            bit_sum: 244_493_484_633,
+            row0_bit_sum: 32_149_892_529,
+            rowlast_bit_sum: 38_609_241_038,
+            first4: [3.0943, -0.3715955, 1.7290108, 2.4709342],
+            row0_top2: [15.629029, 3.0943],
+            rowlast_top2: [12.505009, 8.484611],
+        },
+    ];
+    for g in golden {
+        let tag = format!(
+            "moe_gating_logits({}, {}, {}, {:#x})",
+            g.rows, g.experts, g.temperature, g.seed
+        );
+        let data = topk_datagen::moe_gating_logits(g.rows, g.experts, g.temperature, g.seed);
+        assert_eq!(data.len(), g.rows * g.experts, "{tag}: wrong shape");
+        let bits = |row: &[f32]| row.iter().map(|x| x.to_bits() as u64).sum::<u64>();
+        assert_eq!(
+            bits(&data),
+            g.bit_sum,
+            "{tag}: bit sum drifted — the RNG stream, hot-expert boost or \
+             temperature scaling changed"
+        );
+        assert_eq!(bits(&data[..g.experts]), g.row0_bit_sum, "{tag}: row 0");
+        assert_eq!(
+            bits(&data[(g.rows - 1) * g.experts..]),
+            g.rowlast_bit_sum,
+            "{tag}: last row"
+        );
+        assert_eq!(&data[..4], &g.first4, "{tag}: leading logits drifted");
+        assert_eq!(
+            topk_baselines::reference_topk(&data[..g.experts], 2),
+            g.row0_top2,
+            "{tag}: row 0 top-2 drifted"
+        );
+        assert_eq!(
+            topk_baselines::reference_topk(&data[(g.rows - 1) * g.experts..], 2),
+            g.rowlast_top2,
+            "{tag}: last row top-2 drifted"
+        );
+    }
+}
+
 #[test]
 fn generation_spans_chunk_boundaries_deterministically() {
     // The parallel fill derives one RNG stream per 2^18-element chunk; a

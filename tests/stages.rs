@@ -5,30 +5,17 @@
 //! and the double-buffered schedule must actually hide reload time behind
 //! compute (the pinned out-of-core makespan test).
 
+mod common;
+
+use common::{bits, cluster, device, test_executor};
 use drtopk::core::{
-    as_desc, distributed_dr_topk, distributed_dr_topk_scheduled, dr_topk_min, dr_topk_with_stats,
-    DrTopKConfig, ReloadSchedule, Resource, StageKind, TransferLane,
+    as_desc, distributed_dr_topk, distributed_dr_topk_executor, distributed_dr_topk_scheduled,
+    dr_topk_min, dr_topk_with_stats, DrTopKConfig, ReloadSchedule, Resource, StageKind,
+    TransferLane,
 };
 use drtopk::prelude::*;
-use drtopk::sim::GpuCluster;
 use proptest::prelude::*;
 use topk_baselines::{reference_topk, reference_topk_min};
-
-fn device() -> Device {
-    Device::with_host_threads(DeviceSpec::v100s(), 2)
-}
-
-fn cluster(devices: usize, capacity: usize) -> GpuCluster {
-    let c = GpuCluster::homogeneous(devices, DeviceSpec::v100s());
-    for d in c.devices() {
-        d.set_capacity_elems(capacity);
-    }
-    c
-}
-
-fn bits<K: TopKKey>(values: &[K]) -> Vec<K::Bits> {
-    values.iter().map(|v| v.to_bits()).collect()
-}
 
 /// Every stage-graph path must reproduce the pre-refactor reference answer
 /// bit-for-bit: the in-core pipeline, the chunked distributed runner under
@@ -62,10 +49,13 @@ fn assert_stage_execution_matches_reference<K: TopKKey>(data: &[K], k: usize, la
     let capacity = (data.len() / 3).max(1);
     let c = cluster(2, capacity);
     for schedule in [ReloadSchedule::Serial, ReloadSchedule::DoubleBuffered] {
+        // Runs under the suite's executor (`DRTOPK_TEST_EXECUTOR`): CI
+        // replays the whole matrix under both Serial and Threaded.
         let got = if largest {
-            distributed_dr_topk_scheduled(&c, data, k, &cfg, schedule)
+            distributed_dr_topk_executor(&c, data, k, &cfg, schedule, test_executor())
         } else {
-            distributed_dr_topk_scheduled(&c, as_desc(data), k, &cfg, schedule).into_native()
+            distributed_dr_topk_executor(&c, as_desc(data), k, &cfg, schedule, test_executor())
+                .into_native()
         };
         assert_eq!(bits(&got.values), expected, "distributed {schedule}");
         assert_eq!(got.schedule, schedule);
