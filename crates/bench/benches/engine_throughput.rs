@@ -74,6 +74,7 @@ fn main() {
                         },
                         inner: InnerAlgorithm::FlagRadix,
                         mode: drtopk_core::Mode::Exact,
+                        path: drtopk_core::PathHint::Auto,
                     });
                 }
                 engine.run_batch(&batch).expect("batch must execute")

@@ -1,24 +1,49 @@
-//! Figure 23: Dr. Top-k (radix) on the V100S vs the Titan Xp across k.
+//! Figure 23: Dr. Top-k across devices and k — extended from the paper's
+//! V100S-vs-Titan-Xp pair to the full [`DeviceSpec::catalog()`] sweep
+//! (Titan Xp → V100S → A100 → H100 → B200).
+//!
+//! Every cell runs the default `PathHint::Auto` pipeline, so the sweep also
+//! exercises the per-device crossover: newer devices have cheaper launches
+//! and higher bandwidth, which shifts the delegate→radix flip point — the
+//! `*_path` columns record where each device's planner lands. Results are
+//! checked against the CPU reference on every cell.
 
 use drtopk_bench_harness::*;
-use drtopk_core::DrTopKConfig;
+use drtopk_core::{choose_path_sampled, DrTopKConfig};
 use gpu_sim::{Device, DeviceSpec};
 use topk_datagen::Distribution;
 
 fn main() {
     let n = default_n();
     let data = dataset(Distribution::Uniform, n);
-    let v100 = Device::new(DeviceSpec::v100s());
-    let titan = Device::new(DeviceSpec::titan_xp());
+    let catalog = DeviceSpec::catalog();
+    let devices: Vec<(String, Device)> = catalog
+        .iter()
+        .map(|spec| (spec.name.clone(), Device::new(spec.clone())))
+        .collect();
+
+    let mut header: Vec<String> = vec!["k".to_string()];
+    for (name, _) in &devices {
+        header.push(format!("{name}_ms"));
+        header.push(format!("{name}_path"));
+    }
+    header.push("oldest_over_newest".to_string());
+
     let mut rows = Vec::new();
     for k in k_sweep(2) {
-        let tv = run_drtopk_checked(&v100, &data, k, &DrTopKConfig::default()).time_ms;
-        let tt = run_drtopk_checked(&titan, &data, k, &DrTopKConfig::default()).time_ms;
-        rows.push(vec![k.to_string(), fmt(tv), fmt(tt), fmt(tt / tv)]);
+        let mut row = vec![k.to_string()];
+        let mut times = Vec::new();
+        for (_, device) in &devices {
+            let t = run_drtopk_checked(device, &data, k, &DrTopKConfig::default()).time_ms;
+            let path = choose_path_sampled(&data, k, device.spec());
+            row.push(fmt(t));
+            row.push(path.name().to_string());
+            times.push(t);
+        }
+        row.push(fmt(times[0] / times[times.len() - 1]));
+        rows.push(row);
     }
-    emit(
-        "fig23_device_comparison",
-        &["k", "v100s_ms", "titan_xp_ms", "titan_over_v100"],
-        &rows,
-    );
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let row_strings: Vec<Vec<String>> = rows;
+    emit("fig23_device_comparison", &header_refs, &row_strings);
 }

@@ -2,8 +2,13 @@
 //! Table 2, extended with stream-overlapped chunked ingestion.
 //!
 //! The input vector is partitioned into equal sub-vectors no longer than a
-//! device's memory capacity and dealt round-robin over the devices. Each
-//! device runs the single-GPU Dr. Top-k on every sub-vector assigned to it,
+//! device's memory capacity and dealt over the devices by capability
+//! ([`place_shards`]): round-robin on a homogeneous cluster, exactly as the
+//! paper prescribes, while a heterogeneous cluster hands faster devices
+//! proportionally more sub-vectors so no slow device bounds the makespan.
+//! Each device runs the single-GPU Dr. Top-k on every sub-vector assigned
+//! to it — including the large-k radix path when the per-device
+//! [`PathHint`](crate::tuning::PathHint) resolution picks it —
 //! streaming additional sub-vectors from the host when it owns more than one
 //! (the *reload overhead* column of Table 2) — which also makes this the
 //! runner for **out-of-core** corpora: a host-resident vector larger than the
@@ -198,6 +203,45 @@ pub fn partition_subvectors(n: usize, capacity: usize) -> Vec<std::ops::Range<us
     let pieces = n.div_ceil(capacity).max(1);
     (0..pieces)
         .map(|p| gpu_sim::chunk_range(n, pieces, p))
+        .collect()
+}
+
+/// Deal sub-vectors onto devices by capability: a deterministic greedy that
+/// sends each sub-vector, in index order, to the device with the smallest
+/// projected finish estimate `(assigned elements + len) / capability`, with
+/// ties going to the lowest device index.
+///
+/// `capabilities` is one positive throughput figure per device — the
+/// cluster runner uses each device profile's
+/// [`effective_bandwidth_bytes_per_s`](gpu_sim::DeviceSpec::effective_bandwidth_bytes_per_s),
+/// since every local pipeline is bandwidth-bound. On a homogeneous cluster
+/// with equally sized sub-vectors the greedy degenerates to the paper's
+/// round-robin dealing (sub-vector *i* → device *i* mod #devices); in a
+/// heterogeneous cluster, faster devices own proportionally more elements,
+/// which shortens the slowest-device tail that bounds the makespan.
+///
+/// Returns the owning device index for every sub-vector.
+pub fn place_shards(lens: &[usize], capabilities: &[f64]) -> Vec<usize> {
+    assert!(!capabilities.is_empty(), "need at least one device");
+    assert!(
+        capabilities.iter().all(|&c| c > 0.0 && c.is_finite()),
+        "device capabilities must be positive and finite"
+    );
+    let mut assigned = vec![0.0f64; capabilities.len()];
+    lens.iter()
+        .map(|&len| {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (d, &cap) in capabilities.iter().enumerate() {
+                let cost = (assigned[d] + len as f64) / cap;
+                if cost < best_cost {
+                    best = d;
+                    best_cost = cost;
+                }
+            }
+            assigned[best] += len as f64;
+            best
+        })
         .collect()
 }
 
@@ -419,7 +463,9 @@ fn build_distributed_graph<'a, K: TopKKey>(
 ) -> DistPlan<'a, K> {
     let num_devices = cluster.num_devices();
     // Partition into sub-vectors that fit device memory, then deal them
-    // round-robin over devices (device d owns sub-vectors d, d+#dev, ...).
+    // over devices by capability (see `place_shards`): on a homogeneous
+    // cluster this is the paper's round-robin dealing, on a heterogeneous
+    // one faster devices own proportionally more elements.
     // `capacity_elems` is expressed in u32 elements; 8-byte keys fit half
     // as many per device.
     let capacity = capacity_in_keys::<K>(
@@ -460,12 +506,19 @@ fn build_distributed_graph<'a, K: TopKKey>(
     };
     let mut graph: StageGraph<'_, DistCtx<K>> = StageGraph::new();
     let mut device_tails: Vec<(usize, StageId)> = Vec::new();
+    let capabilities: Vec<f64> = cluster
+        .devices()
+        .iter()
+        .map(|dev| dev.spec().effective_bandwidth_bytes_per_s())
+        .collect();
+    let lens: Vec<usize> = subvectors.iter().map(std::ops::Range::len).collect();
+    let owners = place_shards(&lens, &capabilities);
     for d in 0..num_devices {
         let device = cluster.device(d);
         let owned: Vec<(usize, std::ops::Range<usize>)> = subvectors
             .iter()
             .enumerate()
-            .filter(|(i, _)| i % num_devices == d)
+            .filter(|(i, _)| owners[*i] == d)
             .map(|(i, r)| (i, r.clone()))
             .collect();
         let mut computes: Vec<StageId> = Vec::new();
@@ -949,5 +1002,80 @@ mod tests {
         assert!(got.reload_overhead_ms > 0.0);
         let got = distributed_dr_topk(&c, &signed, k, &DrTopKConfig::default());
         assert_eq!(got.values, reference_topk(&signed, k));
+    }
+
+    #[test]
+    fn place_shards_degenerates_to_round_robin_when_homogeneous() {
+        // Equal capabilities + equal sub-vectors is the paper's dealing.
+        let lens = vec![250usize; 8];
+        let caps = vec![1134.0f64; 3];
+        let owners = place_shards(&lens, &caps);
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+        // Deterministic: same inputs, same dealing.
+        assert_eq!(owners, place_shards(&lens, &caps));
+    }
+
+    #[test]
+    fn place_shards_weights_by_capability() {
+        // A 3:1 capability split over ten equal shards: the fast device
+        // must own the large majority of the elements.
+        let lens = vec![100usize; 10];
+        let caps = vec![3.0f64, 1.0];
+        let owners = place_shards(&lens, &caps);
+        let fast_elems: usize = owners.iter().filter(|&&d| d == 0).count() * 100;
+        let slow_elems: usize = owners.iter().filter(|&&d| d == 1).count() * 100;
+        assert_eq!(fast_elems + slow_elems, 1000);
+        assert!(
+            fast_elems >= 3 * slow_elems,
+            "fast device owns {fast_elems}, slow owns {slow_elems}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn place_shards_rejects_non_positive_capability() {
+        place_shards(&[10], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_places_more_shards_on_faster_devices() {
+        // V100S + A100 (slow device listed first): the A100's higher
+        // effective bandwidth must attract more sub-vectors, and the run
+        // must stay exact. The per-device LocalTopK stage counts in the
+        // report are the ground truth for what actually ran where.
+        use gpu_sim::{Device, InterconnectSpec};
+        let c = GpuCluster::new(
+            vec![
+                Device::new(DeviceSpec::v100s()),
+                Device::new(DeviceSpec::a100()),
+            ],
+            InterconnectSpec::default(),
+        );
+        for d in c.devices() {
+            d.set_capacity_elems(1 << 13);
+        }
+        let data = topk_datagen::uniform(1 << 16, 42); // 8 sub-vectors
+        let k = 64;
+        let got = distributed_dr_topk(&c, &data, k, &DrTopKConfig::default());
+        assert_eq!(got.values, reference_topk(&data, k));
+        let count_on = |dev: usize| {
+            got.stages
+                .stages
+                .iter()
+                .filter(|s| s.kind == StageKind::LocalTopK && s.resource == Resource::Compute(dev))
+                .count()
+        };
+        let (slow, fast) = (count_on(0), count_on(1));
+        assert_eq!(slow + fast, 8, "every sub-vector runs exactly once");
+        assert!(fast > slow, "A100 owns {fast}, V100S owns {slow}");
+        // The dealing the report shows is exactly what `place_shards` says.
+        let caps: Vec<f64> = c
+            .devices()
+            .iter()
+            .map(|d| d.spec().effective_bandwidth_bytes_per_s())
+            .collect();
+        let owners = place_shards(&[1 << 13; 8], &caps);
+        assert_eq!(owners.iter().filter(|&&d| d == 1).count(), fast);
+        assert!(got.stages.verify().is_empty());
     }
 }

@@ -19,6 +19,10 @@
 //!   ([`delegate`], Section 5.3).
 //! * **Distributed Dr. Top-k** — multi-device execution with asynchronous
 //!   gathering and reload-overhead modeling ([`distributed`], Section 5.4).
+//! * **Large-k path crossover** — a staged multi-pass radix-select
+//!   pipeline as a second execution path, chosen per `(n, k, key_bits,
+//!   device)` by a modeled crossover ([`choose_path`], [`PathHint`];
+//!   going beyond the paper, following RadiK's large-k observation).
 //! * **Generic keys** — every entry point is generic over
 //!   [`TopKKey`] (`u32`/`u64`/`i32`/`i64`/`f32`/`f64`), and [`dr_topk_min`]
 //!   answers top-k-*smallest* queries (k-NN distances) on native keys with
@@ -56,6 +60,7 @@ pub mod explore;
 pub mod first_topk;
 pub mod pipeline;
 pub mod radix_flags;
+mod radix_path;
 pub mod rows;
 pub mod stages;
 pub mod tuning;
@@ -68,7 +73,7 @@ pub use delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 pub use distributed::{
     capacity_in_keys, distributed_dr_topk, distributed_dr_topk_executor,
     distributed_dr_topk_explore, distributed_dr_topk_observed, distributed_dr_topk_scheduled,
-    partition_subvectors, DistributedResult, ReloadSchedule,
+    partition_subvectors, place_shards, DistributedResult, ReloadSchedule,
 };
 pub use explore::{explore_schedules, Divergence, ExploreBudget, ExploreOutcome};
 pub use first_topk::{first_topk, FirstTopK};
@@ -89,8 +94,11 @@ pub use stages::{
 };
 pub use topk_baselines::{Desc, KeyBits, TopKKey};
 pub use tuning::{
-    auto_alpha, is_convex_in_alpha, model_optimal_alpha, optimal_approx_tuning,
-    predicted_approx_cost, predicted_cost, rule4_alpha, ApproxTuning, PredictedCost,
-    PAPER_RULE4_CONST,
+    auto_alpha, choose_path, choose_path_sampled, choose_path_with_survival,
+    estimate_radix_survival, is_convex_in_alpha, model_optimal_alpha, optimal_approx_tuning,
+    predicted_approx_cost, predicted_cost, radix_predicted_cost,
+    radix_predicted_cost_with_survival, rule4_alpha, ApproxTuning, ChosenPath, PathHint,
+    PredictedCost, RadixPredictedCost, PAPER_RULE4_CONST, RADIX_DIGIT_SURVIVAL,
+    RADIX_MODEL_CALIBRATION,
 };
 pub use verify::{verify_specs, Diagnostic, DiagnosticCode, StageSpec, VerifyOptions};

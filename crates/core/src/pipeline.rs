@@ -27,8 +27,9 @@ use crate::concat::{concatenate, Concatenated};
 use crate::delegate::{build_delegate_vector, ConstructionMethod, DelegateVector};
 use crate::first_topk::{first_topk, FirstTopK};
 use crate::radix_flags::flag_radix_topk;
+use crate::radix_path::radix_dr_topk;
 use crate::stages::{Resource, StageGraph, StageKind, StageOutcome, StageReport};
-use crate::tuning::{auto_alpha, optimal_approx_tuning, PAPER_RULE4_CONST};
+use crate::tuning::{auto_alpha, optimal_approx_tuning, ChosenPath, PathHint, PAPER_RULE4_CONST};
 
 /// Which algorithm runs the second top-k (and, for the baselines-assisted
 /// variants of Figures 17–19, represents the algorithm family Dr. Top-k is
@@ -104,6 +105,13 @@ pub struct DrTopKConfig {
     pub skip_last_first_pass: Option<bool>,
     /// Rule 4 constant used when `alpha` is `None`.
     pub rule4_const: f64,
+    /// Which execution path to run: the delegate pipeline, the multi-pass
+    /// radix-select pipeline, or (the default) whichever
+    /// [`choose_path`](crate::tuning::choose_path) predicts cheaper for
+    /// the query's `(n, k, key_bits)` on the executing device. Exact mode
+    /// only: approximate plans and shared-delegate callers always use the
+    /// delegate machinery.
+    pub path: PathHint,
     /// Exact selection (the paper's pipeline, default) or recall-targeted
     /// approximate selection (see [`crate::approx`]). In the approximate
     /// mode the planner derives `alpha` and `beta` from the recall model
@@ -122,6 +130,7 @@ impl Default for DrTopKConfig {
             inner: InnerAlgorithm::FlagRadix,
             skip_last_first_pass: None,
             rule4_const: PAPER_RULE4_CONST,
+            path: PathHint::Auto,
             mode: Mode::Exact,
         }
     }
@@ -507,8 +516,26 @@ pub fn dr_topk_planned<K: TopKKey>(
 
     if planned.use_delegates && config.mode.strict_target().is_some() {
         // Recall-targeted approximate path: per-bucket candidates, then the
-        // inner top-k — no first top-k, no concatenation, no refill.
+        // inner top-k — no first top-k, no concatenation, no refill. The
+        // path hint does not apply here (the bucket machinery has no radix
+        // twin).
         return dr_topk_approx_planned(device, data, shared_delegates, planned);
+    }
+
+    // Exact-mode path routing: a pinned hint is obeyed, `Auto` defers to
+    // the data-aware modeled crossover on the executing device's profile
+    // (a sampled survival probe keeps duplicate-heavy inputs on the
+    // delegate side; see `choose_path_sampled`). The crossover also covers
+    // plans whose delegate machinery degenerated to one direct inner run —
+    // since the sampled filter made the radix path a single input scan
+    // plus O(k), it can beat even that at large k. A provided shared
+    // delegate vector pins the delegate path — its construction is already
+    // paid for, so escaping to radix would only waste it.
+    if shared_delegates.is_none()
+        && (config.path == PathHint::Radix
+            || config.path.resolve_for(data, k, device.spec()) == ChosenPath::Radix)
+    {
+        return radix_dr_topk(device, data, k, config);
     }
 
     if !planned.use_delegates {

@@ -1,0 +1,579 @@
+//! The multi-pass radix-select execution path, as a verified stage graph.
+//!
+//! This is the planner's large-k escape hatch (see
+//! [`choose_path`](crate::tuning::choose_path)): where the delegate
+//! pipeline's concatenation and second top-k grow like `√(n·k)` at the
+//! Rule 4 subrange size, hierarchical radix select costs one input scan
+//! plus `O(k)` — so it keeps scaling as k grows into the 10⁴–10⁵ range
+//! where delegate/bucket approaches degrade (RadiK's observation).
+//!
+//! The pipeline promotes the out-of-place radix baseline
+//! ([`topk_baselines::radix_topk`]) into first-class stages so the
+//! executor, verifier, calibrator and observability layers see it like any
+//! other schedule:
+//!
+//! * [`StageKind::RadixHistogram`] — one per digit pass: histogram the
+//!   surviving candidates by their current 8-bit digit (global atomics,
+//!   warp-local pre-aggregation). The first pass fuses RadiK's *sampled
+//!   filter* into the same scan: a deterministic strided sample picks a
+//!   conservative top-digit cutoff, and every element at or above the
+//!   cutoff is compacted out while the full histogram is built — so later
+//!   stages touch the (≈ `max(4k, n/256)`-element) filtered set instead of
+//!   re-reading the input. The filter is *speculative but safe*: the exact
+//!   histogram proves at refine time whether the cutoff kept the k-th
+//!   value, and a miss (or an unfavourable distribution, where the sample
+//!   predicts the filter would keep most of the input) simply falls back
+//!   to scanning the full candidate set.
+//! * [`StageKind::RadixRefine`] — one per digit pass: locate the digit
+//!   holding the k-th value, collect the elements *above* that digit
+//!   (they are in the final top-k for certain), and compact the matching
+//!   candidates out-of-place.
+//! * [`StageKind::CandidateGather`] — assemble the final k candidates
+//!   from the collected above-threshold elements, refilled with copies of
+//!   the k-th value for its ties. `O(k)`: the refine passes already
+//!   collected everything, so no input re-scan happens here.
+//! * [`StageKind::RadixSelect`] — final ordering of the gathered
+//!   candidates via the configured inner algorithm.
+//!
+//! The stage *structure* is fixed by the key width alone
+//! (`key_bits / 8` histogram/refine pairs, then gather and select), so
+//! same-shaped runs produce byte-identical schedules under every executor.
+//! When the k-th value is pinned down early (a compaction leaves a single
+//! candidate), the remaining histogram/refine stages still exist but
+//! execute as zero-cost no-ops — determinism costs nothing because a no-op
+//! stage launches no kernels.
+//!
+//! All selection arithmetic happens in the key's radix space
+//! ([`TopKKey::Bits`]), so signed integers and IEEE-754 floats (including
+//! NaN) follow the same total order as every other path — the results are
+//! bit-identical to the delegate pipeline and to
+//! [`topk_baselines::reference_topk`].
+
+// Approved `std::sync` lock holder (see clippy.toml + ARCHITECTURE.md):
+// like the exact pipeline, the radix path's stage-graph context keeps its
+// pass state in a mutex slot, as the executor's `&C` sharing rule requires.
+#![allow(clippy::disallowed_types)]
+
+use std::cmp::Reverse;
+use std::sync::Mutex;
+
+use gpu_sim::{AtomicBuffer, AtomicCounter, Device};
+use topk_baselines::{KeyBits, TopKKey};
+
+use crate::pipeline::{DrTopKConfig, DrTopKResult, PhaseBreakdown, WorkloadStats};
+use crate::stages::{Resource, StageGraph, StageKind, StageOutcome};
+
+/// Bits consumed per digit pass (8 matches the paper's radix baselines:
+/// "8-bit per digit yields the optimal performance").
+const BITS_PER_PASS: u32 = 8;
+
+/// Elements assigned to each warp in the scan kernels (the baseline's
+/// default).
+const ELEMS_PER_WARP: usize = 8192;
+
+/// Elements of the deterministic strided sample that seeds the first-pass
+/// filter cutoff (RadiK sizes its filter from a sample the same way).
+pub(crate) const SAMPLE_SIZE: usize = 1024;
+
+/// The filter keeps, in expectation, at least this multiple of `k`
+/// elements above the cutoff — headroom that makes a speculation miss
+/// (cutoff above the k-th value's digit) a tail event rather than a coin
+/// flip.
+pub(crate) const FILTER_HEADROOM: usize = 2;
+
+/// Minimum number of sample hits the cutoff digit must have. Bounds the
+/// miss probability for tiny `k`, where `2 · sample · k / n` rounds to
+/// almost nothing.
+pub(crate) const MIN_SAMPLE_TARGET: usize = 8;
+
+/// The filter is disabled when the sample predicts it would keep more
+/// than `1/FILTER_BAILOUT_DIV` of the input: compacting most of the
+/// input out-of-place costs more than the re-read it saves (the
+/// duplicate-heavy adversarial case).
+pub(crate) const FILTER_BAILOUT_DIV: usize = 4;
+
+/// Per-run selection state threaded through the stage closures.
+struct RadixCtx<K: TopKKey> {
+    /// Surviving candidates in radix space (starts as the full input).
+    candidates: Vec<K::Bits>,
+    /// The first pass's speculative filter output: every element whose top
+    /// digit is at or above [`RadixCtx::filter_cutoff`]. `None` when the
+    /// filter was disabled (sample predicted poor selectivity) or already
+    /// consumed.
+    filtered: Option<Vec<K::Bits>>,
+    /// Top-digit cutoff of the speculative filter (meaningful only while
+    /// `filtered` is `Some`).
+    filter_cutoff: usize,
+    /// Histogram of the current pass (filled by the histogram stage, read
+    /// by the refine stage).
+    histogram: Vec<u32>,
+    /// Accumulated digit prefix of the k-th value.
+    prefix_value: K::Bits,
+    /// Mask covering the digits fixed so far.
+    prefix_mask: K::Bits,
+    /// How many of the k largest still lie inside the candidate set.
+    k_remaining: usize,
+    /// Set once a compaction pins the k-th value down to a single
+    /// candidate; the remaining passes become no-ops.
+    pinned: bool,
+    /// Elements strictly above the k-th value, collected by the refine
+    /// passes (digit above the chosen one ⇒ in the top-k for certain).
+    above: Vec<K::Bits>,
+    /// The final k candidates assembled by the gather stage.
+    assembled: Vec<K>,
+    /// The selected values, descending.
+    values: Vec<K>,
+    /// The k-th value (the selection threshold).
+    kth_value: K,
+}
+
+impl<K: TopKKey> RadixCtx<K> {
+    /// The k-th value once every pass ran: all survivors share the full
+    /// prefix, so any of them (or the prefix itself) is the threshold.
+    fn threshold(&self) -> K {
+        match self.candidates.first() {
+            Some(&bits) => K::from_bits(bits),
+            None => K::from_bits(self.prefix_value),
+        }
+    }
+}
+
+/// Run the staged radix-select pipeline: the exact top-k of `data`, with
+/// the same result shape as the delegate pipeline.
+///
+/// Requires `1 ≤ k` and a non-empty input (the caller's `k = 0` /
+/// empty-input early return, shared with the delegate path, handles the
+/// degenerate shapes); `k` is clamped to the input length. The reported
+/// `alpha` is 0 — the radix path has no subrange parameter — and the
+/// workload statistics report the gathered candidate count as the
+/// second-stage workload.
+pub(crate) fn radix_dr_topk<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+    config: &DrTopKConfig,
+) -> DrTopKResult<K> {
+    let k = k.min(data.len());
+    assert!(
+        k >= 1 && !data.is_empty(),
+        "degenerate shapes handled upstream"
+    );
+
+    let digits = 1usize << BITS_PER_PASS;
+    let digit_mask = K::Bits::from_u64(digits as u64 - 1);
+    let passes = K::Bits::BITS.div_ceil(BITS_PER_PASS);
+
+    let mut graph: StageGraph<'_, Mutex<RadixCtx<K>>> = StageGraph::new();
+    let mut prev_refine = None;
+    for pass in 0..passes {
+        let shift = K::Bits::BITS - BITS_PER_PASS * (pass + 1);
+        let deps: Vec<_> = prev_refine.into_iter().collect();
+        let hist_id = graph.add_labeled(
+            StageKind::RadixHistogram,
+            format!("radix_histogram_pass{pass}"),
+            Resource::Compute(0),
+            &deps,
+            move |ctx: &Mutex<RadixCtx<K>>| {
+                let mut guard = ctx.lock().unwrap();
+                if guard.pinned {
+                    return StageOutcome::default();
+                }
+                let scan = std::mem::take(&mut guard.candidates);
+                let prefix_value = guard.prefix_value;
+                let prefix_mask = guard.prefix_mask;
+                drop(guard);
+
+                // First pass only: a deterministic strided sample picks the
+                // speculative filter cutoff that the main scan fuses in.
+                let mut probe_stats = gpu_sim::KernelStats::default();
+                let mut probe_ms = 0.0;
+                let mut cutoff: Option<usize> = None;
+                // The filter needs a sample big enough for the cutoff
+                // target to be meaningful; tiny inputs skip it outright.
+                if pass == 0 && scan.len() >= 2 * MIN_SAMPLE_TARGET {
+                    let sample_n = scan.len().min(SAMPLE_SIZE);
+                    let stride = scan.len() / sample_n;
+                    let probe = device.launch("radix_sample_probe", 1, |kctx| {
+                        let mut hist = vec![0u32; digits];
+                        for i in 0..sample_n {
+                            let x = kctx.read_random(&scan, i * stride);
+                            hist[((x >> shift) & digit_mask).as_digit()] += 1;
+                            kctx.record_alu(2);
+                        }
+                        hist
+                    });
+                    let sample_hist = &probe.output[0];
+                    probe_stats = probe.stats;
+                    probe_ms = probe.time_ms;
+                    // Smallest digit whose above-or-equal sample mass covers
+                    // the target: `FILTER_HEADROOM ×` the sample's expected
+                    // share of the top k, floored for tiny k.
+                    let target = (FILTER_HEADROOM * sample_n * k / scan.len())
+                        .clamp(MIN_SAMPLE_TARGET, sample_n / 2);
+                    let mut cum = 0usize;
+                    let mut cut = 0usize;
+                    for d in (0..digits).rev() {
+                        cum += sample_hist[d] as usize;
+                        if cum >= target {
+                            cut = d;
+                            break;
+                        }
+                    }
+                    // Predicted kept fraction; bail out when the filter
+                    // would keep most of the input (duplicate-heavy data).
+                    let predicted = scan.len() * cum / sample_n;
+                    if predicted <= scan.len() / FILTER_BAILOUT_DIV {
+                        cutoff = Some(cut);
+                    }
+                }
+
+                let num_warps = scan.len().div_ceil(ELEMS_PER_WARP);
+                let hist_buf = AtomicBuffer::zeroed(digits);
+                let cursor = AtomicCounter::new(0);
+                let launch =
+                    device.launch(&format!("radix_histogram_pass{pass}"), num_warps, |kctx| {
+                        let chunk = kctx.chunk_of(scan.len());
+                        let slice = kctx.read_coalesced(&scan[chunk]);
+                        let mut local = vec![0u32; digits];
+                        let mut kept: Vec<K::Bits> = Vec::new();
+                        for &x in slice {
+                            if x & prefix_mask == prefix_value {
+                                let d = ((x >> shift) & digit_mask).as_digit();
+                                local[d] += 1;
+                                if cutoff.is_some_and(|c| d >= c) {
+                                    kept.push(x);
+                                }
+                            }
+                            kctx.record_alu(2);
+                        }
+                        // flush the warp-local histogram with one atomicAdd
+                        // per non-empty bucket (block-level flush)
+                        for (d, &c) in local.iter().enumerate() {
+                            if c > 0 {
+                                hist_buf.fetch_add(kctx, d, c);
+                            }
+                        }
+                        if !kept.is_empty() {
+                            // warp-aggregated position allocation followed
+                            // by a coalesced store of the filtered elements
+                            cursor.fetch_add(kctx, kept.len() as u64);
+                            kctx.record_store_coalesced::<K::Bits>(kept.len());
+                        }
+                        kept
+                    });
+                let mut guard = ctx.lock().unwrap();
+                guard.candidates = scan;
+                guard.histogram = hist_buf.to_vec();
+                if let Some(cut) = cutoff {
+                    guard.filter_cutoff = cut;
+                    guard.filtered = Some(launch.output.into_iter().flatten().collect());
+                }
+                StageOutcome {
+                    stats: probe_stats + launch.stats,
+                    time_ms: probe_ms + launch.time_ms,
+                }
+            },
+        );
+        let refine_id = graph.add_labeled(
+            StageKind::RadixRefine,
+            format!("radix_refine_pass{pass}"),
+            Resource::Compute(0),
+            &[hist_id],
+            move |ctx: &Mutex<RadixCtx<K>>| {
+                let mut guard = ctx.lock().unwrap();
+                if guard.pinned {
+                    return StageOutcome::default();
+                }
+                // locate the digit that holds the k-th largest
+                let mut chosen = 0usize;
+                let mut above_count = 0usize;
+                for d in (0..digits).rev() {
+                    let count = guard.histogram[d] as usize;
+                    if above_count + count >= guard.k_remaining {
+                        chosen = d;
+                        break;
+                    }
+                    above_count += count;
+                }
+                guard.k_remaining -= above_count;
+                // The digit prefix *before* this pass: the kernel keys off
+                // the raw digit, so elements above the chosen one can be
+                // collected (they are in the final top-k for certain).
+                let prev_value = guard.prefix_value;
+                let prev_mask = guard.prefix_mask;
+                guard.prefix_value |= K::Bits::from_u64(chosen as u64) << shift;
+                guard.prefix_mask |= digit_mask << shift;
+                // Scan the speculative filter output when it provably kept
+                // the chosen digit (cutoff ≤ chosen); otherwise fall back
+                // to the full candidate set.
+                let scan = match guard.filtered.take() {
+                    Some(f) if guard.filter_cutoff <= chosen => {
+                        guard.candidates = Vec::new();
+                        f
+                    }
+                    _ => std::mem::take(&mut guard.candidates),
+                };
+                drop(guard);
+                let num_warps = scan.len().div_ceil(ELEMS_PER_WARP);
+                let cursor = AtomicCounter::new(0);
+                let launch =
+                    device.launch(&format!("radix_refine_pass{pass}"), num_warps, |kctx| {
+                        let chunk = kctx.chunk_of(scan.len());
+                        let slice = kctx.read_coalesced(&scan[chunk]);
+                        let mut survivors: Vec<K::Bits> = Vec::new();
+                        let mut above: Vec<K::Bits> = Vec::new();
+                        for &x in slice {
+                            if x & prev_mask == prev_value {
+                                let d = ((x >> shift) & digit_mask).as_digit();
+                                if d > chosen {
+                                    above.push(x);
+                                } else if d == chosen {
+                                    survivors.push(x);
+                                }
+                            }
+                            kctx.record_alu(2);
+                        }
+                        let stored = survivors.len() + above.len();
+                        if stored > 0 {
+                            // warp-aggregated position allocation followed
+                            // by a coalesced store of both partitions
+                            cursor.fetch_add(kctx, stored as u64);
+                            kctx.record_store_coalesced::<K::Bits>(stored);
+                        }
+                        (survivors, above)
+                    });
+                let mut guard = ctx.lock().unwrap();
+                let mut collected_above = 0usize;
+                let mut survivors = Vec::new();
+                for (s, a) in launch.output {
+                    collected_above += a.len();
+                    guard.above.extend(a);
+                    survivors.extend(s);
+                }
+                debug_assert_eq!(
+                    collected_above, above_count,
+                    "refine pass {pass}: collected above-set disagrees with \
+                     the exact histogram"
+                );
+                guard.candidates = survivors;
+                if guard.candidates.len() <= 1 {
+                    // the k-th value is pinned down early: the remaining
+                    // passes have nothing left to narrow
+                    guard.pinned = true;
+                }
+                StageOutcome {
+                    stats: launch.stats,
+                    time_ms: launch.time_ms,
+                }
+            },
+        );
+        prev_refine = Some(refine_id);
+    }
+
+    // Candidate assembly: the refine passes already collected every
+    // element above the k-th value, so the final candidate set is that
+    // above-set refilled with copies of the k-th value for its ties —
+    // `O(k)` data movement, no input re-scan.
+    let gather_id = graph.add(
+        StageKind::CandidateGather,
+        Resource::Compute(0),
+        &[prev_refine.expect("at least one digit pass")],
+        move |ctx: &Mutex<RadixCtx<K>>| {
+            let mut guard = ctx.lock().unwrap();
+            let threshold = guard.threshold();
+            let above = std::mem::take(&mut guard.above);
+            drop(guard);
+            debug_assert!(above.len() <= k.saturating_sub(1) || above.is_empty());
+            let num_warps = k.div_ceil(ELEMS_PER_WARP).max(1);
+            let launch = device.launch("candidate_gather", num_warps, |kctx| {
+                let chunk = kctx.chunk_of(k);
+                let reads = chunk.start.min(above.len())..chunk.end.min(above.len());
+                kctx.record_load_coalesced::<K::Bits>(reads.len());
+                let mut out: Vec<K> = Vec::with_capacity(chunk.len());
+                for i in chunk.clone() {
+                    out.push(if i < above.len() {
+                        K::from_bits(above[i])
+                    } else {
+                        threshold
+                    });
+                    kctx.record_alu(1);
+                }
+                kctx.record_store_coalesced::<K>(out.len());
+                out
+            });
+            let mut guard = ctx.lock().unwrap();
+            guard.assembled = launch.output.into_iter().flatten().collect();
+            debug_assert_eq!(guard.assembled.len(), k);
+            StageOutcome {
+                stats: launch.stats,
+                time_ms: launch.time_ms,
+            }
+        },
+    );
+
+    // Final ordering: let the configured inner algorithm order the
+    // assembled candidates (a small top-k over exactly k elements).
+    graph.add(
+        StageKind::RadixSelect,
+        Resource::Compute(0),
+        &[gather_id],
+        move |ctx: &Mutex<RadixCtx<K>>| {
+            let mut guard = ctx.lock().unwrap();
+            let threshold = guard.threshold();
+            let candidates = std::mem::take(&mut guard.assembled);
+            drop(guard);
+            let inner = config.inner.run(device, &candidates, k);
+            let outcome = StageOutcome {
+                stats: inner.stats,
+                time_ms: inner.time_ms,
+            };
+            let mut guard = ctx.lock().unwrap();
+            let mut values = inner.values;
+            values.sort_unstable_by_key(|v| Reverse(v.to_bits()));
+            guard.kth_value = values.last().copied().unwrap_or(threshold);
+            guard.values = values;
+            outcome
+        },
+    );
+
+    let ctx = Mutex::new(RadixCtx::<K> {
+        candidates: data.iter().map(|x| x.to_bits()).collect(),
+        filtered: None,
+        filter_cutoff: 0,
+        histogram: Vec::new(),
+        prefix_value: K::Bits::ZERO,
+        prefix_mask: K::Bits::ZERO,
+        k_remaining: k,
+        pinned: false,
+        above: Vec::new(),
+        assembled: Vec::new(),
+        values: Vec::new(),
+        kth_value: K::default(),
+    });
+    let report = graph.execute(&ctx);
+    let ctx = ctx.into_inner().unwrap();
+
+    let breakdown: PhaseBreakdown = report.phase_breakdown();
+    DrTopKResult {
+        values: ctx.values,
+        kth_value: ctx.kth_value,
+        alpha: 0,
+        breakdown,
+        workload: WorkloadStats {
+            input_len: data.len(),
+            delegate_vector_len: 0,
+            concatenated_len: k,
+            num_subranges: 1,
+            fully_taken_subranges: 0,
+            second_topk_skipped: false,
+            fell_back: false,
+        },
+        stats: report.stats(),
+        time_ms: report.makespan_ms,
+        stages: report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use topk_baselines::reference_topk;
+
+    fn device() -> Device {
+        Device::with_host_threads(DeviceSpec::v100s(), 4)
+    }
+
+    #[test]
+    fn radix_path_matches_reference_across_distributions_and_k() {
+        let dev = device();
+        for dist in topk_datagen::Distribution::SYNTHETIC {
+            let data = topk_datagen::generate(dist, 1 << 14, 19);
+            for &k in &[1usize, 2, 64, 1000, 1 << 13, 1 << 14] {
+                let got = radix_dr_topk(&dev, &data, k, &DrTopKConfig::default());
+                assert_eq!(got.values, reference_topk(&data, k), "{dist} k={k}");
+                assert_eq!(got.kth_value, *got.values.last().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn radix_path_schedule_shape_is_fixed_by_the_key_width() {
+        let dev = device();
+        let narrow = topk_datagen::uniform(1 << 12, 7);
+        let got = radix_dr_topk(&dev, &narrow, 100, &DrTopKConfig::default());
+        // u32: 4 histogram/refine pairs + gather + select = 10 stages
+        assert_eq!(got.stages.stages.len(), 10);
+        let wide: Vec<u64> = narrow.iter().map(|&x| (x as u64) << 20).collect();
+        let got = radix_dr_topk(&dev, &wide, 100, &DrTopKConfig::default());
+        // u64: 8 pairs + gather + select = 18 stages
+        assert_eq!(got.stages.stages.len(), 18);
+        let kinds: Vec<StageKind> = got.stages.stages.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds[0], StageKind::RadixHistogram);
+        assert_eq!(kinds[1], StageKind::RadixRefine);
+        assert_eq!(kinds[16], StageKind::CandidateGather);
+        assert_eq!(kinds[17], StageKind::RadixSelect);
+    }
+
+    #[test]
+    fn early_pinning_turns_tail_passes_into_noops() {
+        let dev = device();
+        // one extreme value: pass 0 compacts the candidates down to a
+        // single element, so passes 1..4 must charge nothing
+        let mut data = vec![5u32; 1 << 12];
+        data[123] = u32::MAX;
+        let got = radix_dr_topk(&dev, &data, 1, &DrTopKConfig::default());
+        assert_eq!(got.values, vec![u32::MAX]);
+        let pass1_on = got
+            .stages
+            .stages
+            .iter()
+            .filter(|s| s.label.contains("pass1") || s.label.contains("pass2"))
+            .collect::<Vec<_>>();
+        assert!(!pass1_on.is_empty());
+        assert!(pass1_on
+            .iter()
+            .all(|s| s.stats.global_load_transactions == 0));
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_stay_exact() {
+        // the radix worst case: candidates barely shrink per pass
+        let dev = device();
+        let data: Vec<u32> = (0..1u32 << 13).map(|i| i % 7).collect();
+        for &k in &[1usize, 100, 5000] {
+            let got = radix_dr_topk(&dev, &data, k, &DrTopKConfig::default());
+            assert_eq!(got.values, reference_topk(&data, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn floats_with_nan_follow_the_total_order() {
+        let dev = device();
+        let mut data: Vec<f32> = (0..4096).map(|i| (i % 977) as f32 - 500.0).collect();
+        data[7] = f32::NAN;
+        data[999] = f32::NEG_INFINITY;
+        let got = radix_dr_topk(&dev, &data, 64, &DrTopKConfig::default());
+        let expected = reference_topk(&data, 64);
+        assert_eq!(got.values.len(), expected.len());
+        for (g, e) in got.values.iter().zip(&expected) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn workload_stats_report_the_gather_honestly() {
+        let dev = device();
+        let data = topk_datagen::uniform(1 << 14, 3);
+        let got = radix_dr_topk(&dev, &data, 256, &DrTopKConfig::default());
+        let w = got.workload;
+        assert_eq!(w.input_len, data.len());
+        assert_eq!(w.delegate_vector_len, 0, "no delegate vector exists");
+        assert_eq!(w.concatenated_len, 256, "the select ran over k candidates");
+        assert_eq!(w.num_subranges, 1);
+        assert!(!w.fell_back);
+        assert_eq!(got.alpha, 0, "the radix path has no subrange parameter");
+        assert!(got.time_ms > 0.0);
+        assert!(got.stats.global_load_transactions > 0);
+    }
+}

@@ -103,6 +103,20 @@ pub enum StageKind {
     Gather,
     /// Final top-k over the `#devices × k` candidates on the primary.
     FinalTopK,
+    /// One MSD digit-histogram pass of the multi-pass radix-select path
+    /// (the large-k escape hatch; see `docs/ARCHITECTURE.md`): a full scan
+    /// of the surviving candidates counting 256-way digit occupancy.
+    RadixHistogram,
+    /// The refine step after a digit-histogram pass: locate the digit
+    /// bucket containing the k-th element from the histogram prefix and
+    /// compact the surviving candidates out-of-place.
+    RadixRefine,
+    /// Gather of the elements above the resolved radix threshold (plus
+    /// tie refill up to exactly `k`) from the original vector.
+    CandidateGather,
+    /// Final ordering of the `k` gathered radix candidates — the terminal
+    /// stage of the radix-select pipeline.
+    RadixSelect,
 }
 
 impl StageKind {
@@ -110,7 +124,7 @@ impl StageKind {
     /// compile-time match in the docs drift tests: adding a variant without
     /// extending this list (and `docs/PAPER_MAP.md`) fails the build or the
     /// suite.
-    pub const ALL: [StageKind; 10] = [
+    pub const ALL: [StageKind; 14] = [
         StageKind::DelegateConstruction,
         StageKind::FirstTopK,
         StageKind::Concatenate,
@@ -121,6 +135,10 @@ impl StageKind {
         StageKind::LocalMerge,
         StageKind::Gather,
         StageKind::FinalTopK,
+        StageKind::RadixHistogram,
+        StageKind::RadixRefine,
+        StageKind::CandidateGather,
+        StageKind::RadixSelect,
     ];
 
     /// Whether stages of this kind represent data movement rather than
@@ -142,6 +160,10 @@ impl StageKind {
             StageKind::LocalMerge => "local_merge",
             StageKind::Gather => "gather",
             StageKind::FinalTopK => "final_topk",
+            StageKind::RadixHistogram => "radix_histogram",
+            StageKind::RadixRefine => "radix_refine",
+            StageKind::CandidateGather => "candidate_gather",
+            StageKind::RadixSelect => "radix_select",
         }
     }
 }
@@ -1091,7 +1113,12 @@ impl StageReport {
     /// the distributed runner ([`StageKind::LocalTopK`],
     /// [`StageKind::LocalMerge`], [`StageKind::FinalTopK`]) second-top-k
     /// time, and the transfer kinds ([`StageKind::ChunkLoad`],
-    /// [`StageKind::Gather`]) the breakdown's transfer slot.
+    /// [`StageKind::Gather`]) the breakdown's transfer slot. The radix
+    /// path maps onto the same four compute slots: the narrowing passes
+    /// ([`StageKind::RadixHistogram`], [`StageKind::RadixRefine`]) play
+    /// the role of the first selection, [`StageKind::CandidateGather`]
+    /// that of concatenation, and [`StageKind::RadixSelect`] that of the
+    /// final selection.
     pub fn phase_breakdown(&self) -> PhaseBreakdown {
         let mut b = PhaseBreakdown::default();
         for s in &self.stages {
@@ -1100,12 +1127,15 @@ impl StageReport {
                 StageKind::DelegateConstruction | StageKind::BucketTopKPrime => {
                     b.delegate_ms += d;
                 }
-                StageKind::FirstTopK => b.first_topk_ms += d,
-                StageKind::Concatenate => b.concat_ms += d,
+                StageKind::FirstTopK | StageKind::RadixHistogram | StageKind::RadixRefine => {
+                    b.first_topk_ms += d;
+                }
+                StageKind::Concatenate | StageKind::CandidateGather => b.concat_ms += d,
                 StageKind::SecondTopK
                 | StageKind::LocalTopK
                 | StageKind::LocalMerge
-                | StageKind::FinalTopK => b.second_topk_ms += d,
+                | StageKind::FinalTopK
+                | StageKind::RadixSelect => b.second_topk_ms += d,
                 StageKind::ChunkLoad | StageKind::Gather => b.transfer_ms += d,
             }
         }

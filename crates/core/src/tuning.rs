@@ -16,6 +16,7 @@
 //! available from [`gpu_sim::DeviceSpec::rule4_const_analytic`].
 
 use gpu_sim::DeviceSpec;
+use topk_baselines::{KeyBits, TopKKey};
 
 use crate::approx::{expected_recall, required_budget, RecallTarget};
 
@@ -245,6 +246,344 @@ pub fn is_convex_in_alpha(k: usize, n: usize, spec: &DeviceSpec, alphas: &[f64])
     costs
         .windows(3)
         .all(|w| w[0] + w[2] >= 2.0 * w[1] - 1e-6 * w[1])
+}
+
+/// Which execution path a query is pinned to.
+///
+/// The delegate pipeline (the paper's design) wins at small-to-moderate k;
+/// hierarchical multi-pass radix select keeps scaling as k grows into the
+/// 10⁴–10⁵ range where delegate/bucket approaches degrade (RadiK's
+/// observation — see PAPER_MAP.md). `Auto` defers the decision to
+/// [`choose_path`] at execution time, where the key width and the device
+/// profile are known; the pinned variants exist so tests and benches can
+/// force either path.
+///
+/// Approximate-mode plans ignore the hint: the recall-targeted bucket
+/// machinery has no radix twin. A shared delegate vector also pins the
+/// delegate path — the caller already paid for construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PathHint {
+    /// Let [`choose_path`] pick per `(n, k, key_bits, device)`.
+    #[default]
+    Auto,
+    /// Always run the delegate pipeline (Figure 3b).
+    Delegate,
+    /// Always run the hierarchical multi-pass radix-select pipeline.
+    Radix,
+}
+
+impl PathHint {
+    /// Every hint, in declaration order.
+    pub const ALL: [PathHint; 3] = [PathHint::Auto, PathHint::Delegate, PathHint::Radix];
+
+    /// Display name used by harnesses and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PathHint::Auto => "auto",
+            PathHint::Delegate => "delegate",
+            PathHint::Radix => "radix",
+        }
+    }
+
+    /// Resolve the hint into a concrete path: pins map to themselves,
+    /// `Auto` defers to the data-blind [`choose_path`]. Seams that hold
+    /// the input use [`PathHint::resolve_for`] instead.
+    pub fn resolve(&self, n: usize, k: usize, key_bits: u32, spec: &DeviceSpec) -> ChosenPath {
+        match self {
+            PathHint::Auto => choose_path(n, k, key_bits, spec),
+            PathHint::Delegate => ChosenPath::Delegate,
+            PathHint::Radix => ChosenPath::Radix,
+        }
+    }
+
+    /// Data-aware resolution: pins map to themselves, `Auto` defers to
+    /// [`choose_path_sampled`] over the actual input — so a duplicate-heavy
+    /// corpus stays on the delegate path even at k far past the
+    /// well-distributed crossover.
+    pub fn resolve_for<K: TopKKey>(&self, data: &[K], k: usize, spec: &DeviceSpec) -> ChosenPath {
+        match self {
+            PathHint::Auto => choose_path_sampled(data, k, spec),
+            PathHint::Delegate => ChosenPath::Delegate,
+            PathHint::Radix => ChosenPath::Radix,
+        }
+    }
+}
+
+impl std::fmt::Display for PathHint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The execution path [`choose_path`] resolved a query to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChosenPath {
+    /// The delegate pipeline.
+    Delegate,
+    /// The multi-pass radix-select pipeline.
+    Radix,
+}
+
+impl ChosenPath {
+    /// Display name used by harnesses and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChosenPath::Delegate => "delegate",
+            ChosenPath::Radix => "radix",
+        }
+    }
+}
+
+impl std::fmt::Display for ChosenPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Predicted per-stage cost of the multi-pass radix-select path in abstract
+/// cycles, mirroring the Equations 2–5 shape of [`PredictedCost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadixPredictedCost {
+    /// Digit-histogram passes (read the shrinking candidate set once per
+    /// pass; pass 0 also writes the fused sampled-filter output).
+    pub histogram: f64,
+    /// Candidate refinement passes (re-read the candidates — the filter
+    /// output after a pass-0 hit — and write the survivors plus the
+    /// collected above-threshold elements out of place).
+    pub compact: f64,
+    /// Candidate assembly (read the collected above-set, write exactly k
+    /// candidates — `O(k)`, no input re-scan).
+    pub gather: f64,
+    /// Final ordering of the gathered k (a small radix top-k).
+    pub select: f64,
+}
+
+impl RadixPredictedCost {
+    /// Total predicted cost.
+    pub fn total(&self) -> f64 {
+        self.histogram + self.compact + self.gather + self.select
+    }
+}
+
+/// Per-pass candidate survival fraction the *data-blind* radix cost model
+/// assumes: 8-bit digits split the candidates into 256 buckets, and on
+/// well-distributed keys only the bucket holding the k-th value survives.
+/// When the input is at hand, [`estimate_radix_survival`] measures the
+/// actual survival from a sample instead — adversarially low-entropy keys
+/// shrink much slower (up to not at all), which is exactly what routes
+/// them back to the delegate path.
+pub const RADIX_DIGIT_SURVIVAL: f64 = 1.0 / 256.0;
+
+/// Multiplier [`choose_path`] applies to the modeled radix makespan before
+/// comparing it with the delegate model.
+///
+/// Both sides are expressed in modeled microseconds (global traffic over
+/// effective bandwidth plus per-kernel launch overhead), built from the
+/// same [`DeviceSpec`] constants the simulator charges — so after the
+/// sampled-filter optimisation the analytic crossover lands in the same
+/// inter-sample gap as the measured one (`large_k_sweep`) with no
+/// correction. The constant stays as the single re-tuning knob should the
+/// pipelines and the model drift apart again.
+pub const RADIX_MODEL_CALIBRATION: f64 = 1.0;
+
+/// Kernel launches the delegate pipeline issues, as charged by the modeled
+/// crossover: delegate-vector construction, the five-pass in-place first
+/// top-k, subrange concatenation, the five-pass second top-k, and the
+/// refill/identification step.
+const DELEGATE_MODEL_LAUNCHES: f64 = 13.0;
+
+/// Kernel launches the radix path issues for a given number of digit
+/// passes: the sample probe, a histogram + refine pair per pass, the
+/// `O(k)` gather, and the ~5-launch inner select.
+fn radix_model_launches(passes: u32) -> f64 {
+    2.0 * f64::from(passes) + 7.0
+}
+
+/// Modeled makespan in microseconds: `cycles / C_global` global accesses
+/// of `key_bytes` each over the device's effective bandwidth, plus the
+/// fixed per-kernel launch overhead. This is what makes the crossover
+/// scale-aware: at small `|V|` the launch term dominates and the delegate
+/// pipeline's shorter schedule wins even when radix moves fewer bytes.
+fn modeled_path_us(cycles: f64, launches: f64, key_bytes: f64, spec: &DeviceSpec) -> f64 {
+    let bytes_per_us = spec.mem_bandwidth_gbps * spec.mem_efficiency * 1e3;
+    (cycles / spec.c_global_cycles) * key_bytes / bytes_per_us + launches * spec.launch_overhead_us
+}
+
+/// Evaluate the radix-path cost model for an `n`-element input of
+/// `key_bits`-wide keys and the device constants of `spec`, assuming the
+/// data-blind [`RADIX_DIGIT_SURVIVAL`] per-pass shrink.
+pub fn radix_predicted_cost(
+    n: usize,
+    k: usize,
+    key_bits: u32,
+    spec: &DeviceSpec,
+) -> RadixPredictedCost {
+    radix_predicted_cost_with_survival(n, k, key_bits, spec, RADIX_DIGIT_SURVIVAL)
+}
+
+/// Evaluate the radix-path cost model under an explicit per-pass candidate
+/// `survival` fraction (as sampled by [`estimate_radix_survival`]).
+///
+/// The model mirrors the staged pipeline stage by stage: pass 0 reads the
+/// input once and writes the fused sampled-filter output (sized
+/// `max(2k, n/128, n·survival)` — the filter's headroom target, its
+/// minimum sample floor, or the chosen bucket itself, whichever is
+/// largest); each refine pass reads the current candidates and writes the
+/// `survival`-fraction survivors; the gather and select are `O(k)`. When
+/// the predicted filter output exceeds `n/4` the filter is modeled as
+/// disabled — exactly the pipeline's bail-out — and every pass re-reads
+/// the full, barely-shrinking candidate set, which is what prices
+/// duplicate-heavy adversarial keys out of the radix path. Unlike Rule 4
+/// there is no free parameter to tune: the cost is fixed by
+/// `(n, k, key_bits, survival)`, and k enters only through the filter
+/// width and the `O(k)` tail, never multiplied by a subrange size.
+pub fn radix_predicted_cost_with_survival(
+    n: usize,
+    k: usize,
+    key_bits: u32,
+    spec: &DeviceSpec,
+    survival: f64,
+) -> RadixPredictedCost {
+    let c_global = spec.c_global_cycles;
+    let nf = n.max(1) as f64;
+    let kf = k.min(n) as f64;
+    let s = survival.clamp(1.0 / nf, 1.0);
+    let passes = key_bits.div_ceil(8);
+    let kept_frac = (crate::radix_path::FILTER_HEADROOM as f64 * kf / nf)
+        .max(crate::radix_path::MIN_SAMPLE_TARGET as f64 / crate::radix_path::SAMPLE_SIZE as f64)
+        .max(s);
+    let filter_on = kept_frac <= 1.0 / crate::radix_path::FILTER_BAILOUT_DIV as f64;
+    let mut histogram = 0.0;
+    let mut compact = 0.0;
+    let mut remaining = nf;
+    for pass in 0..passes {
+        if remaining <= 1.0 {
+            // the k-th value is pinned down early (the staged pipeline's
+            // no-op tail stages)
+            break;
+        }
+        let survivors = (remaining * s).max(1.0);
+        if pass == 0 && filter_on {
+            let kept = nf * kept_frac;
+            histogram += (remaining + kept) * c_global;
+            compact += (kept + survivors) * c_global;
+        } else {
+            histogram += remaining * c_global;
+            compact += (remaining + survivors) * c_global;
+        }
+        remaining = survivors;
+    }
+    let gather = 2.0 * kf * c_global;
+    let select = 5.0 * kf * c_global;
+    RadixPredictedCost {
+        histogram,
+        compact,
+        gather,
+        select,
+    }
+}
+
+/// Estimate the radix path's per-pass candidate survival from the data: a
+/// deterministic strided sample's top-digit histogram, reduced to the
+/// largest single-bucket share.
+///
+/// Uniform keys land near `1/256` (every bucket holds a sample-noise-sized
+/// share); low-entropy keys that concentrate in one top digit return
+/// close to 1.0, which prices every radix pass at a full re-scan and
+/// disables the modeled filter — the planner then keeps such inputs on
+/// the delegate path at every k. The sample is strided (no RNG), so the
+/// estimate — and therefore [`choose_path_sampled`] — is a pure function
+/// of the data.
+pub fn estimate_radix_survival<K: TopKKey>(data: &[K]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    let sample_n = data.len().min(crate::radix_path::SAMPLE_SIZE);
+    let stride = data.len() / sample_n;
+    let shift = <K::Bits as KeyBits>::BITS - 8;
+    let digit_mask = K::Bits::from_u64(255);
+    let mut hist = [0u32; 256];
+    for i in 0..sample_n {
+        let bits = data[i * stride].to_bits();
+        hist[((bits >> shift) & digit_mask).as_digit()] += 1;
+    }
+    f64::from(hist.iter().copied().max().unwrap_or(0)) / sample_n as f64
+}
+
+/// The planner crossover: pick the cheaper execution path for a top-k query
+/// of `k` over `n` keys of `key_bits` bits on the device described by
+/// `spec`, under an explicit sampled `survival` fraction.
+///
+/// Compares the Equations 2–5 delegate model at the Rule 4 α (the α the
+/// pipeline itself would resolve) against
+/// [`radix_predicted_cost_with_survival`], both converted to modeled
+/// microseconds — global traffic over the device's effective bandwidth
+/// plus per-kernel launch overhead (`modeled_path_us`) — and the radix
+/// side scaled by [`RADIX_MODEL_CALIBRATION`]. Both models are built from
+/// the same per-device constants, so the crossover moves with the
+/// hardware profile. The delegate side grows like `√(n·k)` (concatenation
+/// and second top-k at the shrinking Rule 4 subrange size) while the
+/// radix side is one input scan plus `O(k)`, so on well-distributed keys
+/// every device has a single crossover k; on low-survival-shrink
+/// (duplicate-heavy) keys the radix side prices at several full scans and
+/// the delegate path wins everywhere.
+///
+/// Degenerate shapes (`k == 0`, `k ≥ n`, tiny inputs) return
+/// [`ChosenPath::Delegate`]: the delegate pipeline owns the fallback
+/// machinery for them.
+pub fn choose_path_with_survival(
+    n: usize,
+    k: usize,
+    key_bits: u32,
+    spec: &DeviceSpec,
+    survival: f64,
+) -> ChosenPath {
+    if k == 0 || n < 4 || k >= n {
+        return ChosenPath::Delegate;
+    }
+    let key_bytes = f64::from(key_bits) / 8.0;
+    let alpha = auto_alpha(n, k, 2, PAPER_RULE4_CONST);
+    let delegate = modeled_path_us(
+        predicted_cost(alpha as f64, k, n, spec).total(),
+        DELEGATE_MODEL_LAUNCHES,
+        key_bytes,
+        spec,
+    );
+    let radix = modeled_path_us(
+        radix_predicted_cost_with_survival(n, k, key_bits, spec, survival).total(),
+        radix_model_launches(key_bits.div_ceil(8)),
+        key_bytes,
+        spec,
+    ) * RADIX_MODEL_CALIBRATION;
+    if radix < delegate {
+        ChosenPath::Radix
+    } else {
+        ChosenPath::Delegate
+    }
+}
+
+/// Data-blind crossover: [`choose_path_with_survival`] at the
+/// well-distributed [`RADIX_DIGIT_SURVIVAL`] default. Used where only the
+/// query shape is known; resolution seams that hold the input prefer
+/// [`choose_path_sampled`].
+pub fn choose_path(n: usize, k: usize, key_bits: u32, spec: &DeviceSpec) -> ChosenPath {
+    choose_path_with_survival(n, k, key_bits, spec, RADIX_DIGIT_SURVIVAL)
+}
+
+/// Data-aware crossover: measure the per-pass survival from the input via
+/// [`estimate_radix_survival`], then resolve through
+/// [`choose_path_with_survival`]. This is what the pipeline's `Auto` seam
+/// and the engine planner call — it keeps duplicate-heavy inputs on the
+/// delegate path at every k while letting well-distributed inputs escape
+/// to radix past the crossover.
+pub fn choose_path_sampled<K: TopKKey>(data: &[K], k: usize, spec: &DeviceSpec) -> ChosenPath {
+    choose_path_with_survival(
+        data.len(),
+        k,
+        <K::Bits as KeyBits>::BITS,
+        spec,
+        estimate_radix_survival(data),
+    )
 }
 
 #[cfg(test)]
@@ -511,5 +850,136 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn path_hint_defaults_to_auto_and_pins_resolve_to_themselves() {
+        assert_eq!(PathHint::default(), PathHint::Auto);
+        let spec = DeviceSpec::v100s();
+        for (n, k) in [(1usize << 20, 64usize), (1 << 20, 1 << 17)] {
+            assert_eq!(
+                PathHint::Delegate.resolve(n, k, 32, &spec),
+                ChosenPath::Delegate
+            );
+            assert_eq!(PathHint::Radix.resolve(n, k, 32, &spec), ChosenPath::Radix);
+            assert_eq!(
+                PathHint::Auto.resolve(n, k, 32, &spec),
+                choose_path(n, k, 32, &spec)
+            );
+        }
+        assert_eq!(PathHint::ALL.len(), 3);
+        assert_eq!(PathHint::Auto.name(), "auto");
+        assert_eq!(ChosenPath::Radix.name(), "radix");
+        assert_eq!(format!("{}", PathHint::Radix), "radix");
+        assert_eq!(format!("{}", ChosenPath::Delegate), "delegate");
+    }
+
+    #[test]
+    fn radix_cost_is_one_input_scan_plus_linear_k_terms() {
+        let spec = DeviceSpec::v100s();
+        let n = 1usize << 24;
+        let c = radix_predicted_cost(n, 1 << 10, 32, &spec);
+        let scan = n as f64 * spec.c_global_cycles;
+        // pass 0 reads the input once and the fused filter shrinks every
+        // later stage to noise: the total sits just above one full scan
+        assert!(c.total() > 1.0 * scan, "total {} vs scan {scan}", c.total());
+        assert!(c.total() < 1.1 * scan, "total {} vs scan {scan}", c.total());
+        // k enters through the filter width and the O(k) gather/select
+        // tail: monotone, and still under two scans at k = n/16
+        let big_k = radix_predicted_cost(n, 1 << 20, 32, &spec);
+        assert!(big_k.total() > c.total());
+        assert!(big_k.total() < 2.0 * scan, "total {}", big_k.total());
+        // 64-bit keys pay more passes, but the geometric shrink pins the
+        // candidates down long before the extra passes can cost anything
+        let wide = radix_predicted_cost(n, 1 << 10, 64, &spec);
+        assert!(wide.total() >= c.total());
+        assert!(wide.total() < 1.05 * c.total());
+        // a survival of 1.0 (every key in one top bucket) disables the
+        // modeled filter and re-scans the full input every pass
+        let worst = radix_predicted_cost_with_survival(n, 1 << 10, 32, &spec, 1.0);
+        assert!(worst.total() > 10.0 * scan, "total {}", worst.total());
+    }
+
+    #[test]
+    fn survival_estimate_separates_uniform_from_low_entropy() {
+        let uniform = topk_datagen::uniform(1 << 16, 5);
+        let s = estimate_radix_survival(&uniform);
+        assert!(s < 0.05, "uniform keys spread over the buckets: {s}");
+        // all keys share the top byte: the sample sees one bucket
+        let low: Vec<u32> = (0..1u32 << 14).map(|i| u32::MAX - (i % 16)).collect();
+        assert_eq!(estimate_radix_survival(&low), 1.0);
+        assert_eq!(estimate_radix_survival::<u32>(&[]), 1.0);
+        // strided sampling is deterministic
+        assert_eq!(s, estimate_radix_survival(&uniform));
+    }
+
+    #[test]
+    fn sampled_crossover_keeps_low_entropy_keys_on_delegates() {
+        let spec = DeviceSpec::v100s();
+        let n = 1 << 20;
+        let uniform = topk_datagen::uniform(n, 11);
+        let low: Vec<u32> = (0..n as u32).map(|i| u32::MAX - (i % 16)).collect();
+        for kexp in [6u32, 10, 14, 17] {
+            let k = 1usize << kexp;
+            assert_eq!(
+                choose_path_sampled(&low, k, &spec),
+                ChosenPath::Delegate,
+                "duplicate-heavy keys must never escape to radix (k={k})"
+            );
+            assert_eq!(
+                PathHint::Auto.resolve_for(&low, k, &spec),
+                ChosenPath::Delegate
+            );
+        }
+        // well-distributed keys still cross over at large k
+        assert_eq!(
+            choose_path_sampled(&uniform, 1 << 17, &spec),
+            ChosenPath::Radix
+        );
+        assert_eq!(
+            PathHint::Radix.resolve_for(&uniform, 64, &spec),
+            ChosenPath::Radix,
+            "pins ignore the data"
+        );
+        assert_eq!(
+            PathHint::Delegate.resolve_for(&uniform, 1 << 17, &spec),
+            ChosenPath::Delegate
+        );
+    }
+
+    #[test]
+    fn choose_path_crosses_over_once_per_device() {
+        // Small k → delegate, huge k → radix, and the decision flips exactly
+        // once along the k grid, for every catalog device.
+        for spec in DeviceSpec::catalog() {
+            let n = 1usize << 22;
+            let choices: Vec<ChosenPath> = (4..=20)
+                .map(|kexp| choose_path(n, 1usize << kexp, 32, &spec))
+                .collect();
+            assert_eq!(
+                choices.first(),
+                Some(&ChosenPath::Delegate),
+                "{}: k = 16 must stay on the paper's path",
+                spec.name
+            );
+            assert_eq!(
+                choices.last(),
+                Some(&ChosenPath::Radix),
+                "{}: k = 2^20 must escape to radix",
+                spec.name
+            );
+            let flips = choices.windows(2).filter(|w| w[0] != w[1]).count();
+            assert_eq!(flips, 1, "{}: one crossover, got {choices:?}", spec.name);
+        }
+    }
+
+    #[test]
+    fn choose_path_degenerates_to_delegate() {
+        let spec = DeviceSpec::v100s();
+        assert_eq!(choose_path(1 << 20, 0, 32, &spec), ChosenPath::Delegate);
+        assert_eq!(choose_path(2, 1, 32, &spec), ChosenPath::Delegate);
+        let n = 1 << 20;
+        assert_eq!(choose_path(n, n, 32, &spec), ChosenPath::Delegate);
+        assert_eq!(choose_path(n, n + 5, 32, &spec), ChosenPath::Delegate);
     }
 }

@@ -28,6 +28,10 @@
 //! * **Paper-phase ordering** — delegate → first top-k → concatenate →
 //!   second top-k chains must be well-formed, and the distributed kinds
 //!   must chain load → local → merge → gather → final (`V011`).
+//! * **Radix-chain integrity** — every radix narrowing stage (histogram,
+//!   refine, candidate gather) must eventually feed a radix select
+//!   (`V012`): narrowing work whose result never reaches a final selection
+//!   is a broken large-k pipeline.
 //!
 //! [`StageGraph::verify`](crate::stages::StageGraph::verify) and
 //! [`StageReport::verify`](crate::stages::StageReport::verify) adapt their
@@ -71,8 +75,9 @@ pub enum DiagnosticCode {
     /// self-dependencies); no schedule can satisfy it.
     DepCycle,
     /// `V003` — a non-terminal stage has no dependents: its output is
-    /// computed and then thrown away. Only [`StageKind::SecondTopK`] and
-    /// [`StageKind::FinalTopK`] may be sinks — they produce the answer.
+    /// computed and then thrown away. Only [`StageKind::SecondTopK`],
+    /// [`StageKind::FinalTopK`] and [`StageKind::RadixSelect`] may be
+    /// sinks — they produce the answer.
     OrphanStage,
     /// `V004` — a transfer kind sits on a compute queue, or a compute kind
     /// on a transfer lane.
@@ -103,6 +108,12 @@ pub enum DiagnosticCode {
     /// kind that cannot legally precede it (e.g. a second top-k fed
     /// directly by a first top-k with no concatenation).
     PhaseOrder,
+    /// `V012` — a radix-path stage ([`StageKind::RadixHistogram`],
+    /// [`StageKind::RadixRefine`] or [`StageKind::CandidateGather`]) from
+    /// which no [`StageKind::RadixSelect`] is reachable through dependent
+    /// edges: the narrowing work never feeds a final selection, so the
+    /// radix chain is broken.
+    RadixChainBroken,
 }
 
 impl DiagnosticCode {
@@ -110,7 +121,7 @@ impl DiagnosticCode {
     /// compile-time match in the drift tests: adding a variant without
     /// extending this list (and `docs/DIAGNOSTICS.md`) fails the build or
     /// the suite.
-    pub const ALL: [DiagnosticCode; 11] = [
+    pub const ALL: [DiagnosticCode; 12] = [
         DiagnosticCode::DanglingDep,
         DiagnosticCode::DepCycle,
         DiagnosticCode::OrphanStage,
@@ -122,6 +133,7 @@ impl DiagnosticCode {
         DiagnosticCode::QueueDeadlock,
         DiagnosticCode::DoubleBufferHazard,
         DiagnosticCode::PhaseOrder,
+        DiagnosticCode::RadixChainBroken,
     ];
 
     /// The stable `V…` code string.
@@ -138,6 +150,7 @@ impl DiagnosticCode {
             DiagnosticCode::QueueDeadlock => "V009",
             DiagnosticCode::DoubleBufferHazard => "V010",
             DiagnosticCode::PhaseOrder => "V011",
+            DiagnosticCode::RadixChainBroken => "V012",
         }
     }
 
@@ -156,6 +169,7 @@ impl DiagnosticCode {
             DiagnosticCode::QueueDeadlock => "queue-deadlock",
             DiagnosticCode::DoubleBufferHazard => "double-buffer-hazard",
             DiagnosticCode::PhaseOrder => "phase-order",
+            DiagnosticCode::RadixChainBroken => "radix-chain-broken",
         }
     }
 }
@@ -229,6 +243,14 @@ fn allowed_dep_kinds(kind: StageKind) -> &'static [StageKind] {
         LocalMerge => &[LocalTopK, LocalMerge],
         Gather => &[LocalTopK, LocalMerge],
         FinalTopK => &[LocalTopK, LocalMerge, Gather],
+        // The radix-select chain: the first histogram pass has no deps (or
+        // waits on the chunk load that staged its input); each later pass
+        // follows the previous refine; the gather follows the last refine;
+        // the final select follows the gather.
+        RadixHistogram => &[RadixRefine, ChunkLoad],
+        RadixRefine => &[RadixHistogram],
+        CandidateGather => &[RadixRefine],
+        RadixSelect => &[CandidateGather],
     }
 }
 
@@ -236,7 +258,10 @@ fn allowed_dep_kinds(kind: StageKind) -> &'static [StageKind] {
 /// query's answer. Everything else computes an intermediate someone must
 /// consume.
 fn is_terminal_kind(kind: StageKind) -> bool {
-    matches!(kind, StageKind::SecondTopK | StageKind::FinalTopK)
+    matches!(
+        kind,
+        StageKind::SecondTopK | StageKind::FinalTopK | StageKind::RadixSelect
+    )
 }
 
 /// Kahn's algorithm over `adj` (edge `u → v` means *u before v*): returns
@@ -296,7 +321,8 @@ fn reaches(adj: &[Vec<usize>], from: usize, to: usize) -> bool {
 /// a dependency cycle (`V002`) suppresses the queue-deadlock and
 /// staging-buffer analyses it would subsume; a queue deadlock (`V009`)
 /// suppresses the staging-buffer analysis (which needs a schedulable
-/// graph). All per-stage checks (`V003`–`V008`, `V011`) always run.
+/// graph). All per-stage checks (`V003`–`V008`, `V011`, `V012`) always
+/// run.
 pub fn verify_specs(specs: &[StageSpec], opts: &VerifyOptions) -> Vec<Diagnostic> {
     let n = specs.len();
     let mut diags: Vec<Diagnostic> = Vec::new();
@@ -449,6 +475,34 @@ pub fn verify_specs(specs: &[StageSpec], opts: &VerifyOptions) -> Vec<Diagnostic
                 message: format!(
                     "concatenation stage '{}' has no first-top-k input to concatenate from",
                     s.label
+                ),
+            });
+        }
+    }
+
+    // V012 — radix-chain integrity: every narrowing stage must reach a
+    // radix select through dependent edges. Reachability (not exactly-one)
+    // keeps spliced/merged schedules legal.
+    let selects: Vec<usize> = specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == StageKind::RadixSelect)
+        .map(|(i, _)| i)
+        .collect();
+    for (i, s) in specs.iter().enumerate() {
+        if !matches!(
+            s.kind,
+            StageKind::RadixHistogram | StageKind::RadixRefine | StageKind::CandidateGather
+        ) {
+            continue;
+        }
+        if !selects.iter().any(|&t| reaches(&dependents, i, t)) {
+            diags.push(Diagnostic {
+                code: DiagnosticCode::RadixChainBroken,
+                stage: Some(i),
+                message: format!(
+                    "{} stage '{}' never feeds a radix select; its narrowing work is lost",
+                    s.kind, s.label
                 ),
             });
         }
@@ -755,6 +809,67 @@ mod tests {
         missing[5].deps.clear();
         let diags = verify_specs(&missing, &two);
         assert!(codes(&diags).contains(&DiagnosticCode::DoubleBufferHazard));
+    }
+
+    #[test]
+    fn the_radix_pipeline_shape_is_clean() {
+        let c = Resource::Compute(0);
+        // Two narrowing passes, then gather + select — the single-device
+        // radix graph shape the large-k path builds.
+        let specs = vec![
+            spec(StageKind::RadixHistogram, c, &[]),
+            spec(StageKind::RadixRefine, c, &[0]),
+            spec(StageKind::RadixHistogram, c, &[1]),
+            spec(StageKind::RadixRefine, c, &[2]),
+            spec(StageKind::CandidateGather, c, &[3]),
+            spec(StageKind::RadixSelect, c, &[4]),
+        ];
+        assert!(verify_specs(&specs, &VerifyOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn broken_radix_chains_are_v012() {
+        let c = Resource::Compute(0);
+        // The gather feeds a second top-k instead of a radix select: every
+        // narrowing stage upstream loses its select.
+        let specs = vec![
+            spec(StageKind::RadixHistogram, c, &[]),
+            spec(StageKind::RadixRefine, c, &[0]),
+            spec(StageKind::CandidateGather, c, &[1]),
+            spec(StageKind::SecondTopK, c, &[]),
+        ];
+        let diags = verify_specs(&specs, &VerifyOptions::default());
+        assert!(codes(&diags).contains(&DiagnosticCode::RadixChainBroken));
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == DiagnosticCode::RadixChainBroken)
+                .count(),
+            3,
+            "every narrowing stage of the broken chain is reported"
+        );
+        assert_eq!(DiagnosticCode::RadixChainBroken.code(), "V012");
+        assert_eq!(
+            DiagnosticCode::RadixChainBroken.name(),
+            "radix-chain-broken"
+        );
+    }
+
+    #[test]
+    fn radix_select_may_be_a_sink_but_its_feeders_may_not() {
+        let c = Resource::Compute(0);
+        // A lone select is a legal terminal (degenerate one-stage graph)...
+        let specs = vec![spec(StageKind::RadixSelect, c, &[])];
+        assert!(verify_specs(&specs, &VerifyOptions::default()).is_empty());
+        // ...but a refine nothing consumes is both an orphan and a broken
+        // chain.
+        let specs = vec![
+            spec(StageKind::RadixHistogram, c, &[]),
+            spec(StageKind::RadixRefine, c, &[0]),
+        ];
+        let diags = verify_specs(&specs, &VerifyOptions::default());
+        assert!(codes(&diags).contains(&DiagnosticCode::OrphanStage));
+        assert!(codes(&diags).contains(&DiagnosticCode::RadixChainBroken));
     }
 
     #[test]

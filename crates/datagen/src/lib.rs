@@ -25,8 +25,8 @@ pub use realworld::{
     ann_sift_distances, ann_sift_distances_f32, bm25_scores, twitter_fear_scores, web_degrees,
 };
 pub use synthetic::{
-    customized, moe_gating_logits, normal, uniform, uniform_f32, zipf, MOE_HOT_BOOST,
-    MOE_MAX_HOT_EXPERTS, ZIPF_EXPONENT,
+    customized, low_entropy, moe_gating_logits, normal, uniform, uniform_f32, zipf,
+    LOW_ENTROPY_DISTINCT, MOE_HOT_BOOST, MOE_MAX_HOT_EXPERTS, ZIPF_EXPONENT,
 };
 pub use workload::{multi_query_workload, zipf_ks, CorpusMix, QuerySpec, APPROX_RECALL_PALETTE_BP};
 

@@ -95,6 +95,50 @@ pub fn customized(n: usize, seed: u64) -> Vec<u32> {
     })
 }
 
+/// Default palette size of the [`low_entropy`] generator: small enough
+/// that every radix digit of every pass is shared by thousands of
+/// duplicates, large enough that a top-k query still has ordering work
+/// to do.
+pub const LOW_ENTROPY_DISTINCT: usize = 16;
+
+/// A low-entropy adversarial dataset: `n` draws from a palette of only
+/// `distinct_values` distinct values, packed contiguously just below
+/// `u32::MAX`.
+///
+/// This is the worst case for multi-pass radix select, for two
+/// compounding reasons:
+///
+/// * the palette values share all their high-order bits (they differ only
+///   in the last `⌈log2 distinct_values⌉` bits), so every early
+///   histogram pass puts *all* elements in one digit bucket and refines
+///   nothing — the pipeline pays its full per-pass scan for zero
+///   candidate shrinkage until the final byte; and
+/// * each value is duplicated ≈ `n / distinct_values` times, so the
+///   candidate set at the k-th boundary never shrinks below the duplicate
+///   mass of the boundary value — the final selection must break a huge
+///   tie instead of reading off a singleton.
+///
+/// Deterministic in `(n, distinct_values, seed)` and independent of
+/// thread count, like every generator here.
+///
+/// # Panics
+///
+/// Panics when `distinct_values` is zero or exceeds `2^32` (the palette
+/// must fit in the `u32` value space).
+pub fn low_entropy(n: usize, distinct_values: usize, seed: u64) -> Vec<u32> {
+    assert!(distinct_values >= 1, "need at least one distinct value");
+    assert!(
+        distinct_values as u128 <= 1u128 << 32,
+        "distinct_values must fit in the u32 value space"
+    );
+    let d = distinct_values as u64;
+    parallel_fill(n, seed, move |rng, out| {
+        for v in out.iter_mut() {
+            *v = u32::MAX - rng.next_bounded(d) as u32;
+        }
+    })
+}
+
 /// Default skew of the [`zipf`] generator (the classic web-traffic
 /// exponent).
 pub const ZIPF_EXPONENT: f64 = 1.1;
@@ -277,6 +321,46 @@ mod tests {
         assert!(normal(0, 3).is_empty());
         assert!(customized(0, 3).is_empty());
         assert!(uniform_f32(0, 3).is_empty());
+        assert!(low_entropy(0, 4, 3).is_empty());
+    }
+
+    #[test]
+    fn low_entropy_is_deterministic_duplicated_and_bit_shared() {
+        let n = 1 << 14;
+        let d = LOW_ENTROPY_DISTINCT;
+        let v = low_entropy(n, d, 5);
+        assert_eq!(v, low_entropy(n, d, 5));
+        assert_ne!(v, low_entropy(n, d, 6));
+        // the palette is exactly the top `d` values of the u32 range
+        let lo = u32::MAX - (d as u32 - 1);
+        assert!(v.iter().all(|&x| x >= lo));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), d, "palette size");
+        // heavy duplicates: every palette value carries ~n/d copies
+        for &p in &sorted {
+            let copies = v.iter().filter(|&&x| x == p).count();
+            assert!(
+                copies > n / (4 * d),
+                "value {p} underrepresented: {copies} copies"
+            );
+        }
+        // all high-order bits are shared — radix passes refine nothing
+        // until the final byte
+        assert!(v.iter().all(|&x| x >> 8 == u32::MAX >> 8));
+    }
+
+    #[test]
+    fn low_entropy_degenerate_palettes() {
+        // a single-value palette collapses onto u32::MAX
+        assert!(low_entropy(1 << 10, 1, 9).iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one distinct value")]
+    fn low_entropy_rejects_empty_palette() {
+        low_entropy(16, 0, 1);
     }
 
     #[test]

@@ -197,13 +197,16 @@ impl TopKEngine {
                     .expect("cluster has devices"),
             )
         });
-        let device_label = self.cluster.device(0).spec().name.clone();
+        // Fused units run on pool workers; the path crossover and the
+        // tuning memo both key off the pool device profile (homogeneous
+        // pools — device 0 stands for all of them).
+        let device_spec = self.cluster.device(0).spec().clone();
 
         let plan = plan_batch(
             batch,
             &self.config.base,
             shard_capacity,
-            &device_label,
+            &device_spec,
             &mut self.cache.lock(),
         );
 
@@ -249,6 +252,16 @@ impl TopKEngine {
         let num_queries = batch.len();
         let num_units = plan.units.len();
         let row_queries = batch.row_queries().len();
+        let (delegate_path_units, radix_path_units) =
+            plan.units
+                .iter()
+                .fold((0usize, 0usize), |(d, r), u| match u {
+                    crate::plan::PlanUnit::Fused(f) => match f.path {
+                        drtopk_core::ChosenPath::Delegate => (d + 1, r),
+                        drtopk_core::ChosenPath::Radix => (d, r + 1),
+                    },
+                    _ => (d, r),
+                });
         // Rows count as queries: the metric catalog stays its closed
         // 16-variant self, row throughput rides the existing counters.
         let rows_served: usize = exec.row_results.iter().map(|r| r.rows.len()).sum();
@@ -313,6 +326,8 @@ impl TopKEngine {
                     .iter()
                     .filter(|q| q.mode.strict_target().is_some())
                     .count(),
+            delegate_path_units,
+            radix_path_units,
             batch_occupancy: if num_units == 0 {
                 0.0
             } else {
@@ -722,6 +737,47 @@ mod tests {
         );
         let end = spans.iter().map(|s| s.end_ms).fold(0.0f64, f64::max);
         assert!((end - out.report.total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_hints_route_and_count_per_path_units() {
+        use drtopk_core::PathHint;
+        let eng = engine(2);
+        let data = topk_datagen::uniform(1 << 15, 77);
+        let mut batch = QueryBatch::new();
+        let c = batch.add_corpus(11, &data);
+        // Pinned hints force each pipeline; both must agree bit-for-bit
+        // with the reference (and therefore with each other).
+        let q_delegate = batch.push_topk_path(c, 96, PathHint::Delegate);
+        let q_radix = batch.push_topk_path(c, 96, PathHint::Radix);
+        // A small-k Auto query resolves to the delegate path and fuses
+        // with the pinned delegate query (same resolved path).
+        let q_auto = batch.push_topk(c, 8);
+        let out = eng.run_batch(&batch).unwrap();
+        for &qi in &[q_delegate, q_radix] {
+            assert_eq!(out.results[qi].values, reference_topk(&data, 96));
+        }
+        assert_eq!(out.results[q_auto].values, reference_topk(&data, 8));
+        assert_eq!(out.report.delegate_path_units, 1);
+        assert_eq!(out.report.radix_path_units, 1);
+        assert_eq!(out.report.num_units, 2);
+        // The radix unit builds no delegate pass: only the delegate unit's
+        // shared pass ran.
+        assert_eq!(out.report.delegate_passes_run, 1);
+        let ExecPath::Fused { unit: u_del } = out.results[q_delegate].path else {
+            panic!("expected fused")
+        };
+        let ExecPath::Fused { unit: u_auto } = out.results[q_auto].path else {
+            panic!("expected fused")
+        };
+        let ExecPath::Fused { unit: u_radix } = out.results[q_radix].path else {
+            panic!("expected fused")
+        };
+        assert_eq!(u_del, u_auto, "same resolved path fuses");
+        assert_ne!(u_del, u_radix, "paths never share a unit");
+        // The radix member's workload statistics show the radix shape:
+        // no delegate vector, one effective subrange.
+        assert!(out.results[q_radix].breakdown.second_topk_ms > 0.0);
     }
 
     #[test]

@@ -723,6 +723,7 @@ pub(crate) fn execute_plan<K: TopKKey>(
         usize,
         drtopk_core::InnerAlgorithm,
         drtopk_core::Mode,
+        drtopk_core::PathHint,
     );
     struct ShardAnswer<K: TopKKey> {
         values: Vec<K>,
@@ -741,12 +742,16 @@ pub(crate) fn execute_plan<K: TopKKey>(
             continue;
         };
         let q = batch.queries()[sharded.query];
-        let key: ShardKey = (q.corpus, q.direction, q.k, q.inner, q.mode);
+        let key: ShardKey = (q.corpus, q.direction, q.k, q.inner, q.mode, q.path);
         if let std::collections::hash_map::Entry::Vacant(slot) = answered.entry(key) {
             let corpus = &batch.corpora()[q.corpus];
+            // The path hint rides into the distributed run: each device's
+            // local pipeline resolves `Auto` against its own profile and
+            // shard size, so a heterogeneous cluster may mix paths.
             let cfg = DrTopKConfig {
                 inner: q.inner,
                 mode: q.mode,
+                path: q.path,
                 ..base.clone()
             };
             let d = match q.direction {

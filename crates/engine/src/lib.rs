@@ -98,6 +98,7 @@ pub mod plan;
 pub mod query;
 pub mod report;
 
+pub use drtopk_core::PathHint;
 pub use engine::{EngineConfig, EngineError, TopKEngine};
 pub use plan::{
     DelegateCacheEntry, ExecutionPlan, FusedUnit, PlanCache, PlanUnit, RowUnit, ShardedUnit,

@@ -27,7 +27,10 @@ use std::any::{Any, TypeId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use drtopk_core::{optimal_approx_tuning, DelegateVector, DrTopKConfig, Mode, PlannedQuery};
+use drtopk_core::{
+    optimal_approx_tuning, ChosenPath, DelegateVector, DrTopKConfig, Mode, PathHint, PlannedQuery,
+};
+use gpu_sim::DeviceSpec;
 use topk_baselines::{Desc, TopKKey};
 
 use crate::query::{Direction, QueryBatch};
@@ -335,6 +338,12 @@ pub struct FusedUnit {
     /// True when at least one member actually uses the delegate machinery
     /// (otherwise no delegate pass is built at all).
     pub needs_delegates: bool,
+    /// The execution path every member of this unit resolved to at plan
+    /// time. Queries are fused by resolved path, so a unit is homogeneous:
+    /// delegate units share one delegate pass, radix units share a unit
+    /// with no pass at all (each member runs the multi-pass radix-select
+    /// pipeline on the worker's device).
+    pub path: ChosenPath,
 }
 
 /// A single over-capacity query that takes the whole cluster through the
@@ -422,31 +431,45 @@ pub(crate) fn plan_batch<K: TopKKey>(
     batch: &QueryBatch<'_, K>,
     base: &DrTopKConfig,
     shard_capacity: usize,
-    device_label: &str,
+    device: &DeviceSpec,
     cache: &mut PlanCache,
 ) -> ExecutionPlan {
     let hits_before = cache.plan_hits;
     let misses_before = cache.plan_misses;
 
-    // Group fusible queries by (corpus, direction, mode); BTreeMap keeps
-    // the plan deterministic. Exact and approximate traffic never share a
-    // pass, and approximate traffic fuses per distinct recall target.
-    let mut groups: BTreeMap<(usize, bool, Mode), Vec<usize>> = BTreeMap::new();
+    // Group fusible queries by (corpus, direction, mode, resolved path);
+    // BTreeMap keeps the plan deterministic. Exact and approximate traffic
+    // never share a pass, approximate traffic fuses per distinct recall
+    // target, and delegate-path queries never fuse with radix-path ones
+    // (a radix member would not touch the shared delegate pass, and a
+    // delegate member in a radix unit would have no pass to share).
+    let mut groups: BTreeMap<(usize, bool, Mode, ChosenPath), Vec<usize>> = BTreeMap::new();
     let mut sharded: Vec<ShardedUnit> = Vec::new();
     for (idx, q) in batch.queries.iter().enumerate() {
         let n = batch.corpora[q.corpus].data.len();
         if n > shard_capacity {
             sharded.push(ShardedUnit { query: idx });
         } else {
+            // Resolve the hint per query against the pool device profile
+            // and the actual corpus (the sampled survival probe keeps
+            // duplicate-heavy corpora on the delegate side): the crossover
+            // depends on this query's own k, not the group's. Approximate
+            // queries ignore the hint entirely.
+            let path = if q.mode.strict_target().is_some() {
+                ChosenPath::Delegate
+            } else {
+                q.path
+                    .resolve_for(batch.corpora[q.corpus].data, q.k.min(n), device)
+            };
             groups
-                .entry((q.corpus, q.direction == Direction::Smallest, q.mode))
+                .entry((q.corpus, q.direction == Direction::Smallest, q.mode, path))
                 .or_default()
                 .push(idx);
         }
     }
 
     let mut units: Vec<PlanUnit> = Vec::with_capacity(groups.len() + sharded.len());
-    for ((corpus, smallest, mode), queries) in groups {
+    for ((corpus, smallest, mode, path), queries) in groups {
         let direction = if smallest {
             Direction::Smallest
         } else {
@@ -463,9 +486,16 @@ pub(crate) fn plan_batch<K: TopKKey>(
             k_max,
             mode,
             effective_type_id::<K>(direction),
-            device_label,
+            &device.name,
             base,
         );
+        // Pin every member to the group's resolved path so execution cannot
+        // re-resolve differently (the member seam in `dr_topk_planned`
+        // honors the pin; degenerate members still take their fallbacks).
+        let member_path = match path {
+            ChosenPath::Delegate => PathHint::Delegate,
+            ChosenPath::Radix => PathHint::Radix,
+        };
         let planned: Vec<PlannedQuery> = queries
             .iter()
             .map(|&qi| {
@@ -474,12 +504,16 @@ pub(crate) fn plan_batch<K: TopKKey>(
                     alpha: Some(tuning.alpha),
                     inner: q.inner,
                     mode: q.mode,
+                    path: member_path,
                     ..base.clone()
                 };
                 PlannedQuery::plan(n, q.k, &member_config)
             })
             .collect();
-        let needs_delegates = planned.iter().any(|p| p.use_delegates);
+        // Radix units never build a delegate pass: their members select
+        // via digit histograms over the raw corpus instead.
+        let needs_delegates =
+            path == ChosenPath::Delegate && planned.iter().any(|p| p.use_delegates);
         // The shared pass must cover every member: for an approximate
         // group that is the largest member budget (each member's own
         // budget is derived at the group α; a larger shared budget only
@@ -500,6 +534,7 @@ pub(crate) fn plan_batch<K: TopKKey>(
             tuning_cached,
             planned,
             needs_delegates,
+            path,
         }));
     }
     units.extend(sharded.into_iter().map(PlanUnit::Sharded));
@@ -559,7 +594,13 @@ mod tests {
         }
         batch.push_topk_min(c, 16);
         let mut cache = PlanCache::with_delegate_capacity(8);
-        let plan = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        let plan = plan_batch(
+            &batch,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::v100s(),
+            &mut cache,
+        );
         // three largest queries fuse; the smallest query is its own unit
         assert_eq!(plan.fused_units(), 2);
         assert_eq!(plan.sharded_queries(), 0);
@@ -582,7 +623,7 @@ mod tests {
         batch.push_topk(c, 8);
         batch.push_topk(c, 9);
         let mut cache = PlanCache::default();
-        let plan = plan_batch(&batch, &base(), 1 << 10, "V100S", &mut cache);
+        let plan = plan_batch(&batch, &base(), 1 << 10, &DeviceSpec::v100s(), &mut cache);
         assert_eq!(plan.fused_units(), 0);
         assert_eq!(plan.sharded_queries(), 2);
     }
@@ -594,19 +635,43 @@ mod tests {
         let mut batch = QueryBatch::new();
         let c = batch.add_corpus(1, &data);
         batch.push_topk(c, 100);
-        let p1 = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        let p1 = plan_batch(
+            &batch,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::v100s(),
+            &mut cache,
+        );
         assert_eq!((p1.plan_hits, p1.plan_misses), (0, 1));
         // identical shape: pure hit
-        let p2 = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        let p2 = plan_batch(
+            &batch,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::v100s(),
+            &mut cache,
+        );
         assert_eq!((p2.plan_hits, p2.plan_misses), (1, 0));
         // the opposite direction is a different plan key
         let mut batch_min = QueryBatch::new();
         let c = batch_min.add_corpus(1, &data);
         batch_min.push_topk_min(c, 100);
-        let p3 = plan_batch(&batch_min, &base(), usize::MAX, "V100S", &mut cache);
+        let p3 = plan_batch(
+            &batch_min,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::v100s(),
+            &mut cache,
+        );
         assert_eq!((p3.plan_hits, p3.plan_misses), (0, 1));
         // a different device label is a different plan key
-        let p4 = plan_batch(&batch, &base(), usize::MAX, "TitanXp", &mut cache);
+        let p4 = plan_batch(
+            &batch,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::titan_xp(),
+            &mut cache,
+        );
         assert_eq!((p4.plan_hits, p4.plan_misses), (0, 1));
         assert_eq!(cache.cached_tuning_plans(), 3);
     }
@@ -624,10 +689,17 @@ mod tests {
             direction: Direction::Largest,
             inner: InnerAlgorithm::FlagRadix,
             mode: Mode::Exact,
+            path: PathHint::Auto,
         });
         batch.push_topk(c, 1000); // clamps to |V| = 100 → fallback
         let mut cache = PlanCache::default();
-        let plan = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        let plan = plan_batch(
+            &batch,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::v100s(),
+            &mut cache,
+        );
         let PlanUnit::Fused(unit) = &plan.units[0] else {
             panic!("expected fused unit")
         };
@@ -645,7 +717,13 @@ mod tests {
         batch.push_rows(c, 8, 512, drtopk_core::RowK::Uniform(2)); // same key, other shape
         batch.push_rows_min(c, 16, 256, drtopk_core::RowK::Uniform(4));
         let mut cache = PlanCache::default();
-        let plan = plan_batch(&batch, &base(), usize::MAX, "V100S", &mut cache);
+        let plan = plan_batch(
+            &batch,
+            &base(),
+            usize::MAX,
+            &DeviceSpec::v100s(),
+            &mut cache,
+        );
         assert_eq!(plan.fused_units(), 1);
         assert_eq!(
             plan.row_units(),

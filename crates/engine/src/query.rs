@@ -7,7 +7,7 @@
 //! `k`, and different second-phase algorithms — the planner sorts out what
 //! can be fused and what cannot.
 
-use drtopk_core::{InnerAlgorithm, Mode, RecallTarget, RowK};
+use drtopk_core::{InnerAlgorithm, Mode, PathHint, RecallTarget, RowK};
 use topk_baselines::TopKKey;
 
 /// Which end of the key order a query selects.
@@ -38,6 +38,14 @@ pub struct Query {
     /// silently under-serve the tighter members, so the planner never
     /// builds one.
     pub mode: Mode,
+    /// Which execution path the query runs: the delegate pipeline, the
+    /// large-k multi-pass radix path, or (the default) the planner's
+    /// modeled crossover. The planner resolves the hint per query at plan
+    /// time and fuses queries by the *resolved* path — delegate-path
+    /// queries share a delegate pass, radix-path queries share a unit
+    /// without one. Approximate queries ignore the hint (the bucket
+    /// machinery has no radix twin).
+    pub path: PathHint,
 }
 
 /// One row-matrix top-k query: the corpus reinterpreted as a row-major
@@ -138,6 +146,21 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
             direction: Direction::Largest,
             inner: InnerAlgorithm::FlagRadix,
             mode: Mode::Exact,
+            path: PathHint::Auto,
+        })
+    }
+
+    /// Convenience: append a top-k-largest query pinned (or auto-routed)
+    /// to a specific execution path — the test/bench seam for forcing the
+    /// delegate or radix pipeline.
+    pub fn push_topk_path(&mut self, corpus: usize, k: usize, path: PathHint) -> usize {
+        self.push(Query {
+            corpus,
+            k,
+            direction: Direction::Largest,
+            inner: InnerAlgorithm::FlagRadix,
+            mode: Mode::Exact,
+            path,
         })
     }
 
@@ -150,6 +173,7 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
             direction: Direction::Smallest,
             inner: InnerAlgorithm::FlagRadix,
             mode: Mode::Exact,
+            path: PathHint::Auto,
         })
     }
 
@@ -164,6 +188,7 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
             mode: Mode::Approx {
                 target_recall: RecallTarget::from_fraction(target_recall),
             },
+            path: PathHint::Auto,
         })
     }
 
@@ -178,6 +203,7 @@ impl<'a, K: TopKKey> QueryBatch<'a, K> {
             mode: Mode::Approx {
                 target_recall: RecallTarget::from_fraction(target_recall),
             },
+            path: PathHint::Auto,
         })
     }
 

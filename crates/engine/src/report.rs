@@ -116,6 +116,17 @@ pub struct EngineReport {
     /// Queries that requested a recall target below 1.0 (they fuse into
     /// their own units, separately from exact traffic).
     pub approx_queries: usize,
+    /// Fused units whose members resolved to the delegate pipeline. Queries
+    /// fuse by resolved path, so every fused unit counts under exactly one
+    /// of these two fields; sharded queries resolve per device inside the
+    /// distributed run and are counted by neither. Per-path visibility
+    /// rides the existing metric catalog: radix stage kinds already appear
+    /// in the per-kind residual gauges and the stage-level counters, so no
+    /// new [`drtopk_obs::MetricName`] variant is needed.
+    pub delegate_path_units: usize,
+    /// Fused units whose members resolved to the large-k multi-pass
+    /// radix-select pipeline (see [`drtopk_core::choose_path`]).
+    pub radix_path_units: usize,
     /// Average queries per unit — how much fusion the batch admitted
     /// (a 32-query shared-corpus batch scores 32.0; fully disjoint
     /// traffic scores 1.0).

@@ -128,6 +128,69 @@ impl DeviceSpec {
         }
     }
 
+    /// H100 SXM (Hopper) preset — the successor generation to the paper's
+    /// testbed: 132 SMs × 128 cores, 80 GB HBM3 @ 3350 GB/s.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "H100".to_string(),
+            num_sms: 132,
+            cores_per_sm: 128,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            clock_ghz: 1.78,
+            global_mem_bytes: 80 * (1 << 30),
+            mem_bandwidth_gbps: 3350.0,
+            mem_efficiency: 0.88,
+            shared_mem_per_sm_bytes: 228 * 1024,
+            l2_bytes: 50 * 1024 * 1024,
+            c_global_cycles: 360.0,
+            c_shfl_cycles: 0.8,
+            c_shared_cycles: 0.8,
+            c_atomic_cycles: 50.0,
+            launch_overhead_us: 1.2,
+            host_bandwidth_gbps: 55.0,
+        }
+    }
+
+    /// B200-class (Blackwell) preset — 148 SMs × 128 cores, 192 GB HBM3e
+    /// @ 8000 GB/s; the largest-memory, highest-bandwidth point of the
+    /// catalog for forward-looking crossover sweeps.
+    pub fn b200() -> Self {
+        DeviceSpec {
+            name: "B200".to_string(),
+            num_sms: 148,
+            cores_per_sm: 128,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            clock_ghz: 1.8,
+            global_mem_bytes: 192 * (1u64 << 30),
+            mem_bandwidth_gbps: 8000.0,
+            mem_efficiency: 0.88,
+            shared_mem_per_sm_bytes: 228 * 1024,
+            l2_bytes: 126 * 1024 * 1024,
+            c_global_cycles: 340.0,
+            c_shfl_cycles: 0.7,
+            c_shared_cycles: 0.7,
+            c_atomic_cycles: 45.0,
+            launch_overhead_us: 1.0,
+            host_bandwidth_gbps: 60.0,
+        }
+    }
+
+    /// The real-device catalog: every preset this crate ships, oldest to
+    /// newest. Device-comparison sweeps (`fig23_device_comparison`) and the
+    /// per-device crossover tests iterate this instead of hard-coding
+    /// individual presets, so a new preset is picked up everywhere at once.
+    pub fn catalog() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::titan_xp(),
+            DeviceSpec::v100s(),
+            DeviceSpec::a100(),
+            DeviceSpec::h100(),
+            DeviceSpec::b200(),
+        ]
+    }
+
     /// Total number of CUDA cores.
     pub fn total_cores(&self) -> u32 {
         self.num_sms * self.cores_per_sm
@@ -205,13 +268,29 @@ mod tests {
 
     #[test]
     fn concurrent_warps_positive() {
-        for spec in [
-            DeviceSpec::v100s(),
-            DeviceSpec::titan_xp(),
-            DeviceSpec::a100(),
-        ] {
+        for spec in DeviceSpec::catalog() {
             assert!(spec.concurrent_warps() >= 1);
             assert!(spec.max_resident_warps() >= spec.concurrent_warps());
+        }
+    }
+
+    #[test]
+    fn catalog_covers_every_preset_with_distinct_names() {
+        let catalog = DeviceSpec::catalog();
+        assert_eq!(catalog.len(), 5);
+        let names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["TitanXp", "V100S", "A100", "H100", "B200"]);
+        // the catalog is ordered oldest→newest: bandwidth and memory are
+        // monotone non-decreasing across generations
+        for pair in catalog.windows(2) {
+            assert!(pair[1].mem_bandwidth_gbps >= pair[0].mem_bandwidth_gbps);
+            assert!(pair[1].global_mem_bytes >= pair[0].global_mem_bytes);
+        }
+        // every preset yields sane derived quantities
+        for spec in &catalog {
+            assert!(spec.effective_bandwidth_bytes_per_s() > 0.0);
+            assert!(spec.rule4_const_analytic() > 0.0);
+            assert!(spec.capacity_u32_elems(0.25) > 0);
         }
     }
 

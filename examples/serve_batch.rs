@@ -39,6 +39,7 @@ fn main() {
                 },
                 inner: InnerAlgorithm::FlagRadix,
                 mode: drtopk::core::Mode::Exact,
+                path: drtopk::core::PathHint::Auto,
             });
         }
         let out = engine.run_batch(&batch).expect("batch must execute");

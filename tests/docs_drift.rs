@@ -33,6 +33,10 @@ fn stage_kind_index(kind: StageKind) -> usize {
         StageKind::LocalMerge => 7,
         StageKind::Gather => 8,
         StageKind::FinalTopK => 9,
+        StageKind::RadixHistogram => 10,
+        StageKind::RadixRefine => 11,
+        StageKind::CandidateGather => 12,
+        StageKind::RadixSelect => 13,
     }
 }
 
@@ -50,6 +54,7 @@ fn diagnostic_code_index(code: DiagnosticCode) -> usize {
         DiagnosticCode::QueueDeadlock => 8,
         DiagnosticCode::DoubleBufferHazard => 9,
         DiagnosticCode::PhaseOrder => 10,
+        DiagnosticCode::RadixChainBroken => 11,
     }
 }
 

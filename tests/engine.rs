@@ -30,6 +30,7 @@ fn assert_batch_matches_independent<K: TopKKey>(data: &[K], specs: &[(usize, boo
             },
             inner: drtopk::core::InnerAlgorithm::FlagRadix,
             mode: drtopk::core::Mode::Exact,
+            path: drtopk::core::PathHint::Auto,
         });
     }
     let out = eng.run_batch(&batch).expect("batch must execute");
@@ -227,6 +228,7 @@ fn generated_workloads_run_end_to_end_on_a_cluster() {
             },
             inner: drtopk::core::InnerAlgorithm::FlagRadix,
             mode: drtopk::core::Mode::Exact,
+            path: drtopk::core::PathHint::Auto,
         });
     }
     let out = eng.run_batch(&batch).unwrap();

@@ -170,6 +170,103 @@ fn distributed_out_of_core_run_model_checks_exhaustively() {
     assert_eq!(bits(&result.values), bits(&reference.values));
 }
 
+/// Two per-shard radix chains (histogram → refine → gather → select) on
+/// different compute queues — the shape the capability-aware distributed
+/// planner emits when it places radix-routed shards on two devices. Each
+/// chain really narrows its shard to the top element by most-significant
+/// digit. The graph verifies clean (both `RadixSelect`s are legal sinks),
+/// its schedule space is exactly the C(8,4) = 70 interleavings of the two
+/// FIFO chains, and every interleaving must produce bit-identical winners.
+#[test]
+fn multi_resource_radix_graph_model_checks_exhaustively() {
+    use parking_lot::Mutex;
+
+    let shard0 = topk_datagen::uniform(256, 0xFEED);
+    let shard1 = topk_datagen::uniform(256, 0xFACE);
+    struct Chain {
+        candidates: Vec<u32>,
+        digit: u32,
+        winner: u64,
+    }
+    let state: Mutex<[Chain; 2]> = Mutex::new([&shard0, &shard1].map(|s| Chain {
+        candidates: s.clone(),
+        digit: 0,
+        winner: 0,
+    }));
+
+    let outcome = explore_schedules(
+        || {
+            {
+                let mut chains = state.lock();
+                chains[0].candidates = shard0.clone();
+                chains[1].candidates = shard1.clone();
+            }
+            let mut g: StageGraph<()> = StageGraph::new();
+            for chain in 0..2usize {
+                let q = Resource::Compute(chain);
+                let hist = g.add(StageKind::RadixHistogram, q, &[], {
+                    let state = &state;
+                    move |_: &()| {
+                        let mut chains = state.lock();
+                        let c = &mut chains[chain];
+                        c.digit = c.candidates.iter().map(|x| x >> 24).max().unwrap();
+                        StageOutcome::default()
+                    }
+                });
+                let refine = g.add(StageKind::RadixRefine, q, &[hist], {
+                    let state = &state;
+                    move |_: &()| {
+                        let mut chains = state.lock();
+                        let c = &mut chains[chain];
+                        let digit = c.digit;
+                        c.candidates.retain(|x| x >> 24 == digit);
+                        StageOutcome::default()
+                    }
+                });
+                let gather = g.add(StageKind::CandidateGather, q, &[refine], {
+                    let state = &state;
+                    move |_: &()| {
+                        let mut chains = state.lock();
+                        chains[chain].candidates.sort_unstable_by(|a, b| b.cmp(a));
+                        StageOutcome::default()
+                    }
+                });
+                g.add(StageKind::RadixSelect, q, &[gather], {
+                    let state = &state;
+                    move |_: &()| {
+                        let mut chains = state.lock();
+                        let c = &mut chains[chain];
+                        c.winner = u64::from(c.candidates[0]);
+                        StageOutcome::default()
+                    }
+                });
+            }
+            assert!(
+                g.verify().is_empty(),
+                "the two-shard radix graph must verify clean"
+            );
+            (g, ())
+        },
+        |_, report| {
+            let chains = state.lock();
+            (chains[0].winner, chains[1].winner, report.stages.len())
+        },
+        ExploreBudget::default(),
+    )
+    .expect("a correct two-shard radix plan has no diverging interleaving");
+    assert_eq!(
+        outcome.schedules_run, 70,
+        "two 4-stage FIFO chains interleave C(8,4) ways"
+    );
+    assert!(outcome.exhaustive);
+    assert_eq!(outcome.stages, 8);
+
+    // The narrowed winners are the true per-shard maxima.
+    let chains = state.lock();
+    assert_eq!(chains[0].winner, u64::from(*shard0.iter().max().unwrap()));
+    assert_eq!(chains[1].winner, u64::from(*shard1.iter().max().unwrap()));
+}
+
 /// `Executor::Explore` (the single adversarial anti-insertion-order probe)
 /// must agree with the threaded executor bit for bit, modeled field for
 /// modeled field.

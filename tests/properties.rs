@@ -284,3 +284,172 @@ proptest! {
         prop_assert_eq!(ab.cmp(&bb), a.total_cmp(&b));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Radix-path properties: the forced multi-pass radix pipeline
+// (`PathHint::Radix`) must be bit-identical to the forced delegate pipeline
+// and the CPU reference for every key type, in both directions, including
+// float specials and degenerate k (0, |V|, > |V|) — all under the threaded
+// executor (`Device::with_host_threads`). `Auto` must reproduce whichever
+// forced path the sampled crossover resolves, exactly.
+// ---------------------------------------------------------------------------
+
+use drtopk::core::{choose_path_sampled, dr_topk_min, ChosenPath, PathHint};
+
+/// f64 twin of [`f32_with_specials`]: NaN payloads, ±∞, ±0, subnormals.
+fn f64_with_specials() -> impl proptest::strategy::Strategy<Value = f64> {
+    FnStrategy(|rng: &mut TestRng| match rng.next_below(12) {
+        0 => f64::NAN,
+        1 => -f64::NAN,
+        2 => f64::from_bits(0x7FF8_0000_0000_0000 | (rng.next_u64() & 0x7_FFFF_FFFF_FFFF)),
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => 0.0,
+        6 => -0.0,
+        7 => f64::from_bits(rng.next_u64() & 0x000F_FFFF_FFFF_FFFF), // subnormal
+        _ => (rng.next_unit_f64() - 0.5) * 2.0e12,
+    })
+}
+
+/// Forced radix ≡ forced delegate ≡ reference, in both directions, and
+/// `Auto` ≡ its resolved twin — all compared through order-preserving bit
+/// images so NaN floats stay comparable.
+fn assert_radix_path_agrees<K: TopKKey>(
+    device: &Device,
+    data: &[K],
+    k: usize,
+) -> Result<(), String> {
+    let force = |path: PathHint| DrTopKConfig {
+        path,
+        ..DrTopKConfig::default()
+    };
+    let expected = bits_of(&reference_topk(data, k));
+    let del = bits_of(&dr_topk(device, data, k, &force(PathHint::Delegate)).values);
+    let rad = bits_of(&dr_topk(device, data, k, &force(PathHint::Radix)).values);
+    let auto = bits_of(&dr_topk(device, data, k, &force(PathHint::Auto)).values);
+    if del != expected {
+        return Err(format!("delegate-forced disagrees with reference at k={k}"));
+    }
+    if rad != expected {
+        return Err(format!("radix-forced disagrees with reference at k={k}"));
+    }
+    // Auto is one of the two forced paths — which one is the model's call,
+    // but bit-identity to the reference is unconditional.
+    if auto != expected {
+        return Err(format!("Auto disagrees with reference at k={k}"));
+    }
+    // Min-direction: the Desc wrapper must flow through the radix stages
+    // unchanged (NaNs rank last on min-queries).
+    let expected_min = bits_of(&reference_topk_min(data, k));
+    let rad_min = bits_of(&dr_topk_min(device, data, k, &force(PathHint::Radix)).values);
+    if rad_min != expected_min {
+        return Err(format!("radix-forced min-query disagrees at k={k}"));
+    }
+    Ok(())
+}
+
+/// Degenerate-k grid shared by every key type: 0, 1, mid, |V|, > |V|.
+fn degenerate_ks(n: usize) -> [usize; 5] {
+    [0, 1.min(n), n / 2, n, n + 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// u32 / i32 keys through the radix path, arbitrary data and k
+    /// (including the degenerate grid).
+    #[test]
+    fn radix_path_agrees_u32_i32(
+        data in proptest::collection::vec(any::<u32>(), 1..2000),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let device = device();
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        if let Err(msg) = assert_radix_path_agrees(&device, &data, k) {
+            prop_assert!(false, "{}", msg);
+        }
+        let signed: Vec<i32> = data.iter().map(|&x| x as i32).collect();
+        for dk in degenerate_ks(signed.len()) {
+            if let Err(msg) = assert_radix_path_agrees(&device, &signed, dk) {
+                prop_assert!(false, "i32: {}", msg);
+            }
+        }
+    }
+
+    /// u64 / i64 keys: the wide-key radix chain (8 passes) stays
+    /// bit-identical, negatives included.
+    #[test]
+    fn radix_path_agrees_u64_i64(
+        data in proptest::collection::vec(any::<u64>(), 1..2000),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let device = device();
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        if let Err(msg) = assert_radix_path_agrees(&device, &data, k) {
+            prop_assert!(false, "{}", msg);
+        }
+        let signed: Vec<i64> = data.iter().map(|&x| x as i64).collect();
+        for dk in degenerate_ks(signed.len()) {
+            if let Err(msg) = assert_radix_path_agrees(&device, &signed, dk) {
+                prop_assert!(false, "i64: {}", msg);
+            }
+        }
+    }
+
+    /// f32 / f64 keys with IEEE specials: NaN payloads survive the radix
+    /// digit chain and the candidate gather bit-exactly.
+    #[test]
+    fn radix_path_agrees_floats_with_specials(
+        data32 in proptest::collection::vec(f32_with_specials(), 1..1500),
+        data64 in proptest::collection::vec(f64_with_specials(), 1..1500),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let device = device();
+        let k32 = ((data32.len() as f64 * k_frac) as usize).clamp(1, data32.len());
+        if let Err(msg) = assert_radix_path_agrees(&device, &data32, k32) {
+            prop_assert!(false, "f32: {}", msg);
+        }
+        let k64 = ((data64.len() as f64 * k_frac) as usize).clamp(1, data64.len());
+        if let Err(msg) = assert_radix_path_agrees(&device, &data64, k64) {
+            prop_assert!(false, "f64: {}", msg);
+        }
+    }
+}
+
+/// The Auto crossover pin, consistent with the modeled microsecond
+/// crossover: on large uniform inputs small k resolves to delegates and
+/// very large k to radix, duplicate-heavy inputs stay on delegates at any
+/// k, and `Auto`'s pipeline output is bit-identical either way.
+#[test]
+fn auto_crossover_pins_match_the_model() {
+    let device = device();
+    let spec = device.spec();
+    let n = 1usize << 20;
+    let uniform = topk_datagen::uniform(n, 7);
+    let low = topk_datagen::low_entropy(n, topk_datagen::LOW_ENTROPY_DISTINCT, 7);
+    assert_eq!(
+        choose_path_sampled(&uniform, 64, spec),
+        ChosenPath::Delegate,
+        "small k on uniform must stay on delegates"
+    );
+    assert_eq!(
+        choose_path_sampled(&uniform, 1 << 17, spec),
+        ChosenPath::Radix,
+        "large k on uniform must cross to radix"
+    );
+    for k in [64usize, 1 << 17] {
+        assert_eq!(
+            choose_path_sampled(&low, k, spec),
+            ChosenPath::Delegate,
+            "low-entropy data must stay on delegates at k={k}"
+        );
+    }
+    // And the routed runs agree with the reference at the crossover's two
+    // extremes on both datasets.
+    for data in [&uniform, &low] {
+        for k in [64usize, 1 << 17] {
+            let auto = dr_topk(&device, data, k, &DrTopKConfig::default());
+            assert_eq!(auto.values, reference_topk(data, k));
+        }
+    }
+}

@@ -62,9 +62,24 @@ fn healthy_pipeline() -> Vec<StageSpec> {
     ]
 }
 
+/// The healthy two-pass radix-path shape (histogram → refine per pass,
+/// then candidate assembly and the final select).
+fn healthy_radix_path() -> Vec<StageSpec> {
+    let c = Resource::Compute(0);
+    vec![
+        spec(StageKind::RadixHistogram, c, &[]),
+        spec(StageKind::RadixRefine, c, &[0]),
+        spec(StageKind::RadixHistogram, c, &[1]),
+        spec(StageKind::RadixRefine, c, &[2]),
+        spec(StageKind::CandidateGather, c, &[3]),
+        spec(StageKind::RadixSelect, c, &[4]),
+    ]
+}
+
 #[test]
 fn healthy_shapes_are_clean() {
     assert!(verify_specs(&healthy_pipeline(), &VerifyOptions::default()).is_empty());
+    assert!(verify_specs(&healthy_radix_path(), &VerifyOptions::default()).is_empty());
     let double_buffered = VerifyOptions {
         staging_buffers: Some(ReloadSchedule::DoubleBuffered.staging_buffers()),
     };
@@ -171,6 +186,15 @@ fn every_diagnostic_code_is_reachable() {
                 ],
                 VerifyOptions::default(),
             ),
+            DiagnosticCode::RadixChainBroken => (
+                // A narrowing chain that never reaches a final select.
+                vec![
+                    spec(RadixHistogram, c0, &[]),
+                    spec(RadixRefine, c0, &[0]),
+                    spec(CandidateGather, c0, &[1]),
+                ],
+                VerifyOptions::default(),
+            ),
         };
         let found = codes(&specs, &opts);
         assert!(
@@ -221,6 +245,45 @@ fn mutation_missing_dependency_edge_is_caught_as_v011() {
     );
 }
 
+#[test]
+fn mutation_dropped_radix_select_is_caught_as_v012() {
+    // The planner-shaped radix chain with its final select deleted: every
+    // surviving radix stage now narrows toward nothing.
+    let mut specs = healthy_radix_path();
+    specs.pop();
+    let found = codes(&specs, &VerifyOptions::default());
+    assert!(
+        found.contains(&DiagnosticCode::RadixChainBroken),
+        "dropped radix select must be V012, got {found:?}"
+    );
+}
+
+/// The graphs the real radix planner builds — forced via the path pin, in
+/// both directions and with an early-pinning input — verify clean through
+/// the public API, and carry the fixed histogram/refine…gather/select
+/// shape V012 watches over.
+#[test]
+fn planner_built_radix_graphs_verify_clean() {
+    use drtopk::core::PathHint;
+    let dev = Device::with_host_threads(DeviceSpec::v100s(), 2);
+    let cfg = DrTopKConfig {
+        path: PathHint::Radix,
+        ..DrTopKConfig::default()
+    };
+    let data = topk_datagen::uniform(1 << 13, 0xD00D);
+    for &k in &[1usize, 100, 1 << 12] {
+        let got = dr_topk_with_stats(&dev, &data, k, &cfg);
+        assert!(got.stages.verify().is_empty(), "k={k}");
+        let min = dr_topk_min(&dev, &data, k, &cfg);
+        assert!(min.stages.verify().is_empty(), "min k={k}");
+    }
+    // Early pinning: the no-op tail stages still form an unbroken chain.
+    let mut spiked = vec![7u32; 1 << 12];
+    spiked[99] = u32::MAX;
+    let got = dr_topk_with_stats(&dev, &spiked, 1, &cfg);
+    assert!(got.stages.verify().is_empty());
+}
+
 /// In debug builds every executor refuses to run a graph that fails
 /// verification (release builds skip the gate, so this test only exists
 /// under `debug_assertions`).
@@ -260,6 +323,7 @@ fn engine_fused_and_spliced_graphs_verify_clean_in_debug() {
             direction: Direction::Largest,
             inner: drtopk::core::InnerAlgorithm::FlagRadix,
             mode: drtopk::core::Mode::Exact,
+            path: drtopk::core::PathHint::Auto,
         });
     }
     batch.push_topk_approx(c, 64, 0.9);

@@ -30,12 +30,18 @@ fn workload_fraction_shrinks_as_v_grows() {
 #[test]
 fn workload_fraction_grows_with_k() {
     // Figure 21: larger k means more delegates and more qualified subranges.
+    // The trend is a property of the delegate pipeline, so pin the path —
+    // under `PathHint::Auto` the largest-k point routes to the radix path.
     let device = device();
     let n = 1 << 18;
     let data = topk_datagen::uniform(n, 5);
+    let config = DrTopKConfig {
+        path: drtopk::core::PathHint::Delegate,
+        ..DrTopKConfig::default()
+    };
     let mut last = 0.0;
     for k_exp in [4u32, 8, 12, 14] {
-        let r = dr_topk_with_stats(&device, &data, 1 << k_exp, &DrTopKConfig::default());
+        let r = dr_topk_with_stats(&device, &data, 1 << k_exp, &config);
         let frac = r.workload.workload_fraction();
         assert!(
             frac >= last,
